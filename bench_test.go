@@ -1,0 +1,290 @@
+// Package perfplay_test hosts the benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation (Sec. 6), plus
+// micro-benchmarks of the pipeline stages. Each experiment benchmark
+// regenerates its table/figure once per iteration and reports it with -v
+// via b.Log on the first iteration; run
+//
+//	go test -bench=. -benchmem
+//
+// or use cmd/experiments to print the artifacts directly.
+package perfplay_test
+
+import (
+	"testing"
+
+	"perfplay/internal/core"
+	"perfplay/internal/elision"
+	"perfplay/internal/experiments"
+	"perfplay/internal/replay"
+	"perfplay/internal/sim"
+	"perfplay/internal/trace"
+	"perfplay/internal/transform"
+	"perfplay/internal/ulcp"
+	"perfplay/internal/workload"
+)
+
+// benchScale keeps the per-iteration experiment runs tractable while
+// preserving every shape; cmd/experiments defaults to full scale.
+const benchScale = 0.25
+
+func benchCfg() experiments.Config {
+	return experiments.Config{Scale: benchScale, Seed: 42, Replays: 5}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table1(benchCfg())
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Figure2(benchCfg())
+		if i == 0 {
+			b.Log("\n" + f.String())
+		}
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Figure13(benchCfg())
+		if i == 0 {
+			b.Log("\n" + f.String())
+		}
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Figure14(benchCfg())
+		if i == 0 {
+			b.Log("\n" + f.String())
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table2(benchCfg())
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table3(benchCfg())
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fs := experiments.Figure15(benchCfg())
+		if i == 0 {
+			for _, f := range fs {
+				b.Log("\n" + f.String())
+			}
+		}
+	}
+}
+
+func BenchmarkFigure16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fs := experiments.Figure16(benchCfg())
+		if i == 0 {
+			for _, f := range fs {
+				b.Log("\n" + f.String())
+			}
+		}
+	}
+}
+
+func BenchmarkFigure19(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fs := experiments.Figure19(benchCfg())
+		if i == 0 {
+			for _, f := range fs {
+				b.Log("\n" + f.String())
+			}
+		}
+	}
+}
+
+// ---- pipeline-stage micro-benchmarks (ablation view) ----
+
+// recordFluidanimate records the most lock-intensive PARSEC benchmark.
+func recordApp(b *testing.B, name string) *sim.Result {
+	b.Helper()
+	app := workload.MustGet(name)
+	p := app.Build(workload.Config{Threads: 2, Scale: benchScale, Seed: 42})
+	return sim.Run(p, sim.Config{Seed: 42})
+}
+
+func BenchmarkRecordFluidanimate(b *testing.B) {
+	app := workload.MustGet("fluidanimate")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := app.Build(workload.Config{Threads: 2, Scale: benchScale, Seed: 42})
+		res := sim.Run(p, sim.Config{Seed: 42})
+		b.ReportMetric(float64(len(res.Trace.Events)), "events")
+	}
+}
+
+func BenchmarkExtractCS(b *testing.B) {
+	rec := recordApp(b, "fluidanimate")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		css := rec.Trace.ExtractCS()
+		b.ReportMetric(float64(len(css)), "critsecs")
+	}
+}
+
+func BenchmarkIdentify(b *testing.B) {
+	rec := recordApp(b, "mysql")
+	css := rec.Trace.ExtractCS()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep := ulcp.Identify(rec.Trace, css, ulcp.Options{})
+		b.ReportMetric(float64(rep.NumULCPs()), "ulcps")
+	}
+}
+
+func BenchmarkTransform(b *testing.B) {
+	rec := recordApp(b, "mysql")
+	css := rec.Trace.ExtractCS()
+	rep := ulcp.Identify(rec.Trace, css, ulcp.Options{})
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := transform.Apply(rec.Trace, css, rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Replay micro-benchmarks: one per scheduler, measuring events/op.
+func benchReplay(b *testing.B, sched replay.Scheduler) {
+	rec := recordApp(b, "vips")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := replay.Run(rec.Trace, replay.Options{Sched: sched, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+	b.ReportMetric(float64(len(rec.Trace.Events)), "events")
+}
+
+func BenchmarkReplayOrigS(b *testing.B) { benchReplay(b, replay.OrigS) }
+func BenchmarkReplayELSCS(b *testing.B) { benchReplay(b, replay.ELSCS) }
+func BenchmarkReplaySyncS(b *testing.B) { benchReplay(b, replay.SyncS) }
+func BenchmarkReplayMemS(b *testing.B)  { benchReplay(b, replay.MemS) }
+
+func BenchmarkFullPipelineOpenldap(b *testing.B) {
+	app := workload.MustGet("openldap")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := app.Build(workload.Config{Threads: 2, Scale: benchScale, Seed: 42})
+		a, err := core.Analyze(p, core.Config{Sim: sim.Config{Seed: 42}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(a.Debug.NormalizedDegradation()*100, "deg%")
+	}
+}
+
+// Ablation: lockset replay with and without the dynamic locking strategy.
+func benchLocksetReplay(b *testing.B, dls bool) {
+	rec := recordApp(b, "dedup")
+	css := rec.Trace.ExtractCS()
+	rep := ulcp.Identify(rec.Trace, css, ulcp.Options{})
+	tr, err := transform.Apply(rec.Trace, css, rep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := replay.Run(tr.Trace, replay.Options{Sched: replay.ELSCS, DLS: dls, LocksetCost: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.LocksetOverhead), "overhead-ticks")
+	}
+}
+
+func BenchmarkLocksetReplayNoDLS(b *testing.B) { benchLocksetReplay(b, false) }
+func BenchmarkLocksetReplayDLS(b *testing.B)   { benchLocksetReplay(b, true) }
+
+// Trace serialization round-trip throughput.
+func BenchmarkTraceBinaryRoundTrip(b *testing.B) {
+	rec := recordApp(b, "x264")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf writeCounter
+		if err := rec.Trace.WriteBinary(&buf); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.n))
+	}
+}
+
+type writeCounter struct{ n int }
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+var _ = trace.NoLock
+
+func BenchmarkTableLE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.TableLE(benchCfg())
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+// Ablation: speculative lock elision vs the locked execution on one
+// ULCP-heavy and one conflict-heavy benchmark.
+func benchElision(b *testing.B, app string) {
+	rec := recordApp(b, app)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := elision.Run(rec.Trace, elision.Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AbortRate()*100, "abort%")
+	}
+}
+
+func BenchmarkElisionMySQL(b *testing.B)     { benchElision(b, "mysql") }
+func BenchmarkElisionBodytrack(b *testing.B) { benchElision(b, "bodytrack") }
+
+// Simulator throughput: events recorded per second.
+func BenchmarkSimThroughput(b *testing.B) {
+	app := workload.MustGet("vips")
+	b.ReportAllocs()
+	var events int
+	for i := 0; i < b.N; i++ {
+		p := app.Build(workload.Config{Threads: 2, Scale: benchScale, Seed: 42})
+		res := sim.Run(p, sim.Config{Seed: 42})
+		events = len(res.Trace.Events)
+	}
+	b.ReportMetric(float64(events), "events")
+}

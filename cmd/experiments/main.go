@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (Sec. 6) on the simulated substrate.
+//
+// Usage:
+//
+//	experiments                 # run everything at paper scale
+//	experiments -run table1     # one experiment
+//	experiments -scale 0.25     # quicker, smaller runs
+//
+// Experiment names: table1, table2, table3, figure2, figure13, figure14,
+// figure15, figure16, figure19.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"perfplay/internal/experiments"
+	"perfplay/internal/vtime"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "experiment to run (comma separated), or 'all'")
+		scale   = flag.Float64("scale", 1.0, "workload scale relative to the paper's setup")
+		seed    = flag.Int64("seed", 42, "recording seed")
+		replays = flag.Int("replays", 10, "replays per scheme for figure13")
+		lscost  = flag.Int64("lockset-cost", 8, "lockset maintenance cost per member (ticks)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale:       *scale,
+		Seed:        *seed,
+		Replays:     *replays,
+		LocksetCost: vtime.Duration(*lscost),
+	}
+
+	all := map[string]func(){
+		"table1":       func() { fmt.Println(experiments.Table1(cfg)) },
+		"table2":       func() { fmt.Println(experiments.Table2(cfg)) },
+		"table3":       func() { fmt.Println(experiments.Table3(cfg)) },
+		"figure2":      func() { fmt.Println(experiments.Figure2(cfg)) },
+		"figure13":     func() { fmt.Println(experiments.Figure13(cfg)) },
+		"figure14":     func() { fmt.Println(experiments.Figure14(cfg)) },
+		"figure15":     func() { printAll(experiments.Figure15(cfg)) },
+		"figure16":     func() { printAll(experiments.Figure16(cfg)) },
+		"figure19":     func() { printAll(experiments.Figure19(cfg)) },
+		"table-le":     func() { fmt.Println(experiments.TableLE(cfg)) },
+		"table-static": func() { fmt.Println(experiments.TableStatic(cfg)) },
+	}
+	order := []string{"table1", "figure2", "figure13", "figure14", "table2", "table3", "figure15", "figure16", "figure19", "table-le", "table-static"}
+
+	names := order
+	if *run != "all" {
+		names = strings.Split(*run, ",")
+	}
+	for _, n := range names {
+		n = strings.TrimSpace(strings.ToLower(n))
+		f, ok := all[n]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", n)
+			os.Exit(2)
+		}
+		f()
+	}
+}
+
+func printAll[T fmt.Stringer](xs []T) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}

@@ -1,0 +1,266 @@
+// Command perfplay runs the PerfPlay pipeline on a modelled workload and
+// prints the ranked list of ULCP optimization opportunities — the
+// "List: ULCP optimization benefits" of the paper's Fig. 5.
+//
+// Usage:
+//
+//	perfplay -app mysql -threads 2 [-scale 0.5] [-top 5]
+//	         [-trace out.trace] [-json] [-races]
+//	perfplay -list
+//
+// With -trace the recorded execution is also written to disk in the
+// binary (or, with -json, JSON) trace format, replayable later via
+// -replay.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"perfplay/internal/core"
+	"perfplay/internal/elision"
+	"perfplay/internal/multi"
+	"perfplay/internal/race"
+	"perfplay/internal/replay"
+	"perfplay/internal/sim"
+	timelinepkg "perfplay/internal/timeline"
+	"perfplay/internal/trace"
+	"perfplay/internal/tracediff"
+	"perfplay/internal/ulcp"
+	"perfplay/internal/workload"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "", "workload to analyze (see -list)")
+		threads   = flag.Int("threads", 2, "worker thread count")
+		scale     = flag.Float64("scale", 1.0, "workload scale relative to the paper's setup")
+		input     = flag.String("input", "simlarge", "input size: simsmall, simmedium, simlarge")
+		seed      = flag.Int64("seed", 42, "recording seed")
+		top       = flag.Int("top", 5, "number of recommendations to print")
+		traceOut  = flag.String("trace", "", "write the recorded trace to this file")
+		jsonOut   = flag.Bool("json", false, "write the trace as JSON instead of binary")
+		replayIn  = flag.String("replay", "", "replay an existing trace file instead of recording")
+		races     = flag.Bool("races", false, "run the happens-before detector on the transformed trace")
+		list      = flag.Bool("list", false, "list available workloads")
+		scheduler = flag.String("sched", "elsc", "replay scheme for -replay: orig, elsc, sync, mem")
+		runs      = flag.Int("runs", 1, "aggregate the analysis over N differently-seeded traces (multi-trace mode)")
+		timeline  = flag.Bool("timeline", false, "print an ASCII per-thread timeline of the recorded trace")
+		caseNum   = flag.Int("case", 0, "analyze an appendix real-world case (1-10) instead of a full workload")
+		diffA     = flag.String("diff", "", "diff two trace files per code region: -diff a.trace -with b.trace")
+		diffB     = flag.String("with", "", "second trace file for -diff")
+		le        = flag.Bool("le", false, "also run the speculative lock elision baseline on the recording")
+		verifyT1  = flag.Bool("verify", false, "run the Theorem 1 correctness check on the transformation")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available workloads:")
+		for _, a := range workload.All() {
+			fmt.Printf("  %-15s (%s)\n", a.Name, a.Kind)
+		}
+		return
+	}
+
+	if *replayIn != "" {
+		if err := replayFile(*replayIn, *scheduler); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *diffA != "" {
+		if *diffB == "" {
+			fatal(fmt.Errorf("-diff requires -with"))
+		}
+		if err := diffFiles(*diffA, *diffB); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *caseNum != 0 {
+		p, err := workload.BuildCase(*caseNum, workload.Config{Threads: *threads, Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		analysis, err := core.Analyze(p, core.Config{Sim: sim.Config{Seed: *seed}, DetectRaces: *races})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(analysis.Summary(*top))
+		return
+	}
+
+	if *appName == "" {
+		fmt.Fprintln(os.Stderr, "perfplay: -app is required (or -list, -replay)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	app, ok := workload.Get(*appName)
+	if !ok {
+		fatal(fmt.Errorf("unknown workload %q; try -list", *appName))
+	}
+
+	in := workload.SimLarge
+	switch strings.ToLower(*input) {
+	case "simsmall":
+		in = workload.SimSmall
+	case "simmedium":
+		in = workload.SimMedium
+	case "simlarge":
+	default:
+		fatal(fmt.Errorf("unknown input size %q", *input))
+	}
+
+	if *runs > 1 {
+		// Multi-trace mode (Sec. 6.7 extension): analyze several
+		// differently-seeded recordings and recommend only the code
+		// regions whose opportunity holds in every one.
+		var analyses []*core.Analysis
+		for r := 0; r < *runs; r++ {
+			s := *seed + int64(r)
+			p := app.Build(workload.Config{Threads: *threads, Scale: *scale, Input: in, Seed: s})
+			a, err := core.Analyze(p, core.Config{Sim: sim.Config{Seed: s}})
+			if err != nil {
+				fatal(err)
+			}
+			analyses = append(analyses, a)
+		}
+		fmt.Print(multi.Merge(analyses).Summary(*top))
+		return
+	}
+
+	p := app.Build(workload.Config{Threads: *threads, Scale: *scale, Input: in, Seed: *seed})
+	cfg := core.Config{Sim: sim.Config{Seed: *seed}, DetectRaces: *races, VerifyTheorem1: *verifyT1}
+	analysis, err := core.Analyze(p, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Print(analysis.Summary(*top))
+	if analysis.Theorem1 != nil {
+		fmt.Println(" " + analysis.Theorem1.String())
+	}
+	if *timeline {
+		fmt.Println(timelinepkg.Render(analysis.Recorded.Trace, timelinepkg.Options{Width: 100}))
+	}
+	if *le {
+		res, err := elision.Run(analysis.Recorded.Trace, elision.Options{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("lock elision baseline: total %v (locked %v, ULCP-free %v); %d commits, %d aborts (%d false), %d fallbacks, %v wasted\n",
+			res.Total, analysis.Debug.Tut, analysis.Debug.Tuft,
+			res.Commits, res.Aborts, res.FalseAborts, res.Fallbacks, res.WastedWork)
+	}
+	for _, r := range analysis.Races {
+		fmt.Printf(" race: %s\n", r)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if *jsonOut {
+			err = analysis.Recorded.Trace.WriteJSON(f)
+		} else {
+			err = analysis.Recorded.Trace.WriteBinary(f)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d events)\n", *traceOut, len(analysis.Recorded.Trace.Events))
+	}
+}
+
+// diffFiles loads two trace files and prints the per-region lock profile
+// diff (e.g. a buggy recording against a patched one).
+func diffFiles(pathA, pathB string) error {
+	a, err := loadTrace(pathA)
+	if err != nil {
+		return err
+	}
+	b, err := loadTrace(pathB)
+	if err != nil {
+		return err
+	}
+	tbl, err := tracediff.Compare(pathA, a, pathB, b)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tbl)
+	return nil
+}
+
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := trace.ReadBinary(f)
+	if err == nil {
+		return tr, nil
+	}
+	if _, serr := f.Seek(0, 0); serr != nil {
+		return nil, err
+	}
+	return trace.ReadJSON(f)
+}
+
+// replayFile loads a trace from disk and replays it under the chosen
+// scheme, reporting the replayed time and ULCP summary.
+func replayFile(path, scheme string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadBinary(f)
+	if err != nil {
+		// Fall back to JSON.
+		if _, serr := f.Seek(0, 0); serr != nil {
+			return err
+		}
+		tr, err = trace.ReadJSON(f)
+		if err != nil {
+			return err
+		}
+	}
+	var sched replay.Scheduler
+	switch strings.ToLower(scheme) {
+	case "orig":
+		sched = replay.OrigS
+	case "elsc":
+		sched = replay.ELSCS
+	case "sync":
+		sched = replay.SyncS
+	case "mem":
+		sched = replay.MemS
+	default:
+		return fmt.Errorf("unknown scheduler %q", scheme)
+	}
+	res, err := replay.Run(tr, replay.Options{Sched: sched})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %s (%d events, %d threads) under %v\n",
+		tr.App, len(tr.Events), tr.NumThreads, sched)
+	fmt.Printf(" recorded total: %v   replayed total: %v\n", tr.TotalTime, res.Total)
+	css := tr.ExtractCS()
+	rep := ulcp.Identify(tr, css, ulcp.Options{})
+	fmt.Printf(" critical sections: %d  ULCPs: %d  TLCPs: %d\n",
+		len(css), rep.NumULCPs(), rep.Counts[ulcp.TLCP])
+	_ = race.OrderByStart
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfplay:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// elision contrasts PerfPlay's proactive fix-the-code approach with the
+// dynamic alternative the paper argues against (Sec. 2.2): speculative
+// lock elision. On a ULCP-heavy workload LE matches the ULCP-free replay;
+// on a conflict-heavy one it pays aborts and rollbacks and ends up slower
+// than the locks it elided — and in neither case does it tell the
+// programmer what to fix.
+//
+//	go run ./examples/elision
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perfplay/internal/core"
+	"perfplay/internal/elision"
+	"perfplay/internal/sim"
+	"perfplay/internal/workload"
+)
+
+func main() {
+	for _, name := range []string{"mysql", "bodytrack"} {
+		app := workload.MustGet(name)
+		cfg := workload.Config{Threads: 2, Scale: 0.25, Seed: 5}
+		a, err := core.Analyze(app.Build(cfg), core.Config{Sim: sim.Config{Seed: 5}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		le, err := elision.Run(a.Recorded.Trace, elision.Options{Seed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", name)
+		fmt.Printf("  locked execution:      %v\n", a.Debug.Tut)
+		fmt.Printf("  PerfPlay ULCP-free:    %v (and it names the code region to fix)\n", a.Debug.Tuft)
+		fmt.Printf("  lock elision:          %v\n", le.Total)
+		fmt.Printf("  LE economy:            %d commits, %d aborts (%d false), %d fallbacks, %v wasted work (abort rate %.1f%%)\n",
+			le.Commits, le.Aborts, le.FalseAborts, le.Fallbacks, le.WastedWork, le.AbortRate()*100)
+		if len(a.Debug.Groups) > 0 {
+			fmt.Printf("  PerfPlay's top advice: %s\n", a.Debug.Groups[0])
+		}
+		fmt.Println()
+	}
+	fmt.Println("mysql (ULCP-heavy): elision and the PerfPlay transform both recover the")
+	fmt.Println("serialization — but only PerfPlay points at the source line.")
+	fmt.Println("bodytrack (conflict-heavy): elision aborts constantly and loses ground;")
+	fmt.Println("the transformation correctly leaves true contention alone.")
+}

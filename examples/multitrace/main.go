@@ -1,0 +1,47 @@
+// multitrace demonstrates the paper's Sec. 6.7 extension: analyzing the
+// same application over several traces (different seeds and input sizes)
+// and recommending only the code regions whose optimization opportunity
+// holds in every execution — "this may prohibit any code modification
+// that could lead to performance improvement in some cases but not all."
+//
+//	go run ./examples/multitrace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perfplay/internal/core"
+	"perfplay/internal/multi"
+	"perfplay/internal/sim"
+	"perfplay/internal/workload"
+)
+
+func main() {
+	app := workload.MustGet("facesim")
+	var analyses []*core.Analysis
+	configs := []workload.Config{
+		{Threads: 2, Input: workload.SimSmall, Scale: 0.5, Seed: 1},
+		{Threads: 2, Input: workload.SimMedium, Scale: 0.5, Seed: 2},
+		{Threads: 4, Input: workload.SimLarge, Scale: 0.5, Seed: 3},
+	}
+	for _, cfg := range configs {
+		a, err := core.Analyze(app.Build(cfg), core.Config{Sim: sim.Config{Seed: cfg.Seed}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace %s/%d threads/seed %d: degradation %.2f%%, %d groups\n",
+			cfg.Input, cfg.Threads, cfg.Seed,
+			a.Debug.NormalizedDegradation()*100, len(a.Debug.Groups))
+		analyses = append(analyses, a)
+	}
+
+	agg := multi.Merge(analyses)
+	fmt.Println()
+	fmt.Print(agg.Summary(6))
+
+	fmt.Println("\nconsistent recommendations (safe across all inputs):")
+	for i, g := range agg.Recommend(3) {
+		fmt.Printf("  #%d %s\n", i+1, g)
+	}
+}

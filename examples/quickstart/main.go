@@ -1,0 +1,61 @@
+// Quickstart: build a small lock-based program against the simulator API,
+// run the full PerfPlay pipeline on it, and print the ranked list of ULCP
+// optimization opportunities.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perfplay/internal/core"
+	"perfplay/internal/sim"
+	"perfplay/internal/ulcp"
+)
+
+func main() {
+	// A toy cache: worker threads mostly read a shared table under one
+	// big lock; a maintenance thread occasionally rewrites an entry.
+	p := sim.NewProgram("quickstart")
+	mu := p.NewLock("cache.mu")
+	table := p.Mem.AllocN("cache.table", 4, 100)
+	sGet := p.Site("cache.go", 42, "Get")
+	sPut := p.Site("cache.go", 87, "Put")
+
+	for w := 0; w < 3; w++ {
+		p.AddThread(func(th *sim.Thread) {
+			for i := 0; i < 40; i++ {
+				th.Lock(mu, sGet)
+				th.Read(table[i%len(table)], sGet)
+				th.Compute(500) // deserialize the entry
+				th.Unlock(mu, sGet)
+				th.Compute(300) // use it
+			}
+		})
+	}
+	p.AddThread(func(th *sim.Thread) {
+		for i := 0; i < 6; i++ {
+			th.Compute(4000)
+			th.Lock(mu, sPut)
+			th.Read(table[i%len(table)], sPut)
+			th.Write(table[i%len(table)], int64(1000+i), sPut)
+			th.Unlock(mu, sPut)
+		}
+	})
+
+	// Record, identify, transform, replay both traces, rank.
+	analysis, err := core.Analyze(p, core.Config{Sim: sim.Config{Seed: 1}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(analysis.Summary(3))
+
+	fmt.Println("\nbreakdown of identified pairs:")
+	for _, cat := range []ulcp.Category{ulcp.NullLock, ulcp.ReadRead, ulcp.DisjointWrite, ulcp.Benign, ulcp.TLCP} {
+		fmt.Printf("  %-14s %d\n", cat, analysis.Report.Counts[cat])
+	}
+	fmt.Printf("\nthe Get() read sections serialize needlessly: removing their\n"+
+		"false dependencies recovers %.1f%% of the run time.\n",
+		analysis.Debug.NormalizedDegradation()*100)
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quick runs everything at a small scale: these tests assert the paper's
+// qualitative shapes, which must hold at any scale.
+func quickCfg() Config {
+	return Config{Scale: 0.1, Seed: 42, Replays: 4}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tb := Table1(quickCfg())
+	if len(tb.Rows) != 16 {
+		t.Fatalf("rows = %d, want 16 applications", len(tb.Rows))
+	}
+	byName := map[string][]string{}
+	for _, r := range tb.Rows {
+		byName[r[0]] = r
+	}
+	// blackscholes has no locks at all.
+	if byName["blackscholes"][3] != "0" {
+		t.Errorf("blackscholes locks = %s, want 0", byName["blackscholes"][3])
+	}
+	// canneal, streamcluster, swaptions: zero ULCPs of every class.
+	for _, name := range []string{"canneal", "streamcluster", "swaptions"} {
+		for col := 4; col <= 7; col++ {
+			if byName[name][col] != "0" {
+				t.Errorf("%s column %d = %s, want 0", name, col, byName[name][col])
+			}
+		}
+	}
+	// fluidanimate has the most dynamic locks among PARSEC.
+	fl, _ := strconv.Atoi(byName["fluidanimate"][3])
+	for _, name := range []string{"bodytrack", "canneal", "dedup", "vips", "x264"} {
+		n, _ := strconv.Atoi(byName[name][3])
+		if n >= fl {
+			t.Errorf("%s locks %d >= fluidanimate %d", name, n, fl)
+		}
+	}
+}
+
+func TestFigure2Growth(t *testing.T) {
+	f := Figure2(quickCfg())
+	if len(f.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(f.Series))
+	}
+	for _, s := range f.Series {
+		if len(s.Points) != 5 {
+			t.Fatalf("%s: points = %d, want 5", s.Label, len(s.Points))
+		}
+		if s.Points[4].Y <= s.Points[0].Y {
+			t.Errorf("%s: ULCPs did not grow with threads (%v -> %v)",
+				s.Label, s.Points[0].Y, s.Points[4].Y)
+		}
+	}
+}
+
+func TestFigure13FidelityShape(t *testing.T) {
+	f := Figure13(quickCfg())
+	series := map[string]map[string][2]float64{} // scheme -> app -> (mean, std)
+	for _, s := range f.Series {
+		m := map[string][2]float64{}
+		for _, p := range s.Points {
+			m[p.X] = [2]float64{p.Y, p.Err}
+		}
+		series[s.Label] = m
+	}
+	for app := range series["ELSC-S"] {
+		elsc := series["ELSC-S"][app]
+		orig := series["ORIG-S"][app]
+		sync := series["SYNC-S"][app]
+		mem := series["MEM-S"][app]
+		if elsc[0] == 0 {
+			continue // lock-free app
+		}
+		// Enforced schemes are stable; ELSC is never slower than SYNC/MEM.
+		if elsc[1] != 0 || sync[1] != 0 || mem[1] != 0 {
+			t.Errorf("%s: enforced schemes must have zero variance (elsc σ=%v sync σ=%v mem σ=%v)",
+				app, elsc[1], sync[1], mem[1])
+		}
+		if sync[0] < elsc[0] || mem[0] < elsc[0] {
+			t.Errorf("%s: ELSC (%v) must not exceed SYNC (%v) or MEM (%v)",
+				app, elsc[0], sync[0], mem[0])
+		}
+		// ELSC tracks the ORIG mean closely (performance precision).
+		if orig[0] > 0 {
+			ratio := elsc[0] / orig[0]
+			if ratio < 0.95 || ratio > 1.05 {
+				t.Errorf("%s: ELSC/ORIG mean ratio = %.3f, want ~1", app, ratio)
+			}
+		}
+	}
+}
+
+func TestFigure14ZeroApps(t *testing.T) {
+	f := Figure14(quickCfg())
+	deg := map[string]float64{}
+	for _, p := range f.Series[0].Points {
+		deg[p.X] = p.Y
+	}
+	for _, name := range []string{"blackscholes", "canneal", "streamcluster", "swaptions"} {
+		if deg[name] != 0 {
+			t.Errorf("%s degradation = %v, want 0", name, deg[name])
+		}
+	}
+	for _, name := range []string{"openldap", "mysql"} {
+		if deg[name] <= 0 {
+			t.Errorf("%s degradation = %v, want > 0", name, deg[name])
+		}
+	}
+	if deg["average"] <= 0 {
+		t.Error("average degradation must be positive")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tb := Table2(quickCfg())
+	if len(tb.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		name, groups, p := r[0], r[1], r[2]
+		if name == "blackscholes" || name == "swaptions" {
+			if groups != "0" {
+				t.Errorf("%s groups = %s, want 0", name, groups)
+			}
+			continue
+		}
+		if groups == "0" || groups == "error" {
+			t.Errorf("%s groups = %s, want > 0", name, groups)
+		}
+		if !strings.HasSuffix(p, "%") {
+			t.Errorf("%s P = %q, want a percentage", name, p)
+		}
+	}
+}
+
+func TestTable3DLSReducesOverhead(t *testing.T) {
+	tb := Table3(quickCfg())
+	parse := func(s string) float64 {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		return v
+	}
+	for _, r := range tb.Rows {
+		if r[1] == "0" {
+			continue
+		}
+		wo, w := parse(r[1]), parse(r[2])
+		if w > wo {
+			t.Errorf("%s: DLS overhead %.1f%% exceeds non-DLS %.1f%%", r[0], w, wo)
+		}
+	}
+}
+
+func TestFigure19Shapes(t *testing.T) {
+	figs := Figure19(Config{Scale: 0.5, Seed: 42})
+	if len(figs) != 2 {
+		t.Fatalf("figures = %d, want 2", len(figs))
+	}
+	// 19b: both bugs' normalized impact declines as the input grows.
+	for _, s := range figs[1].Series {
+		first, last := s.Points[0].Y, s.Points[len(s.Points)-1].Y
+		if first < last {
+			t.Errorf("19b %s: impact grew with input (%v -> %v), want declining", s.Label, first, last)
+		}
+	}
+}
+
+func TestFigure15and16Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweeps are slow")
+	}
+	for _, f := range Figure15(quickCfg()) {
+		if len(f.Series) != 3 {
+			t.Fatalf("figure15 series = %d", len(f.Series))
+		}
+	}
+	for _, f := range Figure16(quickCfg()) {
+		if len(f.Series) != 3 {
+			t.Fatalf("figure16 series = %d", len(f.Series))
+		}
+	}
+}
+
+func TestTableLEShape(t *testing.T) {
+	tb := TableLE(quickCfg())
+	if len(tb.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if r[1] == "error" {
+			t.Fatalf("%s errored: %v", r[0], r)
+		}
+	}
+	// canneal (pure conflicts) must show a meaningful abort rate, and
+	// mysql (read-heavy) a much lower one.
+	rates := map[string]string{}
+	for _, r := range tb.Rows {
+		rates[r[0]] = r[5]
+	}
+	parse := func(s string) float64 {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		return v
+	}
+	if parse(rates["bodytrack"]) <= parse(rates["mysql"]) {
+		t.Fatalf("abort rates: bodytrack %s should exceed mysql %s", rates["bodytrack"], rates["mysql"])
+	}
+}

@@ -1,0 +1,115 @@
+// Package lockset implements the auxiliary-lock re-synchronization of
+// RULE 3 and the lockset mutual-exclusion relation of RULE 4.
+//
+// Each causal node with outgoing edges is granted a fresh auxiliary lock
+// ("@L" in Fig. 8); each node with incoming edges inherits the auxiliary
+// locks of its source nodes. Two critical sections are mutually exclusive
+// iff their locksets intersect. The dynamic locking strategy (Fig. 9) is
+// carried through to replay as per-member source release events: a source
+// whose END flag is set at runtime contributes no lock.
+package lockset
+
+import (
+	"sort"
+
+	"perfplay/internal/topo"
+	"perfplay/internal/trace"
+)
+
+// Set is a sorted set of lock IDs — a critical section's lockset LS.
+type Set []trace.LockID
+
+// NewSet builds a sorted set from locks.
+func NewSet(locks ...trace.LockID) Set {
+	s := append(Set(nil), locks...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+// Contains reports membership.
+func (s Set) Contains(l trace.LockID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= l })
+	return i < len(s) && s[i] == l
+}
+
+// Intersects implements RULE 4's test: the pair is mutually exclusive iff
+// the intersection is non-empty.
+func (s Set) Intersects(o Set) bool {
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] == o[j]:
+			return true
+		case s[i] < o[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// MutuallyExclusive is RULE 4 spelled out: two critical sections exclude
+// each other iff their locksets share a lock.
+func MutuallyExclusive(a, b Set) bool { return a.Intersects(b) }
+
+// Assignment is the RULE-3 outcome: the lockset of every causal node,
+// with per-member provenance for the dynamic locking strategy.
+type Assignment struct {
+	// Own maps a node ID to its fresh auxiliary lock (outdegree > 0 only).
+	Own map[int]trace.LockID
+	// Sets maps node IDs to their locksets, sorted.
+	Sets map[int]Set
+	// Sources parallels Sets: Sources[id][i] is the source node whose own
+	// lock is Sets[id][i], or -1 when the lock is the node's own.
+	Sources map[int][]int
+	// NumAux is the count of auxiliary locks allocated.
+	NumAux int
+}
+
+// Assign performs the RULE-3 re-synchronization over the ULCP-free
+// topology: fresh lock per out-degree node, inherited source locks per
+// in-degree node. Standalone nodes receive empty locksets (their lock
+// operations will be removed).
+func Assign(g *topo.Graph) *Assignment {
+	a := &Assignment{
+		Own:     make(map[int]trace.LockID),
+		Sets:    make(map[int]Set),
+		Sources: make(map[int][]int),
+	}
+	// Deterministic allocation: walk causal nodes in ascending ID order.
+	for _, id := range g.CausalNodes() {
+		if g.OutDeg(id) > 0 {
+			a.NumAux++
+			a.Own[id] = trace.AuxLockBase + trace.LockID(a.NumAux)
+		}
+	}
+	for _, id := range g.CausalNodes() {
+		type member struct {
+			lock trace.LockID
+			src  int
+		}
+		var members []member
+		if own, ok := a.Own[id]; ok {
+			members = append(members, member{lock: own, src: -1})
+		}
+		for _, src := range g.Sources(id) {
+			if own, ok := a.Own[src]; ok {
+				members = append(members, member{lock: own, src: src})
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i].lock < members[j].lock })
+		set := make(Set, len(members))
+		srcs := make([]int, len(members))
+		for i, m := range members {
+			set[i] = m.lock
+			srcs[i] = m.src
+		}
+		a.Sets[id] = set
+		a.Sources[id] = srcs
+	}
+	return a
+}
+
+// LS returns the lockset of a node (empty for standalone nodes).
+func (a *Assignment) LS(id int) Set { return a.Sets[id] }

@@ -1,0 +1,154 @@
+// Package multi implements the paper's Sec. 6.7 extension: aggregating
+// PerfPlay analyses over multiple traces (different seeds, inputs or
+// thread counts) so a recommendation is backed by every execution, not
+// one. "Input sensitivity will give a great chance for us to make
+// PerfPlay more useful, because this may prohibit any code modification
+// that could lead to performance improvement in some cases but not all."
+package multi
+
+import (
+	"fmt"
+	"sort"
+
+	"perfplay/internal/core"
+	"perfplay/internal/trace"
+	"perfplay/internal/vtime"
+)
+
+// GroupStat is one fused code-region pair viewed across runs.
+type GroupStat struct {
+	// CR1 and CR2 are the conflated regions (unioned across runs).
+	CR1, CR2 trace.Region
+	// SeenIn counts the runs in which the group appeared.
+	SeenIn int
+	// MeanP, MinP and MaxP summarize the group's Eq. 2 share across the
+	// runs it appeared in.
+	MeanP, MinP, MaxP float64
+	// TotalDelta sums the group's ΔT over all runs.
+	TotalDelta vtime.Duration
+	// Pairs sums the dynamic ULCP count over all runs.
+	Pairs int
+}
+
+// Consistent reports whether the opportunity held in every aggregated run
+// — the safety condition for recommending a code modification.
+func (g *GroupStat) Consistent(runs int) bool { return g.SeenIn == runs }
+
+// String renders a report line.
+func (g *GroupStat) String() string {
+	return fmt.Sprintf("%s <-> %s: P mean %.1f%% [%.1f%%, %.1f%%] in %d run(s), ΔT=%v",
+		g.CR1, g.CR2, g.MeanP*100, g.MinP*100, g.MaxP*100, g.SeenIn, g.TotalDelta)
+}
+
+// Aggregate is the cross-trace summary.
+type Aggregate struct {
+	// Runs is the number of analyses aggregated.
+	Runs int
+	// Groups is sorted by (SeenIn desc, MeanP desc): region pairs that
+	// matter everywhere come first.
+	Groups []*GroupStat
+	// MeanDegradation averages the normalized degradation across runs.
+	MeanDegradation float64
+}
+
+// Recommend returns the top-k groups that appear in every run.
+func (a *Aggregate) Recommend(k int) []*GroupStat {
+	var out []*GroupStat
+	for _, g := range a.Groups {
+		if g.Consistent(a.Runs) {
+			out = append(out, g)
+			if len(out) == k {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Merge aggregates the fused groups of several analyses. Groups from
+// different runs merge when their region pairs overlap (directly or
+// crossed), the same criterion as Algorithm 2 within one run.
+func Merge(analyses []*core.Analysis) *Aggregate {
+	agg := &Aggregate{Runs: len(analyses)}
+	type acc struct {
+		stat *GroupStat
+		ps   []float64
+	}
+	var accs []*acc
+	for _, a := range analyses {
+		agg.MeanDegradation += a.Debug.NormalizedDegradation()
+		for _, g := range a.Debug.Groups {
+			var hit *acc
+			for _, c := range accs {
+				direct := c.stat.CR1.Overlaps(g.CR1) && c.stat.CR2.Overlaps(g.CR2)
+				crossed := c.stat.CR1.Overlaps(g.CR2) && c.stat.CR2.Overlaps(g.CR1)
+				if direct || crossed {
+					hit = c
+					break
+				}
+			}
+			if hit == nil {
+				hit = &acc{stat: &GroupStat{CR1: g.CR1, CR2: g.CR2}}
+				accs = append(accs, hit)
+			}
+			hit.stat.CR1 = hit.stat.CR1.Merge(g.CR1)
+			hit.stat.CR2 = hit.stat.CR2.Merge(g.CR2)
+			hit.stat.TotalDelta += g.DeltaT
+			hit.stat.Pairs += g.Count
+			hit.ps = append(hit.ps, g.P)
+		}
+	}
+	if agg.Runs > 0 {
+		agg.MeanDegradation /= float64(agg.Runs)
+	}
+	for _, c := range accs {
+		st := c.stat
+		st.SeenIn = len(c.ps)
+		st.MinP, st.MaxP = c.ps[0], c.ps[0]
+		sum := 0.0
+		for _, p := range c.ps {
+			sum += p
+			if p < st.MinP {
+				st.MinP = p
+			}
+			if p > st.MaxP {
+				st.MaxP = p
+			}
+		}
+		st.MeanP = sum / float64(len(c.ps))
+		agg.Groups = append(agg.Groups, st)
+	}
+	sort.SliceStable(agg.Groups, func(i, j int) bool {
+		gi, gj := agg.Groups[i], agg.Groups[j]
+		if gi.SeenIn != gj.SeenIn {
+			return gi.SeenIn > gj.SeenIn
+		}
+		if gi.MeanP != gj.MeanP {
+			return gi.MeanP > gj.MeanP
+		}
+		return gi.CR1.Less(gj.CR1)
+	})
+	return agg
+}
+
+// Summary renders the aggregate as a short report.
+func (a *Aggregate) Summary(topK int) string {
+	s := fmt.Sprintf("aggregated over %d traces; mean degradation %.2f%%\n",
+		a.Runs, a.MeanDegradation*100)
+	n := 0
+	for _, g := range a.Groups {
+		marker := " "
+		if g.Consistent(a.Runs) {
+			marker = "*"
+		}
+		s += fmt.Sprintf(" %s %s\n", marker, g)
+		n++
+		if n == topK {
+			break
+		}
+	}
+	if a.Runs > 1 {
+		s += "(* = opportunity present in every trace: safe to act on)\n"
+	}
+	return s
+}

@@ -1,0 +1,200 @@
+package perfdbg
+
+import (
+	"strings"
+	"testing"
+
+	"perfplay/internal/replay"
+	"perfplay/internal/sim"
+	"perfplay/internal/trace"
+	"perfplay/internal/transform"
+	"perfplay/internal/ulcp"
+	"perfplay/internal/vtime"
+)
+
+// analyze runs the full pre-debugging pipeline on a built program.
+func analyze(t *testing.T, build func(p *sim.Program)) *Debug {
+	t.Helper()
+	p := sim.NewProgram("t")
+	build(p)
+	rec := sim.Run(p, sim.Config{Seed: 21})
+	css := rec.Trace.ExtractCS()
+	rep := ulcp.Identify(rec.Trace, css, ulcp.Options{})
+	tres, err := transform.Apply(rec.Trace, css, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := replay.Run(rec.Trace, replay.Options{Sched: replay.ELSCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := replay.Run(tres.Trace, replay.Options{Sched: replay.ELSCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Evaluate(rec.Trace, css, rep, orig, free, rec.Trace.NumThreads)
+}
+
+func contended(threads, iters int) func(p *sim.Program) {
+	return func(p *sim.Program) {
+		l := p.NewLock("L")
+		x := p.Mem.Alloc("x", 4)
+		s := p.Site("hot.c", 10, "reader")
+		for i := 0; i < threads; i++ {
+			p.AddThread(func(th *sim.Thread) {
+				for j := 0; j < iters; j++ {
+					th.Lock(l, s)
+					th.Read(x, s)
+					th.Compute(600)
+					th.Unlock(l, s)
+					th.Compute(150)
+				}
+			})
+		}
+	}
+}
+
+func TestEvaluateDegradationPositive(t *testing.T) {
+	d := analyze(t, contended(3, 8))
+	if d.Tpd <= 0 {
+		t.Fatalf("Tpd = %v, want > 0 for a contended read-only workload", d.Tpd)
+	}
+	if d.NormalizedDegradation() <= 0 || d.NormalizedDegradation() >= 1 {
+		t.Fatalf("normalized degradation = %v out of range", d.NormalizedDegradation())
+	}
+	if d.SumDelta <= 0 {
+		t.Fatal("Eq. 1 sum must be positive")
+	}
+	if len(d.PerPair) == 0 {
+		t.Fatal("no per-pair measurements")
+	}
+}
+
+func TestGroupsFuseSameRegion(t *testing.T) {
+	d := analyze(t, contended(2, 10))
+	// All pairs come from one code region pair: exactly one group.
+	if len(d.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(d.Groups))
+	}
+	g := d.Groups[0]
+	if g.Count != len(d.PerPair) {
+		t.Fatalf("group count %d != pairs %d", g.Count, len(d.PerPair))
+	}
+	if g.P < 0.999 {
+		t.Fatalf("single group P = %v, want ~1", g.P)
+	}
+	if !strings.Contains(g.String(), "hot.c") {
+		t.Errorf("group string %q missing region", g.String())
+	}
+}
+
+func TestGroupsSeparateRegions(t *testing.T) {
+	d := analyze(t, func(p *sim.Program) {
+		l1 := p.NewLock("L1")
+		l2 := p.NewLock("L2")
+		x := p.Mem.Alloc("x", 1)
+		y := p.Mem.Alloc("y", 2)
+		sa := p.Site("a.c", 10, "ra")
+		sb := p.Site("b.c", 20, "rb")
+		for i := 0; i < 2; i++ {
+			p.AddThread(func(th *sim.Thread) {
+				for j := 0; j < 6; j++ {
+					th.Lock(l1, sa)
+					th.Read(x, sa)
+					th.Compute(700)
+					th.Unlock(l1, sa)
+					th.Lock(l2, sb)
+					th.Read(y, sb)
+					th.Compute(250)
+					th.Unlock(l2, sb)
+					th.Compute(120)
+				}
+			})
+		}
+	})
+	if len(d.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2 distinct code regions", len(d.Groups))
+	}
+	// Eq. 2: shares sum to 1 and are ranked descending.
+	total := 0.0
+	for _, g := range d.Groups {
+		total += g.P
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("ΣP = %v, want 1", total)
+	}
+	if d.Groups[0].P < d.Groups[1].P {
+		t.Fatal("groups not ranked by P descending")
+	}
+	// The longer critical section (a.c) should be the top recommendation.
+	if d.Groups[0].CR1.File != "a.c" {
+		t.Errorf("top group = %v, want the a.c region", d.Groups[0].CR1)
+	}
+	if got := d.Recommend(1); len(got) != 1 || got[0] != d.Groups[0] {
+		t.Error("Recommend(1) must return the top group")
+	}
+}
+
+func TestFuseAlgorithm2Overlap(t *testing.T) {
+	r := func(a, b int) trace.Region { return trace.Region{File: "f.c", StartLine: a, EndLine: b} }
+	mk := func(cr1, cr2 trace.Region, dt vtime.Duration) PairPerf {
+		return PairPerf{
+			Pair: ulcp.Pair{
+				C1:  &trace.CritSec{Region: cr1},
+				C2:  &trace.CritSec{Region: cr2},
+				Cat: ulcp.ReadRead,
+			},
+			DeltaT: dt,
+		}
+	}
+	// Two pairs with overlapping (not identical) regions must fuse, and a
+	// crossed pair (CR1↔CR2 swapped) must fuse too.
+	pairs := []PairPerf{
+		mk(r(10, 20), r(100, 110), 5),
+		mk(r(15, 25), r(105, 115), 7),
+		mk(r(102, 112), r(12, 22), 3), // crossed
+		mk(r(500, 510), r(600, 610), 11),
+	}
+	groups := fuse(pairs)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (three fused + one separate)", len(groups))
+	}
+	var fused *Group
+	for _, g := range groups {
+		if g.Count == 3 {
+			fused = g
+		}
+	}
+	if fused == nil {
+		t.Fatal("three overlapping pairs did not fuse into one group")
+	}
+	if fused.DeltaT != 15 {
+		t.Fatalf("fused ΔT = %v, want 15 (accumulation)", fused.DeltaT)
+	}
+	if fused.CR1.StartLine != 10 || fused.CR1.EndLine != 25 {
+		t.Fatalf("fused CR1 = %v, want f.c:10-25", fused.CR1)
+	}
+}
+
+func TestCPUWastePerThread(t *testing.T) {
+	d := &Debug{Tut: 1000, Trw: 200}
+	if got := d.CPUWastePerThread(2); got != 0.1 {
+		t.Fatalf("waste/thread = %v, want 0.1", got)
+	}
+	if got := d.CPUWastePerThread(0); got != 0 {
+		t.Fatal("zero threads must not divide by zero")
+	}
+	empty := &Debug{}
+	if empty.NormalizedDegradation() != 0 || empty.CPUWastePerThread(2) != 0 {
+		t.Fatal("empty debug must normalize to zero")
+	}
+}
+
+func TestEq1NonNegative(t *testing.T) {
+	d := analyze(t, contended(4, 6))
+	for _, pp := range d.PerPair {
+		if pp.DeltaT < 0 {
+			t.Fatalf("ΔT = %v < 0 for %v", pp.DeltaT, pp.Pair.C1)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package record implements the recording-phase conveniences of Sec. 5.1:
+// checkpoints, trace slicing for focused debugging, and helpers for the
+// selective-recording strategy (state deltas instead of re-execution).
+//
+// The raw recording itself happens inside the simulator (the analogue of
+// the paper's Pin tool); this package post-processes recorded traces so a
+// programmer can "focus on a smaller code region" across repeated
+// debugging runs.
+package record
+
+import (
+	"fmt"
+	"sort"
+
+	"perfplay/internal/memmodel"
+	"perfplay/internal/trace"
+	"perfplay/internal/vtime"
+)
+
+// Checkpoint marks a cut point in a recorded trace: the virtual time, the
+// memory image at that time, and the first event index at-or-after the cut
+// for each thread.
+type Checkpoint struct {
+	// Time is the cut timestamp.
+	Time vtime.Time
+	// Mem is the memory image after every event recorded before Time.
+	Mem memmodel.Snapshot
+	// NextEvent[t] is the position within thread t's event sequence of
+	// its first event at-or-after the cut.
+	NextEvent []int
+}
+
+// CheckpointAt computes the checkpoint of tr at time at: memory is the
+// initial image plus every write and skip-delta recorded strictly before
+// at (the trace's event order is its recorded execution order).
+func CheckpointAt(tr *trace.Trace, at vtime.Time) *Checkpoint {
+	cp := &Checkpoint{
+		Time:      at,
+		Mem:       make(memmodel.Snapshot),
+		NextEvent: make([]int, tr.NumThreads),
+	}
+	for a, v := range tr.InitMem {
+		cp.Mem[a] = v
+	}
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if e.Time >= at {
+			continue
+		}
+		switch e.Kind {
+		case trace.KWrite:
+			cp.Mem[e.Addr] = e.Op.Apply(cp.Mem[e.Addr], e.Value)
+		case trace.KSkip:
+			for a, v := range e.Delta {
+				cp.Mem[a] = v
+			}
+		}
+	}
+	for t, evs := range tr.PerThread() {
+		n := sort.Search(len(evs), func(i int) bool {
+			return tr.Events[evs[i]].Time >= at
+		})
+		cp.NextEvent[t] = n
+	}
+	return cp
+}
+
+// Slice extracts the sub-trace of tr between two virtual times: the
+// result's initial memory is the from-checkpoint image and its events are
+// every event recorded in [from, to). Critical sections straddling a cut
+// are completed/open-closed with zero-cost synthetic boundaries so the
+// slice stays a valid, replayable trace.
+func Slice(tr *trace.Trace, from, to vtime.Time) (*trace.Trace, error) {
+	if to <= from {
+		return nil, fmt.Errorf("record: empty slice window [%v, %v)", from, to)
+	}
+	cp := CheckpointAt(tr, from)
+	out := trace.New(tr.App+fmt.Sprintf("[%v:%v]", from, to), tr.NumThreads)
+	out.Sites = tr.Sites
+	out.MemNames = tr.MemNames
+	out.SpinLocks = tr.SpinLocks
+	out.InitMem = cp.Mem
+
+	// Track locks held at the cut so we can synthesize acquisitions.
+	held := make([]map[trace.LockID]trace.SiteID, tr.NumThreads)
+	for t := range held {
+		held[t] = make(map[trace.LockID]trace.SiteID)
+	}
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if e.Time >= from {
+			break
+		}
+		switch e.Kind {
+		case trace.KLockAcq:
+			held[e.Thread][e.Lock] = e.Site
+		case trace.KLockRel:
+			delete(held[e.Thread], e.Lock)
+		}
+	}
+	// Synthesize zero-cost acquisitions for straddling critical sections.
+	for t := range held {
+		locks := make([]trace.LockID, 0, len(held[t]))
+		for l := range held[t] {
+			locks = append(locks, l)
+		}
+		sort.Slice(locks, func(i, j int) bool { return locks[i] < locks[j] })
+		for _, l := range locks {
+			out.Append(trace.Event{
+				Thread: int32(t), Kind: trace.KLockAcq, Lock: l,
+				Time: from, Site: held[t][l],
+			})
+		}
+	}
+
+	stillHeld := held
+	var maxT vtime.Time
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if e.Time < from || e.Time >= to {
+			continue
+		}
+		out.Append(*e)
+		switch e.Kind {
+		case trace.KLockAcq:
+			stillHeld[e.Thread][e.Lock] = e.Site
+		case trace.KLockRel:
+			delete(stillHeld[e.Thread], e.Lock)
+		}
+		if e.Time > maxT {
+			maxT = e.Time
+		}
+	}
+	// Close critical sections left open at the right edge.
+	for t := range stillHeld {
+		locks := make([]trace.LockID, 0, len(stillHeld[t]))
+		for l := range stillHeld[t] {
+			locks = append(locks, l)
+		}
+		sort.Slice(locks, func(i, j int) bool { return locks[i] < locks[j] })
+		for _, l := range locks {
+			out.Append(trace.Event{
+				Thread: int32(t), Kind: trace.KLockRel, Lock: l,
+				Time: maxT, Site: stillHeld[t][l],
+			})
+		}
+	}
+	out.TotalTime = vtime.Duration(maxT - from)
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("record: slice produced invalid trace: %w", err)
+	}
+	return out, nil
+}
+
+// Stats summarizes a trace for recording reports.
+type Stats struct {
+	Events       int
+	Computes     int
+	SharedAccess int
+	LockOps      int
+	Skips        int
+	// SkippedTime is virtual time covered by selectively-recorded ranges.
+	SkippedTime vtime.Duration
+	// SkippedStateBytes approximates the recorded delta footprint (one
+	// cell = 12 bytes: address + value).
+	SkippedStateBytes int
+}
+
+// Summarize computes recording statistics, quantifying how much of the
+// execution selective recording elided.
+func Summarize(tr *trace.Trace) Stats {
+	var s Stats
+	s.Events = len(tr.Events)
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		switch e.Kind {
+		case trace.KCompute:
+			s.Computes++
+		case trace.KRead, trace.KWrite:
+			s.SharedAccess++
+		case trace.KLockAcq, trace.KLockRel, trace.KLocksetAcq, trace.KLocksetRel:
+			s.LockOps++
+		case trace.KSkip:
+			s.Skips++
+			s.SkippedTime += e.Cost
+			s.SkippedStateBytes += 12 * len(e.Delta)
+		}
+	}
+	return s
+}

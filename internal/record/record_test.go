@@ -1,0 +1,198 @@
+package record
+
+import (
+	"testing"
+
+	"perfplay/internal/core"
+	"perfplay/internal/memmodel"
+	"perfplay/internal/replay"
+	"perfplay/internal/sim"
+	"perfplay/internal/trace"
+	"perfplay/internal/vtime"
+)
+
+func sample() *sim.Result {
+	p := sim.NewProgram("rec")
+	l := p.NewLock("L")
+	x := p.Mem.Alloc("x", 0)
+	s := p.Site("r.c", 1, "f")
+	for i := 0; i < 2; i++ {
+		p.AddThread(func(th *sim.Thread) {
+			for j := 0; j < 10; j++ {
+				th.Compute(200)
+				th.Lock(l, s)
+				th.Add(x, 1, s)
+				th.Unlock(l, s)
+			}
+		})
+	}
+	return sim.Run(p, sim.Config{Seed: 5})
+}
+
+func TestCheckpointMemoryState(t *testing.T) {
+	rec := sample()
+	mid := vtime.Time(int64(rec.Total) / 2)
+	cp := CheckpointAt(rec.Trace, mid)
+	// The counter at the checkpoint equals the number of adds before it.
+	adds := int64(0)
+	for i := range rec.Trace.Events {
+		e := &rec.Trace.Events[i]
+		if e.Kind == trace.KWrite && e.Time < mid {
+			adds++
+		}
+	}
+	var x memmodel.Addr = 0
+	for a, name := range rec.Trace.MemNames {
+		if name == "x" {
+			x = a
+		}
+	}
+	if cp.Mem[x] != adds {
+		t.Fatalf("checkpoint x = %d, want %d", cp.Mem[x], adds)
+	}
+	for tid, n := range cp.NextEvent {
+		evs := rec.Trace.PerThread()[tid]
+		if n > 0 && rec.Trace.Events[evs[n-1]].Time >= mid {
+			t.Fatalf("thread %d: event before cut has time >= cut", tid)
+		}
+		if n < len(evs) && rec.Trace.Events[evs[n]].Time < mid {
+			t.Fatalf("thread %d: event after cut has time < cut", tid)
+		}
+	}
+}
+
+func TestSliceValidAndReplayable(t *testing.T) {
+	rec := sample()
+	from := vtime.Time(int64(rec.Total) / 4)
+	to := vtime.Time(int64(rec.Total) * 3 / 4)
+	sl, err := Slice(rec.Trace, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.Validate(); err != nil {
+		t.Fatalf("slice invalid: %v", err)
+	}
+	if len(sl.Events) == 0 || len(sl.Events) >= len(rec.Trace.Events) {
+		t.Fatalf("slice has %d events of %d", len(sl.Events), len(rec.Trace.Events))
+	}
+	// A slice must replay cleanly.
+	if _, err := replay.Run(sl, replay.Options{Sched: replay.OrigS}); err != nil {
+		t.Fatalf("slice replay failed: %v", err)
+	}
+}
+
+func TestSliceEmptyWindow(t *testing.T) {
+	rec := sample()
+	if _, err := Slice(rec.Trace, 100, 100); err == nil {
+		t.Fatal("empty window must error")
+	}
+}
+
+func TestSummarizeCountsSkips(t *testing.T) {
+	p := sim.NewProgram("sum")
+	y := p.Mem.Alloc("y", 0)
+	s := p.Site("r.c", 1, "f")
+	p.AddThread(func(th *sim.Thread) {
+		th.Compute(100)
+		th.SkipRange(5000, func(m *memmodel.Memory) { m.Store(y, 3) })
+		th.Read(y, s)
+	})
+	rec := sim.Run(p, sim.Config{Seed: 1})
+	st := Summarize(rec.Trace)
+	if st.Skips != 1 {
+		t.Fatalf("skips = %d, want 1", st.Skips)
+	}
+	if st.SkippedTime != 5000 {
+		t.Fatalf("skipped time = %v, want 5000", st.SkippedTime)
+	}
+	if st.SkippedStateBytes != 12 {
+		t.Fatalf("skipped bytes = %d, want 12", st.SkippedStateBytes)
+	}
+	if st.Computes == 0 || st.SharedAccess != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSelectiveRecordingSavesTraceFootprint compares a workload that
+// selectively records a heavy library call (KSkip delta) against the same
+// workload recorded completely: the selective trace must be much smaller
+// while replaying to the same final state (Sec. 5.1).
+func TestSelectiveRecordingSavesTraceFootprint(t *testing.T) {
+	build := func(selective bool) *sim.Result {
+		p := sim.NewProgram("sel")
+		l := p.NewLock("L")
+		buf := p.Mem.AllocN("iobuf", 8, 0)
+		s := p.Site("s.c", 1, "f")
+		for i := 0; i < 2; i++ {
+			p.AddThread(func(th *sim.Thread) {
+				for j := 0; j < 10; j++ {
+					// A "library call" that touches many cells.
+					if selective {
+						j := j
+						th.SkipRange(2000, func(m *memmodel.Memory) {
+							for k, a := range buf {
+								m.Store(a, int64(j*10+k))
+							}
+						})
+					} else {
+						for k, a := range buf {
+							th.Write(a, int64(j*10+k), s)
+							th.Compute(2000/int64Dur(len(buf)) - 15)
+						}
+					}
+					th.Lock(l, s)
+					th.Read(buf[0], s)
+					th.Unlock(l, s)
+				}
+			})
+		}
+		return sim.Run(p, sim.Config{Seed: 4})
+	}
+	sel := build(true)
+	full := build(false)
+	if len(sel.Trace.Events) >= len(full.Trace.Events) {
+		t.Fatalf("selective trace has %d events, complete has %d; expected savings",
+			len(sel.Trace.Events), len(full.Trace.Events))
+	}
+	st := Summarize(sel.Trace)
+	if st.Skips != 20 {
+		t.Fatalf("skips = %d, want 20", st.Skips)
+	}
+	// Both record the same final buffer contents.
+	if !sel.Trace.FinalMem.Equal(full.Trace.FinalMem) {
+		t.Fatal("selective and complete recordings disagree on final state")
+	}
+	// And the selective trace replays to that state too.
+	res, err := replay.Run(sel.Trace, replay.Options{Sched: replay.ELSCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FinalMem.Equal(sel.Trace.FinalMem) {
+		t.Fatal("selective replay lost the skipped state")
+	}
+}
+
+func int64Dur(n int) vtime.Duration { return vtime.Duration(n) }
+
+// TestSliceSupportsFocusedDebugging is Sec. 5.1's checkpoint use case end
+// to end: cut a window out of a long recording and run the full PerfPlay
+// pipeline on just that window.
+func TestSliceSupportsFocusedDebugging(t *testing.T) {
+	rec := sample()
+	from := vtime.Time(int64(rec.Total) / 4)
+	to := vtime.Time(int64(rec.Total) * 3 / 4)
+	sl, err := Slice(rec.Trace, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.AnalyzeTrace(sl, core.Config{})
+	if err != nil {
+		t.Fatalf("pipeline on slice: %v", err)
+	}
+	if len(a.CSs) == 0 {
+		t.Fatal("slice lost every critical section")
+	}
+	if a.Debug.Tut == 0 {
+		t.Fatal("slice replay has zero duration")
+	}
+}

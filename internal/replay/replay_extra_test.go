@@ -1,0 +1,167 @@
+package replay
+
+import (
+	"testing"
+
+	"perfplay/internal/sim"
+	"perfplay/internal/trace"
+	"perfplay/internal/vtime"
+)
+
+func TestExtraConstraintsForceOrder(t *testing.T) {
+	tr := trace.New("x", 2)
+	a := tr.Append(trace.Event{Thread: 0, Kind: trace.KCompute, Cost: 900})
+	b := tr.Append(trace.Event{Thread: 1, Kind: trace.KCompute, Cost: 10})
+	res, err := Run(tr, Options{Sched: OrigS, ExtraConstraints: []trace.Constraint{{After: a, Before: b}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EventStart[b] < res.EventEnd[a] {
+		t.Fatal("extra constraint ignored")
+	}
+}
+
+func TestBarrierReplaySemantic(t *testing.T) {
+	// Two threads with asymmetric pre-barrier work: the replayed barrier
+	// must release both at the slower arrival, and the wait must be
+	// re-derived (a faster post-transform thread would wait less).
+	p := sim.NewProgram("bar")
+	b := p.NewBarrier("B", 2)
+	s := p.Site("f.c", 1, "f")
+	costs := []vtime.Duration{500, 3000}
+	for i := 0; i < 2; i++ {
+		i := i
+		p.AddThread(func(th *sim.Thread) {
+			th.Compute(costs[i])
+			th.Barrier(b, s)
+			th.Compute(100)
+		})
+	}
+	rec := sim.Run(p, sim.Config{Seed: 1})
+	res, err := Run(rec.Trace, Options{Sched: ELSCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != rec.Total {
+		t.Fatalf("replay total %v != recorded %v", res.Total, rec.Total)
+	}
+	// The fast thread's barrier wait is charged as Waited, not CPU.
+	if res.Waited < 2000 {
+		t.Fatalf("waited = %v, want >= 2400 (the fast thread's barrier wait)", res.Waited)
+	}
+}
+
+func TestORIGSeedStable(t *testing.T) {
+	rec := buildContended(3, 8)
+	a, err := Run(rec.Trace, Options{Sched: OrigS, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(rec.Trace, Options{Sched: OrigS, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != b.Total {
+		t.Fatal("same seed must reproduce the same ORIG-S schedule")
+	}
+}
+
+func TestDLSCheckCostDefault(t *testing.T) {
+	aux := trace.AuxLockBase + 1
+	tr := trace.New("d", 1)
+	tr.Append(trace.Event{Thread: 0, Kind: trace.KLocksetAcq, Locks: []trace.LockID{aux}, Sources: []int32{-1}, Cost: 10})
+	tr.Append(trace.Event{Thread: 0, Kind: trace.KLocksetRel, Locks: []trace.LockID{aux}, Cost: 10})
+	res, err := Run(tr, Options{Sched: OrigS, DLS: true, LocksetCost: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-member lockset under DLS: only the check cost (16/8 = 2).
+	if res.LocksetOverhead != 2 {
+		t.Fatalf("overhead = %v, want 2 (one END check)", res.LocksetOverhead)
+	}
+}
+
+func TestSchedulerStrings(t *testing.T) {
+	for s, want := range map[Scheduler]string{
+		OrigS: "ORIG-S", ELSCS: "ELSC-S", SyncS: "SYNC-S", MemS: "MEM-S",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestMemSRunsSerially(t *testing.T) {
+	// Under MEM-S the makespan equals the sum of all event costs (full
+	// serialization), modulo barrier releases.
+	p := sim.NewProgram("ser")
+	l := p.NewLock("L")
+	x := p.Mem.Alloc("x", 0)
+	s := p.Site("f.c", 1, "f")
+	for i := 0; i < 2; i++ {
+		p.AddThread(func(th *sim.Thread) {
+			for j := 0; j < 5; j++ {
+				th.Compute(100)
+				th.Lock(l, s)
+				th.Add(x, 1, s)
+				th.Unlock(l, s)
+			}
+		})
+	}
+	rec := sim.Run(p, sim.Config{Seed: 1})
+	res, err := Run(rec.Trace, Options{Sched: MemS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum vtime.Duration
+	for i := range rec.Trace.Events {
+		sum += rec.Trace.Events[i].Cost
+	}
+	if res.Total != sum {
+		t.Fatalf("MEM-S total %v != sum of costs %v (must serialize everything)", res.Total, sum)
+	}
+}
+
+func TestReplayStuckOnImpossibleOrder(t *testing.T) {
+	// An ELSC override demanding an acquisition order that contradicts
+	// program order within one thread must be detected as stuck, not spin.
+	p := sim.NewProgram("imp")
+	l := p.NewLock("L")
+	s := p.Site("f.c", 1, "f")
+	p.AddThread(func(th *sim.Thread) {
+		th.Lock(l, s)
+		th.Unlock(l, s)
+		th.Lock(l, s)
+		th.Unlock(l, s)
+	})
+	rec := sim.Run(p, sim.Config{Seed: 1})
+	order := rec.Trace.LockOrder()[l]
+	rev := map[trace.LockID][]int32{l: {order[1], order[0]}}
+	if _, err := Run(rec.Trace, Options{Sched: ELSCS, LockOrder: rev}); err == nil {
+		t.Fatal("impossible order not detected")
+	}
+}
+
+func TestSpinLockWaitBurnsCPUInReplay(t *testing.T) {
+	p := sim.NewProgram("spin")
+	l := p.NewSpinLock("S")
+	s := p.Site("f.c", 1, "f")
+	for i := 0; i < 2; i++ {
+		p.AddThread(func(th *sim.Thread) {
+			th.Lock(l, s)
+			th.Compute(1500)
+			th.Unlock(l, s)
+		})
+	}
+	rec := sim.Run(p, sim.Config{Seed: 1})
+	res, err := Run(rec.Trace, Options{Sched: ELSCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpinWaste == 0 {
+		t.Fatal("replay lost the spin-lock CPU burn")
+	}
+	if res.Waited != 0 {
+		t.Fatalf("spin wait misclassified as blocking: %v", res.Waited)
+	}
+}

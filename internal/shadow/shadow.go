@@ -1,0 +1,81 @@
+// Package shadow provides the shadow-memory set algebra used by ULCP
+// identification (Sec. 3.1): every critical section C carries two sets —
+// C.Srd (shared reads) and C.Swr (shared writes) — and Algorithm 1
+// classifies pairs by intersecting them.
+package shadow
+
+import (
+	"sort"
+
+	"perfplay/internal/memmodel"
+)
+
+// Set is a set of shared addresses.
+type Set map[memmodel.Addr]struct{}
+
+// NewSet builds a set from addresses.
+func NewSet(addrs ...memmodel.Addr) Set {
+	s := make(Set, len(addrs))
+	for _, a := range addrs {
+		s[a] = struct{}{}
+	}
+	return s
+}
+
+// Empty reports whether the set has no elements.
+func Empty(s Set) bool { return len(s) == 0 }
+
+// Intersects reports whether a ∩ b ≠ ∅. It iterates the smaller set.
+func Intersects(a, b Set) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for x := range a {
+		if _, ok := b[x]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersection returns a ∩ b in ascending address order.
+func Intersection(a, b Set) []memmodel.Addr {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var out []memmodel.Addr
+	for x := range a {
+		if _, ok := b[x]; ok {
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Union returns a ∪ b in ascending address order.
+func Union(a, b Set) []memmodel.Addr {
+	seen := make(Set, len(a)+len(b))
+	for x := range a {
+		seen[x] = struct{}{}
+	}
+	for x := range b {
+		seen[x] = struct{}{}
+	}
+	out := make([]memmodel.Addr, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Keys returns the set's addresses in ascending order.
+func Keys(s Set) []memmodel.Addr {
+	out := make([]memmodel.Addr, 0, len(s))
+	for x := range s {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

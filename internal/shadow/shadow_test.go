@@ -1,0 +1,71 @@
+package shadow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perfplay/internal/memmodel"
+)
+
+func TestSetBasics(t *testing.T) {
+	a := NewSet(1, 2, 3)
+	b := NewSet(3, 4)
+	c := NewSet(5)
+	if Empty(a) || !Empty(NewSet()) {
+		t.Fatal("Empty broken")
+	}
+	if !Intersects(a, b) || Intersects(a, c) || Intersects(c, b) {
+		t.Fatal("Intersects broken")
+	}
+	if got := Intersection(a, b); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Intersection = %v", got)
+	}
+	if got := Union(a, c); len(got) != 4 {
+		t.Fatalf("Union = %v", got)
+	}
+	if got := Keys(a); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("Keys = %v, want sorted 1..3", got)
+	}
+}
+
+// Intersects is symmetric and consistent with Intersection.
+func TestIntersectsQuick(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := make(Set), make(Set)
+		for _, x := range xs {
+			a[memmodel.Addr(x%32)] = struct{}{}
+		}
+		for _, y := range ys {
+			b[memmodel.Addr(y%32)] = struct{}{}
+		}
+		got := Intersects(a, b)
+		return got == Intersects(b, a) && got == (len(Intersection(a, b)) > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Union and Intersection return sorted, duplicate-free results.
+func TestSortedOutputsQuick(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := make(Set), make(Set)
+		for _, x := range xs {
+			a[memmodel.Addr(x)] = struct{}{}
+		}
+		for _, y := range ys {
+			b[memmodel.Addr(y)] = struct{}{}
+		}
+		for _, out := range [][]memmodel.Addr{Union(a, b), Intersection(a, b), Keys(a)} {
+			for i := 1; i < len(out); i++ {
+				if out[i-1] >= out[i] {
+					return false
+				}
+			}
+		}
+		return len(Union(a, b)) >= len(a) && len(Union(a, b)) >= len(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

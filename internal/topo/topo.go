@@ -1,0 +1,155 @@
+// Package topo builds and analyzes the causal-order topology of Sec. 3:
+// nodes are critical sections, causal edges are the RULE-1 first-matched
+// true-contention dependencies, and RULE 2 derives the per-lock partial
+// order that must survive into the ULCP-free trace.
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"perfplay/internal/trace"
+	"perfplay/internal/ulcp"
+)
+
+// Graph is the causal-order topology over critical sections. Node IDs are
+// CritSec.ID values.
+type Graph struct {
+	css   []*trace.CritSec
+	out   map[int][]int
+	in    map[int][]int
+	edges []ulcp.Edge
+}
+
+// Build constructs the ULCP-free topology from the identification report's
+// causal edges (RULE 1 already filtered out non-causal ULCP relations).
+func Build(css []*trace.CritSec, edges []ulcp.Edge) *Graph {
+	g := &Graph{
+		css: css,
+		out: make(map[int][]int),
+		in:  make(map[int][]int),
+	}
+	seen := make(map[ulcp.Edge]bool, len(edges))
+	for _, e := range edges {
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		g.edges = append(g.edges, e)
+		g.out[e.From] = append(g.out[e.From], e.To)
+		g.in[e.To] = append(g.in[e.To], e.From)
+	}
+	return g
+}
+
+// NumNodes returns the node count (all critical sections).
+func (g *Graph) NumNodes() int { return len(g.css) }
+
+// NumEdges returns the causal-edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edges returns the deduplicated causal edges.
+func (g *Graph) Edges() []ulcp.Edge { return g.edges }
+
+// OutDeg returns the out-degree of a node.
+func (g *Graph) OutDeg(id int) int { return len(g.out[id]) }
+
+// InDeg returns the in-degree of a node.
+func (g *Graph) InDeg(id int) int { return len(g.in[id]) }
+
+// Sources returns the causal predecessors of a node.
+func (g *Graph) Sources(id int) []int { return g.in[id] }
+
+// Targets returns the causal successors of a node.
+func (g *Graph) Targets(id int) []int { return g.out[id] }
+
+// Standalone reports whether the node participates in no causal edge;
+// PerfPlay removes the lock operations of such nodes entirely (Sec. 3.2).
+func (g *Graph) Standalone(id int) bool {
+	return len(g.out[id]) == 0 && len(g.in[id]) == 0
+}
+
+// CausalNodes returns the IDs of nodes with at least one causal edge, in
+// ascending order.
+func (g *Graph) CausalNodes() []int {
+	set := make(map[int]struct{})
+	for _, e := range g.edges {
+		set[e.From] = struct{}{}
+		set[e.To] = struct{}{}
+	}
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TopoSort returns the nodes in a topological order of the causal edges,
+// or an error if the edges contain a cycle (which would indicate a RULE-1
+// construction bug, since causal edges always point forward in the
+// original acquisition order).
+func (g *Graph) TopoSort() ([]int, error) {
+	indeg := make(map[int]int, len(g.css))
+	for _, cs := range g.css {
+		indeg[cs.ID] = 0
+	}
+	for _, e := range g.edges {
+		indeg[e.To]++
+	}
+	var queue []int
+	for _, cs := range g.css {
+		if indeg[cs.ID] == 0 {
+			queue = append(queue, cs.ID)
+		}
+	}
+	sort.Ints(queue)
+	var order []int
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, m := range g.out[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				queue = append(queue, m)
+			}
+		}
+	}
+	if len(order) != len(g.css) {
+		return nil, fmt.Errorf("topo: causal graph has a cycle (%d of %d nodes ordered)", len(order), len(g.css))
+	}
+	return order, nil
+}
+
+// Rule2Chains computes, for every original lock, the causal nodes of that
+// lock in the original acquisition order. RULE 2 requires the transformed
+// trace to preserve exactly this partial order, which the transformation
+// realizes as happens-before constraints between consecutive chain
+// elements.
+func (g *Graph) Rule2Chains() map[trace.LockID][]*trace.CritSec {
+	causal := make(map[int]bool)
+	for _, e := range g.edges {
+		causal[e.From] = true
+		causal[e.To] = true
+	}
+	chains := make(map[trace.LockID][]*trace.CritSec)
+	for _, cs := range g.css {
+		if causal[cs.ID] {
+			chains[cs.Lock] = append(chains[cs.Lock], cs)
+		}
+	}
+	for _, chain := range chains {
+		sort.Slice(chain, func(i, j int) bool { return chain[i].SeqInLock < chain[j].SeqInLock })
+	}
+	return chains
+}
+
+// CS returns the critical section with the given node ID. Extraction
+// assigns IDs densely in order, so this is a direct index.
+func (g *Graph) CS(id int) *trace.CritSec {
+	if id < 0 || id >= len(g.css) {
+		return nil
+	}
+	return g.css[id]
+}

@@ -1,0 +1,132 @@
+package topo
+
+import (
+	"testing"
+
+	"perfplay/internal/trace"
+	"perfplay/internal/ulcp"
+)
+
+// mkCS builds a minimal critical section for graph tests.
+func mkCS(id int, thread int32, lock trace.LockID, seq int) *trace.CritSec {
+	return &trace.CritSec{ID: id, Thread: thread, Lock: lock, SeqInLock: seq,
+		AcqEv: int32(id * 2), RelEv: int32(id*2 + 1)}
+}
+
+// fig7 builds the paper's Fig. 7 example: R1(T1), R2(T2), W1(T2),
+// W1st(T3), W2nd(T3), R2(T1) with causal edges
+// R1→W1(T2), R1→W1st(T3), W1st→W1(T2), W1(T2)→W2nd.
+func fig7() ([]*trace.CritSec, []ulcp.Edge) {
+	l := trace.LockID(1)
+	css := []*trace.CritSec{
+		mkCS(0, 0, l, 0), // R1 in T1
+		mkCS(1, 2, l, 1), // W1st in T3
+		mkCS(2, 1, l, 2), // W1 in T2
+		mkCS(3, 2, l, 3), // W2nd in T3
+		mkCS(4, 1, l, 4), // R2 in T2 (standalone)
+		mkCS(5, 0, l, 5), // R2 in T1 (standalone)
+	}
+	edges := []ulcp.Edge{
+		{From: 0, To: 2}, {From: 0, To: 1},
+		{From: 1, To: 2}, {From: 2, To: 3},
+	}
+	return css, edges
+}
+
+func TestBuildFig7(t *testing.T) {
+	css, edges := fig7()
+	g := Build(css, edges)
+	if g.NumNodes() != 6 {
+		t.Fatalf("nodes = %d, want 6", g.NumNodes())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("edges = %d, want 4", g.NumEdges())
+	}
+	// R1 has outdegree 2 (RULE 3 gives it an auxiliary lock).
+	if g.OutDeg(0) != 2 {
+		t.Errorf("outdeg(R1) = %d, want 2", g.OutDeg(0))
+	}
+	// W1 in T2 has indegree 2 (from R1 and W1st).
+	if g.InDeg(2) != 2 {
+		t.Errorf("indeg(W1-T2) = %d, want 2", g.InDeg(2))
+	}
+	// The two R2 nodes are standalone — their locks get removed.
+	if !g.Standalone(4) || !g.Standalone(5) {
+		t.Error("R2 nodes must be standalone")
+	}
+	if g.Standalone(0) {
+		t.Error("R1 is causal, not standalone")
+	}
+	causal := g.CausalNodes()
+	if len(causal) != 4 {
+		t.Fatalf("causal nodes = %v, want 4 entries", causal)
+	}
+}
+
+func TestBuildDeduplicatesEdges(t *testing.T) {
+	css, _ := fig7()
+	g := Build(css, []ulcp.Edge{{From: 0, To: 2}, {From: 0, To: 2}})
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1 after dedup", g.NumEdges())
+	}
+}
+
+func TestTopoSortAcyclic(t *testing.T) {
+	css, edges := fig7()
+	g := Build(css, edges)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range edges {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %v violated by topo order", e)
+		}
+	}
+}
+
+func TestTopoSortDetectsCycle(t *testing.T) {
+	css, _ := fig7()
+	g := Build(css, []ulcp.Edge{{From: 0, To: 2}, {From: 2, To: 0}})
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestRule2ChainsOrderedBySeq(t *testing.T) {
+	css, edges := fig7()
+	g := Build(css, edges)
+	chains := g.Rule2Chains()
+	chain := chains[trace.LockID(1)]
+	if len(chain) != 4 {
+		t.Fatalf("chain length = %d, want 4 causal nodes", len(chain))
+	}
+	// The paper's partial order: R1 ≺ W1st(T3) ≺ W1(T2) ≺ W2nd(T3).
+	want := []int{0, 1, 2, 3}
+	for i, cs := range chain {
+		if cs.ID != want[i] {
+			t.Fatalf("chain[%d] = CS %d, want %d", i, cs.ID, want[i])
+		}
+	}
+}
+
+func TestSourcesAndTargets(t *testing.T) {
+	css, edges := fig7()
+	g := Build(css, edges)
+	if srcs := g.Sources(2); len(srcs) != 2 {
+		t.Errorf("sources(W1-T2) = %v, want 2", srcs)
+	}
+	if tgts := g.Targets(0); len(tgts) != 2 {
+		t.Errorf("targets(R1) = %v, want 2", tgts)
+	}
+	if g.CS(3) == nil || g.CS(3).ID != 3 {
+		t.Error("CS lookup broken")
+	}
+	if g.CS(99) != nil {
+		t.Error("out-of-range CS lookup should be nil")
+	}
+}

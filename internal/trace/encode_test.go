@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("bad magic accepted")
+	} else if !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadBinaryBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New("v", 1)
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 0xEE // clobber the version word
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	tr := buildSample()
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, n := range []int{9, len(full) / 2, len(full) - 3} {
+		if _, err := ReadBinary(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", n)
+		}
+	}
+}
+
+func TestReadJSONGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage JSON accepted")
+	}
+}
+
+func TestEmptyTraceRoundTrip(t *testing.T) {
+	tr := New("empty", 0)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != "empty" || len(got.Events) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// FuzzReadBinary: arbitrary input must never panic the decoder.
+func FuzzReadBinary(f *testing.F) {
+	var seedBuf bytes.Buffer
+	tr := buildSample()
+	if err := tr.WriteBinary(&seedBuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x46, 0x52, 0x45, 0x50, 3, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err == nil && tr == nil {
+			t.Fatal("nil trace without error")
+		}
+	})
+}

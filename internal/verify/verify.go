@@ -1,0 +1,110 @@
+// Package verify implements the Theorem 1 check: a transformed ULCP-free
+// trace "is performed with a guarantee of either the program correctness
+// or reporting the data races". The verifier replays original and
+// transformed traces, compares their observable outcomes (final memory
+// and every value observed by every read), and, on divergence, runs the
+// happens-before detector to surface the interleaving-sensitive races
+// responsible.
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"perfplay/internal/race"
+	"perfplay/internal/replay"
+	"perfplay/internal/trace"
+)
+
+// Verdict classifies the outcome of a Theorem 1 check.
+type Verdict int
+
+const (
+	// SemanticsPreserved: the transformed trace produced the same result
+	// as the original — the common case the theorem's first branch covers.
+	SemanticsPreserved Verdict = iota
+	// RacesReported: the result diverged and the detector found the
+	// responsible data races — the theorem's second branch: the
+	// divergence is itself a diagnosis ("it further enables PerfPlay to
+	// help developers understand the correctness of the original trace").
+	RacesReported
+	// Violated: the result diverged and no race explains it. This
+	// indicates a transformation bug and fails the check.
+	Violated
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case SemanticsPreserved:
+		return "semantics-preserved"
+	case RacesReported:
+		return "races-reported"
+	case Violated:
+		return "violated"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Report is the full outcome of one verification.
+type Report struct {
+	Verdict Verdict
+	// SameFinalState and SameReads break down the outcome comparison.
+	SameFinalState, SameReads bool
+	// Races holds the detector findings when the outcome diverged.
+	Races []race.Race
+	// Speedup is the transformed/original makespan ratio (< 1 is faster).
+	Speedup float64
+}
+
+// Ok reports whether Theorem 1 holds (either branch).
+func (r *Report) Ok() bool { return r.Verdict != Violated }
+
+// String renders a short report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "theorem-1 check: %s (speedup %.3fx)", r.Verdict, r.Speedup)
+	if len(r.Races) > 0 {
+		fmt.Fprintf(&b, "; %d race(s):", len(r.Races))
+		for _, rc := range r.Races {
+			fmt.Fprintf(&b, "\n  %s", rc)
+		}
+	}
+	return b.String()
+}
+
+// Check replays both traces under ELSC and applies Theorem 1. maxRaces
+// caps detector output (0 = 16).
+func Check(orig, transformed *trace.Trace, maxRaces int) (*Report, error) {
+	if maxRaces == 0 {
+		maxRaces = 16
+	}
+	o, err := replay.Run(orig, replay.Options{Sched: replay.ELSCS})
+	if err != nil {
+		return nil, fmt.Errorf("verify: original replay: %w", err)
+	}
+	t, err := replay.Run(transformed, replay.Options{Sched: replay.ELSCS})
+	if err != nil {
+		return nil, fmt.Errorf("verify: transformed replay: %w", err)
+	}
+	rep := &Report{
+		SameFinalState: t.FinalMem.Equal(o.FinalMem),
+		SameReads:      t.ReadHash == o.ReadHash,
+	}
+	if o.Total > 0 {
+		rep.Speedup = float64(t.Total) / float64(o.Total)
+	}
+	if rep.SameFinalState && rep.SameReads {
+		rep.Verdict = SemanticsPreserved
+		return rep, nil
+	}
+	order := race.OrderByStart(t.EventStart)
+	rep.Races = race.Detect(transformed, order, maxRaces)
+	if len(rep.Races) > 0 {
+		rep.Verdict = RacesReported
+	} else {
+		rep.Verdict = Violated
+	}
+	return rep, nil
+}

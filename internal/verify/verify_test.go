@@ -1,0 +1,170 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"perfplay/internal/sim"
+	"perfplay/internal/trace"
+	"perfplay/internal/transform"
+	"perfplay/internal/ulcp"
+	"perfplay/internal/vtime"
+)
+
+func transformOf(t *testing.T, build func(p *sim.Program)) (*trace.Trace, *trace.Trace) {
+	t.Helper()
+	p := sim.NewProgram("v")
+	build(p)
+	rec := sim.Run(p, sim.Config{Seed: 6})
+	css := rec.Trace.ExtractCS()
+	rep := ulcp.Identify(rec.Trace, css, ulcp.Options{})
+	res, err := transform.Apply(rec.Trace, css, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Trace, res.Trace
+}
+
+func TestTheorem1PreservedOnCleanWorkload(t *testing.T) {
+	orig, tf := transformOf(t, func(p *sim.Program) {
+		l := p.NewLock("L")
+		x := p.Mem.Alloc("x", 3)
+		s := p.Site("v.c", 1, "r")
+		for i := 0; i < 3; i++ {
+			p.AddThread(func(th *sim.Thread) {
+				for j := 0; j < 6; j++ {
+					th.Lock(l, s)
+					th.Read(x, s)
+					th.Compute(400)
+					th.Unlock(l, s)
+					th.Compute(vtime.Duration(100 + 40*int(th.ID())))
+				}
+			})
+		}
+	})
+	rep, err := Check(orig, tf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != SemanticsPreserved {
+		t.Fatalf("verdict = %v, want semantics-preserved\n%s", rep.Verdict, rep)
+	}
+	if !rep.Ok() {
+		t.Fatal("Ok() false on a preserved transform")
+	}
+	if rep.Speedup >= 1.0 {
+		t.Fatalf("speedup = %v, want < 1 (read-only parallelization)", rep.Speedup)
+	}
+}
+
+func TestTheorem1PreservedOnTrueContention(t *testing.T) {
+	orig, tf := transformOf(t, func(p *sim.Program) {
+		l := p.NewLock("L")
+		x := p.Mem.Alloc("x", 0)
+		s := p.Site("v.c", 1, "w")
+		for i := 0; i < 2; i++ {
+			i := i
+			p.AddThread(func(th *sim.Thread) {
+				for j := 0; j < 5; j++ {
+					th.Compute(vtime.Duration(150 * (i + 1)))
+					th.Lock(l, s)
+					th.Read(x, s)
+					th.Write(x, int64(i*100+j), s)
+					th.Unlock(l, s)
+				}
+			})
+		}
+	})
+	rep, err := Check(orig, tf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RULE 2 keeps the conflicting order: semantics preserved.
+	if rep.Verdict != SemanticsPreserved {
+		t.Fatalf("verdict = %v, want semantics-preserved\n%s", rep.Verdict, rep)
+	}
+}
+
+func TestTheorem1ReportsRacesOnDivergence(t *testing.T) {
+	// Hand-build a divergent "transform": drop the lock from two
+	// order-sensitive critical sections without any constraint, so the
+	// replays can interleave them differently and the outcome changes.
+	orig := trace.New("bad", 2)
+	l := trace.LockID(1)
+	s := orig.Sites.Intern(trace.Site{File: "bad.c", Line: 5})
+	orig.Append(trace.Event{Thread: 0, Kind: trace.KCompute, Cost: 50, Time: 50})
+	orig.Append(trace.Event{Thread: 0, Kind: trace.KLockAcq, Lock: l, Cost: 10, Time: 60, Site: s})
+	orig.Append(trace.Event{Thread: 0, Kind: trace.KRead, Addr: 1, Cost: 10, Time: 70, Site: s})
+	orig.Append(trace.Event{Thread: 0, Kind: trace.KWrite, Addr: 1, Value: 11, Cost: 10, Time: 80, Site: s})
+	orig.Append(trace.Event{Thread: 0, Kind: trace.KLockRel, Lock: l, Cost: 10, Time: 90, Site: s})
+	orig.Append(trace.Event{Thread: 1, Kind: trace.KCompute, Cost: 500, Time: 500})
+	orig.Append(trace.Event{Thread: 1, Kind: trace.KLockAcq, Lock: l, Cost: 10, Time: 510, Site: s})
+	orig.Append(trace.Event{Thread: 1, Kind: trace.KRead, Addr: 1, Cost: 10, Time: 520, Site: s})
+	orig.Append(trace.Event{Thread: 1, Kind: trace.KWrite, Addr: 1, Value: 22, Cost: 10, Time: 530, Site: s})
+	orig.Append(trace.Event{Thread: 1, Kind: trace.KLockRel, Lock: l, Cost: 10, Time: 540, Site: s})
+	orig.TotalTime = 540
+
+	bad := trace.New("bad-transformed", 2)
+	bad.Sites = orig.Sites
+	bad.Events = make([]trace.Event, len(orig.Events))
+	copy(bad.Events, orig.Events)
+	for i := range bad.Events {
+		switch bad.Events[i].Kind {
+		case trace.KLockAcq, trace.KLockRel:
+			bad.Events[i].Kind = trace.KCompute
+			bad.Events[i].Lock = trace.NoLock
+			bad.Events[i].Cost = 0
+		}
+	}
+	// Shrink T1's leading compute so the unsynchronized sections now
+	// overlap and the read observes a different value.
+	bad.Events[5].Cost = 10
+
+	rep, err := Check(orig, bad, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != RacesReported {
+		t.Fatalf("verdict = %v, want races-reported\n%s", rep.Verdict, rep)
+	}
+	if len(rep.Races) == 0 {
+		t.Fatal("no races attached")
+	}
+	if !rep.Ok() {
+		t.Fatal("races-reported still satisfies Theorem 1")
+	}
+	if !strings.Contains(rep.String(), "race") {
+		t.Fatalf("report rendering: %s", rep)
+	}
+}
+
+func TestVerifyPipelineEndToEnd(t *testing.T) {
+	// Every transformed app trace must satisfy Theorem 1.
+	orig, tf := transformOf(t, func(p *sim.Program) {
+		l1, l2 := p.NewLock("L1"), p.NewLock("L2")
+		x := p.Mem.Alloc("x", 0)
+		y := p.Mem.Alloc("y", 9)
+		s := p.Site("v.c", 1, "m")
+		for i := 0; i < 3; i++ {
+			p.AddThread(func(th *sim.Thread) {
+				for j := 0; j < 5; j++ {
+					th.Lock(l1, s)
+					th.Add(x, 1, s)
+					th.Unlock(l1, s)
+					th.Lock(l2, s)
+					th.Read(y, s)
+					th.Compute(300)
+					th.Unlock(l2, s)
+					th.Compute(vtime.Duration(80 + 30*j))
+				}
+			})
+		}
+	})
+	rep, err := Check(orig, tf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("Theorem 1 violated:\n%s", rep)
+	}
+}

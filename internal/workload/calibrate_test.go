@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"testing"
+
+	"perfplay/internal/sim"
+	"perfplay/internal/trace"
+	"perfplay/internal/ulcp"
+)
+
+// TestCalibrationReport prints, for every app at 2 threads and full scale,
+// the dynamic lock count and ULCP category mix next to Table 1's targets.
+// Run with -v to inspect; it asserts only loose magnitude bounds so the
+// suite stays robust.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run is slow")
+	}
+	type target struct{ locks, nl, rr, dw, bg int }
+	targets := map[string]target{
+		"openldap":       {1851, 75, 1414, 473, 15},
+		"mysql":          {2109, 125, 9822, 2924, 194},
+		"pbzip2":         {1281, 2, 1047, 838, 51},
+		"transmissionBT": {352, 15, 111, 123, 29},
+		"handbrake":      {18316, 10, 1536, 1143, 189},
+		"blackscholes":   {0, 0, 0, 0, 0},
+		"bodytrack":      {32642, 0, 1322, 321, 43},
+		"canneal":        {34, 0, 0, 0, 0},
+		"dedup":          {19352, 231, 2421, 1952, 164},
+		"facesim":        {14541, 102, 871, 819, 12},
+		"ferret":         {6231, 11, 101, 231, 343},
+		"fluidanimate":   {82142, 2, 10501, 6694, 197},
+		"streamcluster":  {191, 0, 0, 0, 0},
+		"swaptions":      {23, 0, 0, 0, 0},
+		"vips":           {33586, 142, 4512, 1142, 26},
+		"x264":           {16767, 941, 3841, 412, 84},
+	}
+	for _, app := range All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			p := app.Build(Config{Threads: 2, Seed: 42})
+			rec := sim.Run(p, sim.Config{Seed: 42})
+			css := rec.Trace.ExtractCS()
+			rep := ulcp.Identify(rec.Trace, css, ulcp.Options{})
+			locks := rec.Trace.DynamicLocks()
+			nl := rep.Counts[ulcp.NullLock]
+			rr := rep.Counts[ulcp.ReadRead]
+			dw := rep.Counts[ulcp.DisjointWrite]
+			bg := rep.Counts[ulcp.Benign]
+			tg := targets[app.Name]
+			t.Logf("%-15s locks %6d (paper %6d) | NL %5d (%4d) RR %6d (%5d) DW %5d (%4d) BG %4d (%3d) TLCP %5d trunc %d",
+				app.Name, locks, tg.locks, nl, tg.nl, rr, tg.rr, dw, tg.dw, bg, tg.bg,
+				rep.Counts[ulcp.TLCP], rep.Truncated)
+			within := func(name string, got, want int) {
+				if want == 0 {
+					if got > want+10 {
+						t.Errorf("%s: got %d, paper %d", name, got, want)
+					}
+					return
+				}
+				lo, hi := want/4, want*4
+				if got < lo || got > hi {
+					t.Errorf("%s: got %d, outside [%d,%d] around paper %d", name, got, lo, hi, want)
+				}
+			}
+			within("locks", locks, tg.locks)
+			within("read-read", rr, tg.rr)
+			within("disjoint-write", dw, tg.dw)
+			within("null-lock", nl, tg.nl)
+			within("benign", bg, tg.bg)
+			if err := rec.Trace.Validate(); err != nil {
+				t.Fatalf("invalid trace: %v", err)
+			}
+		})
+	}
+	_ = trace.NoLock
+}

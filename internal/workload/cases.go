@@ -1,0 +1,344 @@
+package workload
+
+import (
+	"fmt"
+
+	"perfplay/internal/sim"
+)
+
+// Appendix A of the paper lists ten real-world ULCP cases "mainly used for
+// the discussion and understanding of ULCP manifestation". Each is
+// reproduced here as a small standalone program whose identification
+// outcome the test suite pins down. BuildCase returns the program for a
+// case number (1-10).
+//
+//	Case 1  — pthread_cond_wait's unlock/relock manufactures null-locks.
+//	Case 2  — lock_print_info_all_transactions: read-only TRX traversal.
+//	Case 3  — disjoint fields of one object (slot->suspended vs
+//	          slot->in_use/type) under srv_sys mutex.
+//	Case 4  — LOCK_thd_data covers both query fields and mysys_var abort.
+//	Case 5  — THD::set_query_id vs THD::set_mysys_var: disjoint members.
+//	Case 6  — a coarse lock over a partitionable transaction.
+//	Case 7  — Bug #37844: spinning on the query-cache trylock.
+//	Case 8  — Bug #69276: fil_space_get_by_id hash lookups, 4x per read.
+//	Case 9  — Bug #68573: timed wait under structure_guard_mutex (Fig. 17).
+//	Case 10 — Bug #60951: global read lock serializing UPDATE and DELETE.
+func BuildCase(n int, cfg Config) (*sim.Program, error) {
+	cfg = cfg.withDefaults()
+	builders := map[int]func(Config) *sim.Program{
+		1:  buildCase1,
+		2:  buildCase2,
+		3:  buildCase3,
+		4:  buildCase4,
+		5:  buildCase5,
+		6:  buildCase6,
+		7:  buildCase7,
+		8:  buildCase8,
+		9:  buildCase9,
+		10: buildCase10,
+	}
+	b, ok := builders[n]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown appendix case %d (valid: 1-10)", n)
+	}
+	return b(cfg), nil
+}
+
+// Case 1: the second lock/unlock pair of pthread_cond_wait holds the lock
+// around no shared access — a null-lock per wakeup.
+func buildCase1(cfg Config) *sim.Program {
+	p := sim.NewProgram("case1-condwait")
+	l := p.NewLock("L")
+	c := p.NewCond("cond")
+	ready := p.Mem.Alloc("queue.ready", 0)
+	sWait := p.Site("pthread_cond_wait.c", 12, "waiter")
+	sSig := p.Site("producer.c", 40, "producer")
+	for i := 0; i < cfg.Threads; i++ {
+		p.AddThread(func(th *sim.Thread) {
+			th.Lock(l, sWait)
+			for th.Read(ready, sWait) == 0 {
+				// Wait releases L, sleeps, re-acquires: the re-acquired
+				// critical section re-reads the predicate only.
+				th.Wait(c, l, sWait)
+			}
+			th.Unlock(l, sWait)
+		})
+	}
+	p.AddThread(func(th *sim.Thread) {
+		th.Compute(2000)
+		th.Lock(l, sSig)
+		th.Write(ready, 1, sSig)
+		th.Unlock(l, sSig)
+		th.Broadcast(c, sSig)
+	})
+	return p
+}
+
+// Case 2: multiple threads traverse the whole TRX list read-only under
+// lock_sys + trx_sys mutexes — read-read ULCPs on both locks.
+func buildCase2(cfg Config) *sim.Program {
+	p := sim.NewProgram("case2-lockprint")
+	lockMutex := p.NewLock("lock_sys->mutex")
+	trxMutex := p.NewLock("trx_sys->mutex")
+	trxList := p.Mem.AllocN("trx_sys->trx_list", 6, 3)
+	s := p.Site("storage/innobase/lock/lock0lock.cc", 5203, "lock_print_info_all_transactions")
+	for i := 0; i < cfg.Threads; i++ {
+		p.AddThread(func(th *sim.Thread) {
+			for it := 0; it < cfg.iters(4); it++ {
+				th.Lock(lockMutex, s)
+				th.Lock(trxMutex, s)
+				for _, trx := range trxList {
+					th.Read(trx, s)
+					th.Compute(120) // format one TRX into the file
+				}
+				th.Unlock(trxMutex, s)
+				th.Unlock(lockMutex, s)
+				th.Compute(jittered(th, 400))
+			}
+		})
+	}
+	return p
+}
+
+// Case 3: srv_release_threads writes slot->suspended while
+// srv_threads_has_released_slot reads slot->in_use and slot->type —
+// disjoint fields of the same object.
+func buildCase3(cfg Config) *sim.Program {
+	p := sim.NewProgram("case3-slotfields")
+	mu := p.NewLock("srv_sys->mutex")
+	suspended := p.Mem.Alloc("slot->suspended", 1)
+	inUse := p.Mem.Alloc("slot->in_use", 1)
+	typ := p.Mem.Alloc("slot->type", 2)
+	sRel := p.Site("storage/innobase/srv/srv0srv.cc", 800, "srv_release_threads")
+	sChk := p.Site("storage/innobase/srv/srv0srv.cc", 860, "srv_threads_has_released_slot")
+	p.AddThread(func(th *sim.Thread) {
+		for it := 0; it < cfg.iters(6); it++ {
+			th.Lock(mu, sRel)
+			th.Write(suspended, 0, sRel)
+			th.Compute(180)
+			th.Unlock(mu, sRel)
+			th.Compute(jittered(th, 300))
+		}
+	})
+	for i := 1; i < cfg.Threads; i++ {
+		p.AddThread(func(th *sim.Thread) {
+			for it := 0; it < cfg.iters(6); it++ {
+				th.Lock(mu, sChk)
+				th.Read(inUse, sChk)
+				th.Read(typ, sChk)
+				th.Compute(160)
+				th.Unlock(mu, sChk)
+				th.Compute(jittered(th, 280))
+			}
+		})
+	}
+	return p
+}
+
+// Case 4 (Bug #73168): LOCK_thd_data protects thd->query for the
+// processlist reader but is also taken around mysys_var->abort on the
+// connection-close path, blocking queries needlessly.
+func buildCase4(cfg Config) *sim.Program {
+	p := sim.NewProgram("case4-thddata")
+	mu := p.NewLock("tmp->LOCK_thd_data")
+	query := p.Mem.Alloc("thd->query", 7)
+	mysysAbort := p.Mem.Alloc("thd->mysys_var->abort", 0)
+	sClose := p.Site("sql/mysqld.cc", 1391, "close_connections")
+	sList := p.Site("sql/sql_show.cc", 2232, "fill_schema_processlist")
+	p.AddThread(func(th *sim.Thread) {
+		for it := 0; it < cfg.iters(4); it++ {
+			th.Compute(jittered(th, 900))
+			th.Lock(mu, sClose)
+			th.Write(mysysAbort, 1, sClose)
+			th.Compute(250)
+			th.Unlock(mu, sClose)
+		}
+	})
+	for i := 1; i < cfg.Threads; i++ {
+		p.AddThread(func(th *sim.Thread) {
+			for it := 0; it < cfg.iters(6); it++ {
+				th.Lock(mu, sList)
+				th.Read(query, sList)
+				th.Compute(300) // copy PROCESS_LIST_INFO_WIDTH bytes
+				th.Unlock(mu, sList)
+				th.Compute(jittered(th, 350))
+			}
+		})
+	}
+	return p
+}
+
+// Case 5: both THD::set_query_id and THD::set_mysys_var assign different
+// members under LOCK_thd_data — a pure disjoint-write pair the paper says
+// "we can benefit with less overhead if replacing mutex with lock-free
+// atomic operations".
+func buildCase5(cfg Config) *sim.Program {
+	p := sim.NewProgram("case5-setmembers")
+	mu := p.NewLock("LOCK_thd_data")
+	queryID := p.Mem.Alloc("thd->query_id", 0)
+	mysysVar := p.Mem.Alloc("thd->mysys_var", 0)
+	sQID := p.Site("sql/sql_class.cc", 4526, "THD::set_query_id")
+	sVar := p.Site("sql/sql_class.cc", 4534, "THD::set_mysys_var")
+	half := cfg.Threads / 2
+	if half == 0 {
+		half = 1
+	}
+	for i := 0; i < half; i++ {
+		p.AddThread(func(th *sim.Thread) {
+			for it := 0; it < cfg.iters(8); it++ {
+				th.Lock(mu, sQID)
+				th.Write(queryID, int64(it+1), sQID)
+				th.Unlock(mu, sQID)
+				th.Compute(jittered(th, 320))
+			}
+		})
+	}
+	for i := half; i < cfg.Threads; i++ {
+		p.AddThread(func(th *sim.Thread) {
+			for it := 0; it < cfg.iters(8); it++ {
+				th.Lock(mu, sVar)
+				th.Write(mysysVar, int64(100+it), sVar)
+				th.Unlock(mu, sVar)
+				th.Compute(jittered(th, 340))
+			}
+		})
+	}
+	return p
+}
+
+// Case 6: one coarse lock over a large transaction that in fact touches
+// partitionable halves of the data.
+func buildCase6(cfg Config) *sim.Program {
+	p := sim.NewProgram("case6-coarse")
+	mu := p.NewLock("LOCK_big")
+	parts := p.Mem.AllocN("table.partition", cfg.Threads, 0)
+	s := p.Site("sql/handler.cc", 2098, "mysql_list_process")
+	for i := 0; i < cfg.Threads; i++ {
+		i := i
+		p.AddThread(func(th *sim.Thread) {
+			for it := 0; it < cfg.iters(6); it++ {
+				th.Lock(mu, s)
+				th.Read(parts[i], s)
+				th.Compute(700) // the large, mis-synchronized transaction
+				th.Write(parts[i], int64(it), s)
+				th.Unlock(mu, s)
+				th.Compute(jittered(th, 250))
+			}
+		})
+	}
+	return p
+}
+
+// Case 7 (Bug #37844): only one thread can search the query cache at a
+// time; the others spin on pthread_mutex_trylock, wasting CPU.
+func buildCase7(cfg Config) *sim.Program {
+	p := sim.NewProgram("case7-qcspin")
+	mu := p.NewLock("structure_guard_mutex")
+	cache := p.Mem.Alloc("query_cache.index", 11)
+	s := p.Site("sql/sql_cache.cc", 1155, "Query_cache::send_result_to_client")
+	for i := 0; i < cfg.Threads; i++ {
+		p.AddThread(func(th *sim.Thread) {
+			for it := 0; it < cfg.iters(5); it++ {
+				spins := 0
+				for !th.TryLock(mu, s) {
+					spins++
+					th.Compute(90) // my_sleep(0) busy loop
+					if spins > 200 {
+						break
+					}
+				}
+				if spins <= 200 {
+					th.Read(cache, s)
+					th.Compute(650) // search the cache
+					th.Unlock(mu, s)
+				}
+				th.Compute(jittered(th, 280))
+			}
+		})
+	}
+	return p
+}
+
+// Case 8 (Bug #69276): every block read performs at least four
+// fil_space_get_by_id hash lookups under fil_system->mutex; read-only
+// transactions serialize on it with "a slowdown of 4X at least".
+func buildCase8(cfg Config) *sim.Program {
+	p := sim.NewProgram("case8-hashlookup")
+	mu := p.NewLock("fil_system->mutex")
+	hash := p.Mem.AllocN("fil_system->spaces", 8, 5)
+	sites := []struct {
+		fn   string
+		line int
+	}{
+		{"fil_space_get_version", 4890},
+		{"fil_inc_pending_ops", 4932},
+		{"fil_decr_pending_ops", 4961},
+		{"fil_space_get_size", 4850},
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		p.AddThread(func(th *sim.Thread) {
+			for it := 0; it < cfg.iters(5); it++ {
+				for _, site := range sites {
+					s := p.Site("storage/innobase/fil/fil0fil.cc", site.line, site.fn)
+					th.Lock(mu, s)
+					th.Read(hash[it%len(hash)], s)
+					th.Compute(200)
+					th.Unlock(mu, s)
+				}
+				th.Compute(jittered(th, 500)) // the block read itself
+			}
+		})
+	}
+	return p
+}
+
+// Case 9 (Bug #68573, Fig. 17): Query_cache::try_lock holds
+// structure_guard_mutex around a timed condition wait; the waiters'
+// unlock/sleep/relock cycles serialize and inflate the 50 ms timeout.
+func buildCase9(cfg Config) *sim.Program {
+	p := sim.NewProgram("case9-trylock")
+	mu := p.NewLock("structure_guard_mutex")
+	cond := p.NewCond("COND_cache_status_changed")
+	s := p.Site("sql/sql_cache.cc", 458, "Query_cache::try_lock")
+	for i := 0; i < cfg.Threads; i++ {
+		p.AddThread(func(th *sim.Thread) {
+			for it := 0; it < cfg.iters(3); it++ {
+				th.Lock(mu, s)
+				th.TimedWait(cond, mu, 5000, s) // 50ms at simulator scale
+				th.Unlock(mu, s)
+				th.Compute(jittered(th, 700))
+			}
+		})
+	}
+	return p
+}
+
+// Case 10 (Bug #60951): wait_if_global_read_lock serializes UPDATE and
+// DELETE statements even when they touch different fields.
+func buildCase10(cfg Config) *sim.Program {
+	p := sim.NewProgram("case10-globalreadlock")
+	mu := p.NewLock("LOCK_global_read_lock")
+	protectAgainst := p.Mem.Alloc("protect_against_global_read_lock", 0)
+	fields := p.Mem.AllocN("table.field", cfg.Threads, 0)
+	sUpd := p.Site("sql/sql_parse.cc", 3792, "mysql_update_path")
+	sDel := p.Site("sql/sql_parse.cc", 4009, "mysql_delete_path")
+	for i := 0; i < cfg.Threads; i++ {
+		i := i
+		site := sUpd
+		if i%2 == 1 {
+			site = sDel
+		}
+		p.AddThread(func(th *sim.Thread) {
+			for it := 0; it < cfg.iters(5); it++ {
+				th.Lock(mu, site)
+				th.Read(protectAgainst, site) // must_wait check
+				th.Add(protectAgainst, 0, site)
+				th.Unlock(mu, site)
+				// The statement proper touches this thread's own field.
+				th.Compute(jittered(th, 500))
+				th.Write(fields[i], int64(it), site)
+			}
+		})
+	}
+	return p
+}

@@ -1,0 +1,39 @@
+package workload
+
+import "perfplay/internal/sim"
+
+// handBrake models the video transcoder converting a 256 MB DVD title to
+// H.264/MP4 at 30 fps (Sec. 6.1): a frame pipeline whose stage queues
+// contend heavily (real contention), beside read-mostly codec parameter
+// lookups and per-stage disjoint frame buffers.
+
+func handbrakeRegions() []Region {
+	return []Region{
+		// Stage fifo push/pop: the dominant, genuinely conflicting locks.
+		{Name: "fifo_ops", File: "libhb/fifo.c", Line: 582,
+			Pattern: PatConflict, Iters: 8100, CSLen: 70, Gap: 110},
+		// Codec parameter/state lookups: read-only.
+		{Name: "param_read", File: "libhb/work.c", Line: 233,
+			Pattern: PatRead, Iters: 390, CSLen: 190, Gap: 160, ConflictEvery: 6, LockPool: 2, Sites: 4},
+		// Per-stage frame buffers: disjoint writes under a shared pool lock.
+		{Name: "buf_pool_write", File: "libhb/fifo.c", Line: 219,
+			Pattern: PatDisjointWrite, Iters: 280, CSLen: 180, Gap: 170, ConflictEvery: 6, Sites: 3},
+		// Progress accounting: commutative counters.
+		{Name: "progress_accum", File: "libhb/hb.c", Line: 1594,
+			Pattern: PatBenignAdd, Iters: 190, CSLen: 110, Gap: 150, ConflictEvery: 2, Sites: 2},
+		// Scheduler wakeups that find an empty fifo.
+		{Name: "empty_poll", File: "libhb/fifo.c", Line: 548,
+			Pattern: PatNull, Iters: 8, CSLen: 60, Gap: 140, LockPool: 4},
+	}
+}
+
+func buildHandbrake(cfg Config) *sim.Program {
+	return buildMix("handbrake", Profile{Regions: handbrakeRegions()}, cfg)
+}
+
+func init() {
+	register(&App{
+		Name: "handbrake", Kind: "desktop", LOC: "1,070K", BinSize: "3M",
+		Build: buildHandbrake,
+	})
+}

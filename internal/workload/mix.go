@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"fmt"
+
+	"perfplay/internal/memmodel"
+	"perfplay/internal/sim"
+	"perfplay/internal/trace"
+	"perfplay/internal/vtime"
+)
+
+// Pattern is the dynamic behaviour of one modelled code region's critical
+// section — the four ULCP categories of Sec. 2.1 plus true contention.
+type Pattern int
+
+// Region critical-section patterns.
+const (
+	// PatNull takes the lock and touches no shared data (Fig. 3).
+	PatNull Pattern = iota
+	// PatRead only reads shared data (read-read, Fig. 4).
+	PatRead
+	// PatDisjointWrite writes a thread-private slot of a shared object
+	// under the common lock (the pointer-alias idiom).
+	PatDisjointWrite
+	// PatBenignAdd performs a commutative read-modify-write (redundant/
+	// commutative conflict — classified benign by reversed replay).
+	PatBenignAdd
+	// PatRedundantWrite stores the same constant from every thread.
+	PatRedundantWrite
+	// PatConflict reads then overwrites shared data with a distinct value:
+	// true contention.
+	PatConflict
+)
+
+// Region models one synchronized code region of an application.
+type Region struct {
+	// Name labels the region; File/Line give it a source location so
+	// fusion and recommendations read like the paper's case studies.
+	Name string
+	File string
+	Line int
+	// Pattern is the region's dominant critical-section behaviour.
+	Pattern Pattern
+	// Iters is the per-thread execution count at scale 1.
+	Iters int
+	// CSLen is the compute cost inside the critical section; Gap the cost
+	// after it.
+	CSLen, Gap vtime.Duration
+	// LockPool shards the region over several lock objects (hash-bucket
+	// style); 0 means 1.
+	LockPool int
+	// ConflictEvery makes every k-th execution a real conflicting update,
+	// terminating RULE-1 scans (0 = never).
+	ConflictEvery int
+	// Cells is the number of shared cells the region touches (>= Threads
+	// for disjoint writes); 0 means max(4, threads).
+	Cells int
+	// Spin marks the region's locks as spin locks (waiting burns CPU).
+	Spin bool
+	// Sites spreads the region's dynamic instances over several distinct
+	// call sites (0 means 1). Real applications reach one lock from many
+	// places — mysql's Case 8 hits fil_system->mutex from four functions —
+	// and Table 2's grouped-ULCP counts depend on that spread.
+	Sites int
+	// ShareLockWith reuses the lock pool of the named earlier region, so
+	// different code regions contend on the same lock object.
+	ShareLockWith string
+}
+
+// Profile is a full application model: a set of regions executed
+// round-robin by every worker thread.
+type Profile struct {
+	Name    string
+	Regions []Region
+}
+
+// regionRT is the runtime state of one region within a built program.
+type regionRT struct {
+	spec         Region
+	locks        []trace.LockID
+	cells        []memmodel.Addr
+	conflictCell memmodel.Addr
+	// sites holds (lock-site, body-site, unlock-site) per call site.
+	sites [][3]trace.SiteID
+	iters int
+	// readCS is the input-adjusted read-side critical-section length:
+	// larger inputs mean longer traversals under the lock (mysql Case 2
+	// walks the whole TRX list), which is why Fig. 16's normalized impact
+	// grows with input size.
+	readCS vtime.Duration
+}
+
+// mixRT is the built runtime of a region set within one program. The
+// real-world app models combine it with hand-written idiom threads.
+type mixRT struct {
+	rts      []*regionRT
+	maxIters int
+	phase    sim.BarrierID
+	sPhase   trace.SiteID
+	// phaseEvery inserts the phase barrier every N rounds, keeping worker
+	// threads in the same program phase — the reason the paper's Fig. 2
+	// observes cross-thread pairs from "common codes repeatedly executed
+	// in most threads". PARSEC workers are barrier-phased in reality.
+	phaseEvery int
+}
+
+// newMixRT allocates locks, cells and sites for a region set on p.
+func newMixRT(p *sim.Program, regions []Region, cfg Config) *mixRT {
+	cfg = cfg.withDefaults()
+	m := &mixRT{phaseEvery: 1}
+	if len(regions) > 0 && cfg.Threads > 1 {
+		m.phase = p.NewBarrier("phase_barrier", cfg.Threads)
+		m.sPhase = p.Site(regions[0].File, 1, "phase")
+	}
+	for _, r := range regions {
+		pool := r.LockPool
+		if pool <= 0 {
+			pool = 1
+		}
+		cells := r.Cells
+		if cells == 0 {
+			cells = cfg.Threads
+			if cells < 4 {
+				cells = 4
+			}
+		}
+		rt := &regionRT{spec: r, iters: cfg.iters(r.Iters)}
+		switch cfg.Input {
+		case SimSmall:
+			rt.readCS = r.CSLen * 7 / 10
+		case SimMedium:
+			rt.readCS = r.CSLen * 85 / 100
+		default:
+			rt.readCS = r.CSLen
+		}
+		if r.ShareLockWith != "" {
+			for _, prev := range m.rts {
+				if prev.spec.Name == r.ShareLockWith {
+					rt.locks = prev.locks
+					break
+				}
+			}
+			if rt.locks == nil {
+				panic(fmt.Sprintf("workload: region %s shares lock with unknown region %s", r.Name, r.ShareLockWith))
+			}
+		} else {
+			for k := 0; k < pool; k++ {
+				lname := fmt.Sprintf("%s.lock%d", r.Name, k)
+				if r.Spin {
+					rt.locks = append(rt.locks, p.NewSpinLock(lname))
+				} else {
+					rt.locks = append(rt.locks, p.NewLock(lname))
+				}
+			}
+		}
+		rt.cells = p.Mem.AllocN(r.Name+".data", cells, 0)
+		rt.conflictCell = p.Mem.Alloc(r.Name+".state", 0)
+		nsites := r.Sites
+		if nsites <= 0 {
+			nsites = 1
+		}
+		for si := 0; si < nsites; si++ {
+			// Call sites are spaced far apart so distinct sites never fuse
+			// into one code region.
+			base := r.Line + si*60
+			rt.sites = append(rt.sites, [3]trace.SiteID{
+				p.Site(r.File, base, r.Name),
+				p.Site(r.File, base+2, r.Name),
+				p.Site(r.File, base+5, r.Name),
+			})
+		}
+		m.rts = append(m.rts, rt)
+		if rt.iters > m.maxIters {
+			m.maxIters = rt.iters
+		}
+	}
+	return m
+}
+
+// run executes the full round-robin schedule for worker t: in each round,
+// every region whose quota is not exhausted runs once, so same-region
+// critical sections from different threads interleave and form the
+// cross-thread pairs Fig. 2's discussion predicts ("produced by some
+// common codes ... repeatedly executed in most threads").
+func (m *mixRT) run(th *sim.Thread, t int) {
+	for round := 0; round < m.maxIters; round++ {
+		for _, rt := range m.rts {
+			if round < rt.iters {
+				runRegion(th, rt, t, round)
+			}
+		}
+		if m.phase != 0 && round%m.phaseEvery == 0 {
+			th.Barrier(m.phase, m.sPhase)
+		}
+	}
+}
+
+// buildMix constructs a program whose threads only execute the profile.
+func buildMix(name string, prof Profile, cfg Config) *sim.Program {
+	cfg = cfg.withDefaults()
+	p := sim.NewProgram(name)
+	m := newMixRT(p, prof.Regions, cfg)
+	for t := 0; t < cfg.Threads; t++ {
+		t := t
+		p.AddThread(func(th *sim.Thread) { m.run(th, t) })
+	}
+	return p
+}
+
+// runRegion executes one dynamic instance of a region on thread t.
+func runRegion(th *sim.Thread, rt *regionRT, t, round int) {
+	r := rt.spec
+	lock := rt.locks[round%len(rt.locks)]
+	site := rt.sites[round%len(rt.sites)]
+	sLock, sBody, sUnlock := site[0], site[1], site[2]
+	// Conflict cadence is per lock stream (round/pool is the position
+	// within this lock's acquisition stream), so every stream sees a real
+	// update every ConflictEvery positions and RULE-1 scans stay bounded.
+	pos := round / len(rt.locks)
+	conflict := r.ConflictEvery > 0 && (pos+1)%r.ConflictEvery == 0
+
+	th.Lock(lock, sLock)
+	switch {
+	case conflict || r.Pattern == PatConflict:
+		// A real update: read-modify-write of the region's hot state and
+		// every data slot, conflicting with any concurrent pattern CS.
+		v := th.Read(rt.conflictCell, sBody)
+		th.Compute(jittered(th, r.CSLen))
+		th.Write(rt.conflictCell, v+int64(t*1000+round+1), sBody)
+		if r.Pattern != PatConflict {
+			for _, c := range rt.cells {
+				th.Write(c, int64(round+t+1), sBody)
+			}
+		}
+	case r.Pattern == PatNull:
+		th.Compute(jittered(th, r.CSLen))
+	case r.Pattern == PatRead:
+		th.Read(rt.cells[round%len(rt.cells)], sBody)
+		th.Compute(jittered(th, rt.readCS))
+	case r.Pattern == PatDisjointWrite:
+		th.Write(rt.cells[t%len(rt.cells)], int64(round), sBody)
+		th.Compute(jittered(th, r.CSLen))
+	case r.Pattern == PatBenignAdd:
+		th.Add(rt.cells[0], 1, sBody)
+		th.Compute(jittered(th, r.CSLen))
+	case r.Pattern == PatRedundantWrite:
+		th.Write(rt.cells[0], 7, sBody)
+		th.Compute(jittered(th, r.CSLen))
+	}
+	th.Unlock(lock, sUnlock)
+	th.Compute(jittered(th, r.Gap))
+}

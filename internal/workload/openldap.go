@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"perfplay/internal/sim"
+	"perfplay/internal/vtime"
+)
+
+// openldap models the LDAP server's locking behaviour under a
+// DirectoryMark-style search load (Sec. 6.1 benchmarks it searching 2000
+// entries), dominated by read-mostly directory lookups, plus the Fig. 4
+// mpool reference-count spin loop that is case-study #BUG 1:
+//
+//	for (deleted = 0;;) {
+//	    THREAD_LOCK(dbmp->mutex);
+//	    if (dbmfp->ref == 1) { ... deleted = 1; }
+//	    THREAD_UNLOCK(dbmp->mutex);
+//	    if (deleted) break;
+//	}
+//
+// Every iteration before the last holder drops its reference is a
+// read-read ULCP, and the spinning wastes CPU on the non-critical path.
+
+// openldapRegions is the background server mix (directory search, cache
+// maintenance, connection bookkeeping).
+func openldapRegions() []Region {
+	return []Region{
+		{Name: "entry_search", File: "servers/slapd/search.c", Line: 217,
+			Pattern: PatRead, Iters: 520, CSLen: 420, Gap: 310, ConflictEvery: 4, LockPool: 2, Sites: 3},
+		{Name: "cache_update", File: "servers/slapd/backend.c", Line: 1104,
+			Pattern: PatDisjointWrite, Iters: 160, CSLen: 380, Gap: 330, ConflictEvery: 6, Sites: 2},
+		{Name: "conn_dispatch", File: "servers/slapd/connection.c", Line: 741,
+			Pattern: PatConflict, Iters: 150, CSLen: 260, Gap: 340},
+		{Name: "idle_probe", File: "servers/slapd/daemon.c", Line: 2930,
+			Pattern: PatNull, Iters: 36, CSLen: 90, Gap: 260, LockPool: 17},
+		{Name: "stat_counter", File: "servers/slapd/result.c", Line: 88,
+			Pattern: PatBenignAdd, Iters: 8, CSLen: 140, Gap: 250, ConflictEvery: 2},
+	}
+}
+
+// buildOpenldap builds the full server model: every worker runs the
+// search/cache mix and then joins the Fig. 4 release-wait spin loop; the
+// last worker (the "critical thread" Tn) holds the buffer reference and
+// drops it after draining its queue.
+func buildOpenldap(cfg Config) *sim.Program {
+	cfg = cfg.withDefaults()
+	p := sim.NewProgram("openldap")
+	m := newMixRT(p, openldapRegions(), cfg)
+
+	// Fig. 4 state: dbmp->mutex spins, dbmfp->ref counts holders.
+	mpMutex := p.NewSpinLock("dbmp->mutex")
+	ref := p.Mem.Alloc("dbmfp->ref", int64(cfg.Threads))
+	sLock := p.Site("mp/mp_fopen.c", 713, "__memp_fclose")
+	sRead := p.Site("mp/mp_fopen.c", 717, "__memp_fclose")
+	sDecr := p.Site("mp/mp_fopen.c", 724, "__memp_fclose")
+
+	for t := 0; t < cfg.Threads; t++ {
+		t := t
+		p.AddThread(func(th *sim.Thread) {
+			m.run(th, t)
+			// The critical thread Tn "runs slowly" (Fig. 4a): the last
+			// worker drains its connection backlog before dropping its
+			// reference, and everyone else spins for that whole time.
+			// The backlog is input-independent, which is why #BUG 1's
+			// normalized impact declines as the input grows (Fig. 19b).
+			if t == cfg.Threads-1 {
+				th.Compute(slowDrain)
+			}
+			// Reference release: each thread drops its ref, then waits
+			// for the remaining holders by polling under the mutex.
+			th.Lock(mpMutex, sLock)
+			th.Add(ref, -1, sDecr)
+			th.Unlock(mpMutex, sLock)
+			for {
+				th.Lock(mpMutex, sLock)
+				v := th.Read(ref, sRead)
+				th.Unlock(mpMutex, sLock)
+				if v == 0 {
+					break
+				}
+				th.Compute(vtime.Duration(120 + th.Intn(60)))
+			}
+		})
+	}
+	return p
+}
+
+// BuildOpenldapFixed is the paper's recommended fix for #BUG 1: the
+// spin-wait loop "performs the same function as barrier primitive", so the
+// wait is replaced with a pthread barrier and the wasted CPU disappears.
+func BuildOpenldapFixed(cfg Config) *sim.Program {
+	cfg = cfg.withDefaults()
+	p := sim.NewProgram("openldap-fixed")
+	m := newMixRT(p, openldapRegions(), cfg)
+
+	bar := p.NewBarrier("mp_close_barrier", cfg.Threads)
+	sBar := p.Site("mp/mp_fopen.c", 713, "__memp_fclose_fixed")
+
+	for t := 0; t < cfg.Threads; t++ {
+		t := t
+		p.AddThread(func(th *sim.Thread) {
+			m.run(th, t)
+			if t == cfg.Threads-1 {
+				th.Compute(slowDrain)
+			}
+			th.Barrier(bar, sBar)
+		})
+	}
+	return p
+}
+
+// slowDrain is the critical thread's extra work before it releases the
+// buffer reference — a connection-close backlog whose size does not depend
+// on the benchmark input.
+const slowDrain vtime.Duration = 22000
+
+func init() {
+	register(&App{
+		Name: "openldap", Kind: "server", LOC: "392K", BinSize: "6M",
+		Build: buildOpenldap,
+	})
+}

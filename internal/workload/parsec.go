@@ -1,0 +1,197 @@
+package workload
+
+import "perfplay/internal/sim"
+
+// PARSEC benchmark models. Region iteration counts are calibrated so a
+// 2-thread simlarge run lands near Table 1's dynamic lock counts and ULCP
+// category mix (see EXPERIMENTS.md for the measured values). Region names
+// and files follow each benchmark's real synchronization sites.
+
+func parsecProfiles() []Profile {
+	return []Profile{
+		{
+			// blackscholes uses no locks at all (Table 1: 0 locks).
+			Name:    "blackscholes",
+			Regions: nil,
+		},
+		{
+			// bodytrack: a worker-pool with a hot ticket mutex (true
+			// contention) plus read-mostly pool state and per-worker
+			// result slots.
+			Name: "bodytrack",
+			Regions: []Region{
+				{Name: "ticket_dispense", File: "TrackingModel.cpp", Line: 262,
+					Pattern: PatConflict, Iters: 15500, CSLen: 90, Gap: 160},
+				{Name: "pool_state_read", File: "WorkPoolPthread.cpp", Line: 118,
+					Pattern: PatRead, Iters: 650, CSLen: 220, Gap: 240, ConflictEvery: 4, LockPool: 2},
+				{Name: "result_merge", File: "ParticleFilterPthread.h", Line: 77,
+					Pattern: PatDisjointWrite, Iters: 110, CSLen: 200, Gap: 260, ConflictEvery: 4},
+				{Name: "frame_counter", File: "WorkPoolPthread.cpp", Line: 203,
+					Pattern: PatBenignAdd, Iters: 48, CSLen: 120, Gap: 200, ConflictEvery: 2},
+			},
+		},
+		{
+			// canneal: a handful of genuinely conflicting swaps; Table 1
+			// reports zero ULCPs.
+			Name: "canneal",
+			Regions: []Region{
+				{Name: "element_swap", File: "annealer_thread.cpp", Line: 87,
+					Pattern: PatConflict, Iters: 17, CSLen: 300, Gap: 500},
+			},
+		},
+		{
+			// dedup: pipeline queues (conflicting head/tail updates), a
+			// read-mostly hash index, per-stage disjoint buffers, and rare
+			// empty dequeues (null-locks).
+			Name: "dedup",
+			Regions: []Region{
+				{Name: "queue_ops", File: "queue.c", Line: 46,
+					Pattern: PatConflict, Iters: 6900, CSLen: 80, Gap: 140},
+				{Name: "hash_lookup", File: "hashtable.c", Line: 220,
+					Pattern: PatRead, Iters: 900, CSLen: 180, Gap: 180, ConflictEvery: 6, LockPool: 2},
+				{Name: "chunk_buffers", File: "encoder.c", Line: 513,
+					Pattern: PatDisjointWrite, Iters: 650, CSLen: 170, Gap: 190, ConflictEvery: 6},
+				{Name: "empty_dequeue", File: "queue.c", Line: 31,
+					Pattern: PatNull, Iters: 70, CSLen: 60, Gap: 150, LockPool: 20},
+				{Name: "stat_counter", File: "dedup.c", Line: 301,
+					Pattern: PatBenignAdd, Iters: 90, CSLen: 90, Gap: 170, ConflictEvery: 3},
+			},
+		},
+		{
+			// facesim: large-grained critical sections (the paper notes
+			// facesim's ULCPs cover "larger-scale critical sections",
+			// Sec. 6.3) over mesh partitions.
+			Name: "facesim",
+			Regions: []Region{
+				{Name: "task_queue", File: "TASK_Q.cpp", Line: 58,
+					Pattern: PatConflict, Iters: 5900, CSLen: 150, Gap: 260},
+				{Name: "mesh_read", File: "FACE_DRIVER.cpp", Line: 190,
+					Pattern: PatRead, Iters: 330, CSLen: 1500, Gap: 420, ConflictEvery: 4, LockPool: 2, Sites: 2},
+				{Name: "partition_update", File: "DEFORMABLE_BODY.cpp", Line: 334,
+					Pattern: PatDisjointWrite, Iters: 270, CSLen: 1300, Gap: 430, ConflictEvery: 6, Sites: 2},
+				{Name: "frame_gate", File: "TASK_Q.cpp", Line: 41,
+					Pattern: PatNull, Iters: 45, CSLen: 80, Gap: 200, LockPool: 20},
+				{Name: "norm_accum", File: "DEFORMABLE_BODY.cpp", Line: 402,
+					Pattern: PatBenignAdd, Iters: 12, CSLen: 400, Gap: 300, ConflictEvery: 2},
+			},
+		},
+		{
+			// ferret: similarity-search pipeline; its standout feature in
+			// Table 1 is the benign-heavy mix (rank accumulation).
+			Name: "ferret",
+			Regions: []Region{
+				{Name: "pipeline_queue", File: "ferret-pthreads.c", Line: 160,
+					Pattern: PatConflict, Iters: 2700, CSLen: 100, Gap: 180},
+				{Name: "cass_table_read", File: "cass_table.c", Line: 88,
+					Pattern: PatRead, Iters: 80, CSLen: 260, Gap: 240, ConflictEvery: 4, LockPool: 2},
+				{Name: "rank_accum", File: "cass_result.c", Line: 37,
+					Pattern: PatBenignAdd, Iters: 220, CSLen: 160, Gap: 210, ConflictEvery: 3},
+				{Name: "slot_fill", File: "ferret-pthreads.c", Line: 244,
+					Pattern: PatDisjointWrite, Iters: 190, CSLen: 150, Gap: 210, ConflictEvery: 4},
+				{Name: "probe_gate", File: "ferret-pthreads.c", Line: 131,
+					Pattern: PatNull, Iters: 12, CSLen: 50, Gap: 160, LockPool: 6},
+			},
+		},
+		{
+			// fluidanimate: the most lock-intensive PARSEC benchmark —
+			// fine-grained per-cell locks, overwhelmingly parallelizable
+			// (huge read-read and disjoint-write counts).
+			Name: "fluidanimate",
+			Regions: []Region{
+				{Name: "cell_force_read", File: "pthreads.cpp", Line: 410,
+					Pattern: PatRead, Iters: 5800, CSLen: 110, Gap: 90, ConflictEvery: 3, LockPool: 3},
+				{Name: "cell_density", File: "pthreads.cpp", Line: 341,
+					Pattern: PatDisjointWrite, Iters: 5400, CSLen: 100, Gap: 95, ConflictEvery: 3, LockPool: 2},
+				{Name: "border_exchange", File: "pthreads.cpp", Line: 520,
+					Pattern: PatConflict, Iters: 29500, CSLen: 60, Gap: 80},
+				{Name: "mass_accum", File: "pthreads.cpp", Line: 471,
+					Pattern: PatBenignAdd, Iters: 160, CSLen: 90, Gap: 110, ConflictEvery: 3},
+				{Name: "grid_gate", File: "pthreads.cpp", Line: 283,
+					Pattern: PatNull, Iters: 4, CSLen: 40, Gap: 90, LockPool: 4},
+			},
+		},
+		{
+			// streamcluster: barrier-style phases with a few conflicting
+			// center updates; zero ULCPs in Table 1.
+			Name: "streamcluster",
+			Regions: []Region{
+				{Name: "center_update", File: "streamcluster.cpp", Line: 988,
+					Pattern: PatConflict, Iters: 95, CSLen: 250, Gap: 420},
+			},
+		},
+		{
+			// swaptions: almost lock-free; a tiny conflicting work queue.
+			Name: "swaptions",
+			Regions: []Region{
+				{Name: "swaption_queue", File: "HJM_Securities.cpp", Line: 156,
+					Pattern: PatConflict, Iters: 11, CSLen: 200, Gap: 600},
+			},
+		},
+		{
+			// vips: image operation cache with read-mostly descriptor
+			// lookups and per-band disjoint writes.
+			Name: "vips",
+			Regions: []Region{
+				{Name: "op_dispatch", File: "threadgroup.c", Line: 324,
+					Pattern: PatConflict, Iters: 13900, CSLen: 70, Gap: 120},
+				{Name: "cache_probe", File: "im_prepare.c", Line: 144,
+					Pattern: PatRead, Iters: 1700, CSLen: 140, Gap: 130, ConflictEvery: 4, LockPool: 2},
+				{Name: "band_write", File: "im_generate.c", Line: 412,
+					Pattern: PatDisjointWrite, Iters: 380, CSLen: 130, Gap: 140, ConflictEvery: 6},
+				{Name: "eval_gate", File: "threadgroup.c", Line: 276,
+					Pattern: PatNull, Iters: 85, CSLen: 50, Gap: 110, LockPool: 50},
+				{Name: "progress_accum", File: "im_iterate.c", Line: 207,
+					Pattern: PatBenignAdd, Iters: 22, CSLen: 80, Gap: 120, ConflictEvery: 2},
+			},
+		},
+		{
+			// x264: frame reference waits produce many null-locks (the
+			// largest NL count in Table 1) beside read-mostly reference
+			// lookups.
+			Name: "x264",
+			Regions: []Region{
+				{Name: "frame_encode", File: "encoder.c", Line: 1840,
+					Pattern: PatConflict, Iters: 5400, CSLen: 110, Gap: 150},
+				{Name: "ref_lookup", File: "frame.c", Line: 560,
+					Pattern: PatRead, Iters: 1300, CSLen: 160, Gap: 170, ConflictEvery: 6, LockPool: 2},
+				{Name: "mb_row_write", File: "frame.c", Line: 612,
+					Pattern: PatDisjointWrite, Iters: 140, CSLen: 150, Gap: 170, ConflictEvery: 6},
+				{Name: "ref_wait_gate", File: "frame.c", Line: 543,
+					Pattern: PatNull, Iters: 310, CSLen: 60, Gap: 120, LockPool: 100},
+				{Name: "bitrate_accum", File: "ratecontrol.c", Line: 998,
+					Pattern: PatBenignAdd, Iters: 55, CSLen: 90, Gap: 150, ConflictEvery: 2},
+			},
+		},
+	}
+}
+
+// parsecMeta echoes Table 1's static columns.
+var parsecMeta = map[string][2]string{
+	"blackscholes":  {"812", "204K"},
+	"bodytrack":     {"10K", "9.0M"},
+	"canneal":       {"4K", "628K"},
+	"dedup":         {"3.6K", "156K"},
+	"facesim":       {"29K", "4.8K"},
+	"ferret":        {"9.7K", "316K"},
+	"fluidanimate":  {"1.4K", "72K"},
+	"streamcluster": {"1.3K", "44K"},
+	"swaptions":     {"1.5K", "152K"},
+	"vips":          {"3.2K", "17M"},
+	"x264":          {"40.3K", "2.4M"},
+}
+
+func init() {
+	for _, prof := range parsecProfiles() {
+		prof := prof
+		meta := parsecMeta[prof.Name]
+		register(&App{
+			Name:    prof.Name,
+			Kind:    "parsec",
+			LOC:     meta[0],
+			BinSize: meta[1],
+			Build: func(cfg Config) *sim.Program {
+				return buildMix(prof.Name, prof, cfg)
+			},
+		})
+	}
+}

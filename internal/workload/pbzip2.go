@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"perfplay/internal/sim"
+	"perfplay/internal/vtime"
+)
+
+// pbzip2 models the parallel bzip2 compressor (Sec. 6.1: compressing a
+// 256 MB file with two processors): a producer reads file blocks into a
+// FIFO, consumer threads pop and compress them into per-consumer output
+// slots, and a file-writer thread drains the slots. The end/empty stage
+// contains case-study #BUG 2 (Fig. 18): whenever the FIFO is empty, every
+// consumer checks
+//
+//	lock(mu);   load(fifo->empty);
+//	lock(muDone); load(producerDone); unlock(muDone);
+//	unlock(mu);
+//
+// — nested read-read ULCPs that serialize the consumers' polling and,
+// at the join, all their exits.
+//
+// The simulated thread layout matches the real program: one producer,
+// cfg.Threads consumers, one file writer.
+
+// buildPbzip2 builds the buggy (as-shipped) compressor model.
+func buildPbzip2(cfg Config) *sim.Program {
+	return buildPbzip2Variant(cfg, false)
+}
+
+// BuildPbzip2Fixed models the paper's signal/wait fix for #BUG 2: the
+// producer takes responsibility for the fifo->empty/producerDone check and
+// signals consumers once at the end, so the polling pairs disappear.
+func BuildPbzip2Fixed(cfg Config) *sim.Program {
+	return buildPbzip2Variant(cfg, true)
+}
+
+func buildPbzip2Variant(cfg Config, fixed bool) *sim.Program {
+	cfg = cfg.withDefaults()
+	name := "pbzip2"
+	if fixed {
+		name = "pbzip2-fixed"
+	}
+	p := sim.NewProgram(name)
+
+	mu := p.NewLock("mu")             // FIFO mutex
+	muDone := p.NewLock("muDone")     // producer-done mutex
+	outMu := p.NewLock("OutMutex")    // output-slot mutex
+	notEmpty := p.NewCond("notEmpty") // consumer wakeup
+
+	fifoLen := p.Mem.Alloc("fifo->len", 0)
+	fifoHead := p.Mem.Alloc("fifo->head", 0)
+	fifoTail := p.Mem.Alloc("fifo->tail", 0)
+	producerDone := p.Mem.Alloc("producerDone", 0)
+	outSlots := p.Mem.AllocN("OutputBuffer", cfg.Threads, 0)
+	outTail := p.Mem.Alloc("OutputBuffer->tail", 0)
+	progress := p.Mem.Alloc("bytesCompleted", 0)
+
+	sProd := p.Site("pbzip2.cpp", 1030, "producer")
+	sCons := p.Site("pbzip2.cpp", 2109, "consumer")
+	sPop := p.Site("pbzip2.cpp", 2140, "consumer")
+	sDone := p.Site("pbzip2.cpp", 534, "syncGetProducerDone")
+	sSetDone := p.Site("pbzip2.cpp", 1101, "producer")
+	sOut := p.Site("pbzip2.cpp", 2205, "consumer")
+	sWriter := p.Site("pbzip2.cpp", 840, "fileWriter")
+	sProg := p.Site("pbzip2.cpp", 2262, "consumer")
+	progressMu := p.NewLock("ProgressMutex")
+
+	blocks := cfg.iters(350) // block count scales with input file size
+
+	// Producer: read a block (I/O modelled as compute), push under mu.
+	// The FIFO is bounded as in the real program, so the producer paces
+	// itself to the consumers.
+	const fifoCap = 1
+	// Seeks happen per file segment: their count is input-independent, so
+	// the polling windows (and #BUG 2's absolute cost) stay fixed while
+	// the run grows with the input — the declining trend of Fig. 19b.
+	seekEvery := blocks / 29
+	if seekEvery < 6 {
+		seekEvery = 6
+	}
+	p.AddThread(func(th *sim.Thread) {
+		for b := 0; b < blocks; b++ {
+			// Reading is usually faster than compressing, but periodically
+			// a disk seek stalls the producer and the FIFO drains — that
+			// is when the consumers start polling (the #BUG 2 window).
+			cost := vtime.Duration(1150)
+			if b%seekEvery == seekEvery-1 {
+				cost = 3600
+			}
+			th.Compute(jittered(th, cost))
+			for {
+				th.Lock(mu, sProd)
+				if th.Read(fifoLen, sProd) < fifoCap {
+					v := th.Read(fifoTail, sProd)
+					th.Write(fifoTail, v+1, sProd)
+					th.Add(fifoLen, 1, sProd)
+					th.Unlock(mu, sProd)
+					break
+				}
+				th.Unlock(mu, sProd)
+				th.Compute(jittered(th, 400)) // FIFO full: brief backoff
+			}
+			if fixed {
+				th.Signal(notEmpty, sProd)
+			}
+		}
+		th.Lock(muDone, sSetDone)
+		th.Write(producerDone, 1, sSetDone)
+		th.Unlock(muDone, sSetDone)
+		if fixed {
+			// Wake any consumer parked on the empty FIFO. Taking mu first
+			// guarantees every consumer that read producerDone==0 has
+			// already entered the wait queue (no lost wakeup).
+			th.Lock(mu, sSetDone)
+			th.Read(fifoLen, sSetDone)
+			th.Unlock(mu, sSetDone)
+			th.Broadcast(notEmpty, sSetDone)
+		}
+	})
+
+	perConsumer := cfg.Threads
+	if perConsumer < 1 {
+		perConsumer = 1
+	}
+	compressCost := vtime.Duration(3000 * perConsumer / 2) // keep consumers slightly starved
+
+	for t := 0; t < cfg.Threads; t++ {
+		t := t
+		p.AddThread(func(th *sim.Thread) {
+			written := int64(0)
+			backoff := vtime.Duration(150)
+			th.Lock(mu, sCons)
+			for {
+				n := th.Read(fifoLen, sCons)
+				if n > 0 {
+					h := th.Read(fifoHead, sPop)
+					th.Write(fifoHead, h+1, sPop)
+					th.Add(fifoLen, -1, sPop)
+					th.Unlock(mu, sCons)
+					// bzip2 block compression has very uniform cost, so the
+					// consumers stay in phase and collide at the output
+					// queue every block.
+					th.Compute(compressCost)
+					// Publish into this consumer's private output slot — a
+					// disjoint write under the shared output lock. Every few
+					// blocks the shared queue tail must advance too (a real
+					// conflicting update).
+					written++
+					th.Lock(outMu, sOut)
+					// Inserting reads the shared queue tail, copies the
+					// block descriptor, and advances the tail once the
+					// local batch fills.
+					tail := th.Read(outTail, sOut)
+					th.Compute(90)
+					th.Write(outSlots[t], written, sOut)
+					if written%4 == 0 {
+						th.Write(outTail, tail+4, sOut)
+					}
+					th.Unlock(outMu, sOut)
+					// Coarse progress reporting for the UI.
+					if written%14 == 0 {
+						th.Lock(progressMu, sProg)
+						if written%42 == 0 {
+							v := th.Read(progress, sProg)
+							th.Write(progress, v+42, sProg)
+						} else {
+							th.Add(progress, 14, sProg)
+						}
+						th.Unlock(progressMu, sProg)
+					}
+					th.Lock(mu, sCons)
+					backoff = 150
+					continue
+				}
+				if fixed {
+					// Fixed variant: the producer owns the end check; a
+					// consumer just waits to be told (signal/wait model).
+					d := th.Read(producerDone, sDone)
+					if d == 1 {
+						break
+					}
+					th.Wait(notEmpty, mu, sCons)
+					continue
+				}
+				// #BUG 2: FIFO empty — poll producerDone under the nested
+				// muDone lock (the read-read ULCP of Fig. 18), then spin
+				// with backoff. The polling burns CPU and the nested locks
+				// serialize all consumers' checks.
+				th.Lock(muDone, sDone)
+				d := th.Read(producerDone, sDone)
+				th.Unlock(muDone, sDone)
+				if d == 1 {
+					break
+				}
+				th.Unlock(mu, sCons)
+				th.Compute(jittered(th, backoff))
+				backoff *= 2
+				if backoff > 2400 {
+					backoff = 2400
+				}
+				th.Lock(mu, sCons)
+			}
+			th.Unlock(mu, sCons)
+		})
+	}
+
+	// File writer: drain the output slots until every block is written.
+	p.AddThread(func(th *sim.Thread) {
+		for {
+			th.Lock(outMu, sWriter)
+			var sum int64
+			for _, slot := range outSlots {
+				sum += th.Read(slot, sWriter)
+			}
+			th.Unlock(outMu, sWriter)
+			if sum >= int64(blocks) {
+				return
+			}
+			th.Compute(jittered(th, 9000)) // write accumulated output
+		}
+	})
+	return p
+}
+
+func init() {
+	register(&App{
+		Name: "pbzip2", Kind: "desktop", LOC: "5K", BinSize: "1M",
+		Build: buildPbzip2,
+	})
+}

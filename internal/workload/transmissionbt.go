@@ -1,0 +1,39 @@
+package workload
+
+import "perfplay/internal/sim"
+
+// transmissionBT models the BitTorrent client downloading a local file
+// (Sec. 6.1: a 300 MB local download): piece-completion bookkeeping with
+// disjoint bit manipulation (a benign pattern the paper lists in
+// Sec. 2.1), read-mostly peer statistics, and per-piece buffer writes.
+
+func transmissionRegions() []Region {
+	return []Region{
+		// Peer/session statistics polled by the UI thread: read-only.
+		{Name: "session_stats", File: "libtransmission/session.c", Line: 1420,
+			Pattern: PatRead, Iters: 26, CSLen: 300, Gap: 420, ConflictEvery: 6},
+		// Per-piece buffers: each worker writes its own piece slot.
+		{Name: "piece_store", File: "libtransmission/cache.c", Line: 331,
+			Pattern: PatDisjointWrite, Iters: 30, CSLen: 340, Gap: 380, ConflictEvery: 8},
+		// Completion bitfield: disjoint bit sets — benign conflicts.
+		{Name: "bitfield_set", File: "libtransmission/bitfield.c", Line: 204,
+			Pattern: PatBenignAdd, Iters: 14, CSLen: 180, Gap: 320, ConflictEvery: 3},
+		// Choke/interest negotiation: genuine conflicting updates.
+		{Name: "peer_negotiate", File: "libtransmission/peer-mgr.c", Line: 2716,
+			Pattern: PatConflict, Iters: 90, CSLen: 260, Gap: 350},
+		// Event-loop wakeups that find nothing to do.
+		{Name: "announcer_idle", File: "libtransmission/announcer.c", Line: 1512,
+			Pattern: PatNull, Iters: 12, CSLen: 80, Gap: 300, LockPool: 9},
+	}
+}
+
+func buildTransmission(cfg Config) *sim.Program {
+	return buildMix("transmissionBT", Profile{Regions: transmissionRegions()}, cfg)
+}
+
+func init() {
+	register(&App{
+		Name: "transmissionBT", Kind: "desktop", LOC: "79K", BinSize: "4M",
+		Build: buildTransmission,
+	})
+}
