@@ -12,9 +12,9 @@ package perfplay_test
 import (
 	"testing"
 
-	"perfplay/internal/core"
 	"perfplay/internal/elision"
 	"perfplay/internal/experiments"
+	"perfplay/internal/pipeline"
 	"perfplay/internal/replay"
 	"perfplay/internal/sim"
 	"perfplay/internal/trace"
@@ -193,17 +193,37 @@ func BenchmarkReplaySyncS(b *testing.B) { benchReplay(b, replay.SyncS) }
 func BenchmarkReplayMemS(b *testing.B)  { benchReplay(b, replay.MemS) }
 
 func BenchmarkFullPipelineOpenldap(b *testing.B) {
-	app := workload.MustGet("openldap")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		p := app.Build(workload.Config{Threads: 2, Scale: benchScale, Seed: 42})
-		a, err := core.Analyze(p, core.Config{Sim: sim.Config{Seed: 42}})
+		res, err := pipeline.Run(pipeline.Request{App: "openldap", Threads: 2, Scale: benchScale, Seed: 42})
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(a.Debug.NormalizedDegradation()*100, "deg%")
+		b.ReportMetric(res.Analysis.Debug.NormalizedDegradation()*100, "deg%")
 	}
 }
+
+// Pipeline throughput: the full staged analysis (record, four-scheme
+// replay, sharded classification, quantification, report) serial vs
+// parallel, so future PRs have a perf trajectory to compare against.
+func benchPipelineWorkers(b *testing.B, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := pipeline.Run(pipeline.Request{
+			App: "mysql", Threads: 4, Scale: benchScale, Seed: 42,
+			Workers: workers, Schemes: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Analysis.Report.NumULCPs()), "ulcps")
+	}
+}
+
+func BenchmarkPipelineSerial(b *testing.B)   { benchPipelineWorkers(b, 1) }
+func BenchmarkPipelineWorkers2(b *testing.B) { benchPipelineWorkers(b, 2) }
+func BenchmarkPipelineWorkers4(b *testing.B) { benchPipelineWorkers(b, 4) }
+func BenchmarkPipelineWorkers8(b *testing.B) { benchPipelineWorkers(b, 8) }
 
 // Ablation: lockset replay with and without the dynamic locking strategy.
 func benchLocksetReplay(b *testing.B, dls bool) {

@@ -1,11 +1,13 @@
 // Command perfplay runs the PerfPlay pipeline on a modelled workload and
 // prints the ranked list of ULCP optimization opportunities — the
-// "List: ULCP optimization benefits" of the paper's Fig. 5.
+// "List: ULCP optimization benefits" of the paper's Fig. 5. All analysis
+// goes through the concurrent internal/pipeline orchestrator; -workers
+// sets the pool width (the report bytes are the same at any width).
 //
 // Usage:
 //
-//	perfplay -app mysql -threads 2 [-scale 0.5] [-top 5]
-//	         [-trace out.trace] [-json] [-races]
+//	perfplay -app mysql -threads 2 [-scale 0.5] [-top 5] [-workers 8]
+//	         [-trace out.trace] [-json] [-races] [-schemes]
 //	perfplay -list
 //
 // With -trace the recorded execution is also written to disk in the
@@ -22,9 +24,8 @@ import (
 	"perfplay/internal/core"
 	"perfplay/internal/elision"
 	"perfplay/internal/multi"
-	"perfplay/internal/race"
+	"perfplay/internal/pipeline"
 	"perfplay/internal/replay"
-	"perfplay/internal/sim"
 	timelinepkg "perfplay/internal/timeline"
 	"perfplay/internal/trace"
 	"perfplay/internal/tracediff"
@@ -40,6 +41,8 @@ func main() {
 		input     = flag.String("input", "simlarge", "input size: simsmall, simmedium, simlarge")
 		seed      = flag.Int64("seed", 42, "recording seed")
 		top       = flag.Int("top", 5, "number of recommendations to print")
+		workers   = flag.Int("workers", 1, "pipeline worker-pool width (1 = serial)")
+		schemes   = flag.Bool("schemes", false, "also replay the recording under all four schedulers")
 		traceOut  = flag.String("trace", "", "write the recorded trace to this file")
 		jsonOut   = flag.Bool("json", false, "write the trace as JSON instead of binary")
 		replayIn  = flag.String("replay", "", "replay an existing trace file instead of recording")
@@ -81,16 +84,28 @@ func main() {
 		return
 	}
 
+	req := pipeline.Request{
+		Threads:        *threads,
+		Scale:          *scale,
+		Seed:           *seed,
+		TopK:           *top,
+		Workers:        *workers,
+		Schemes:        *schemes,
+		DetectRaces:    *races,
+		VerifyTheorem1: *verifyT1,
+	}
+
 	if *caseNum != 0 {
 		p, err := workload.BuildCase(*caseNum, workload.Config{Threads: *threads, Scale: *scale, Seed: *seed})
 		if err != nil {
 			fatal(err)
 		}
-		analysis, err := core.Analyze(p, core.Config{Sim: sim.Config{Seed: *seed}, DetectRaces: *races})
+		req.Program = p
+		res, err := pipeline.Run(req)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Print(analysis.Summary(*top))
+		fmt.Print(res.Report)
 		return
 	}
 
@@ -99,65 +114,60 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	app, ok := workload.Get(*appName)
-	if !ok {
+	if _, ok := workload.Get(*appName); !ok {
 		fatal(fmt.Errorf("unknown workload %q; try -list", *appName))
 	}
+	req.App = *appName
 
-	in := workload.SimLarge
-	switch strings.ToLower(*input) {
-	case "simsmall":
-		in = workload.SimSmall
-	case "simmedium":
-		in = workload.SimMedium
-	case "simlarge":
-	default:
-		fatal(fmt.Errorf("unknown input size %q", *input))
+	in, err := workload.ParseInputSize(*input)
+	if err != nil {
+		fatal(err)
 	}
+	req.Input = in
 
 	if *runs > 1 {
 		// Multi-trace mode (Sec. 6.7 extension): analyze several
-		// differently-seeded recordings and recommend only the code
-		// regions whose opportunity holds in every one.
-		var analyses []*core.Analysis
-		for r := 0; r < *runs; r++ {
-			s := *seed + int64(r)
-			p := app.Build(workload.Config{Threads: *threads, Scale: *scale, Input: in, Seed: s})
-			a, err := core.Analyze(p, core.Config{Sim: sim.Config{Seed: s}})
-			if err != nil {
-				fatal(err)
-			}
-			analyses = append(analyses, a)
+		// differently-seeded recordings — spread over the pool — and
+		// recommend only the code regions whose opportunity holds in
+		// every one.
+		seeds := make([]int64, *runs)
+		for r := range seeds {
+			seeds[r] = *seed + int64(r)
+		}
+		// multi.Merge consumes only the quantification artifacts, so
+		// don't pay for per-seed scheme replays or Theorem 1 checks
+		// whose output would be discarded.
+		req.Schemes, req.VerifyTheorem1, req.DetectRaces = false, false, false
+		results, err := pipeline.New(pipeline.Options{}).RunSeeds(req, seeds)
+		if err != nil {
+			fatal(err)
+		}
+		analyses := make([]*core.Analysis, len(results))
+		for i, r := range results {
+			analyses[i] = r.Analysis
 		}
 		fmt.Print(multi.Merge(analyses).Summary(*top))
 		return
 	}
 
-	p := app.Build(workload.Config{Threads: *threads, Scale: *scale, Input: in, Seed: *seed})
-	cfg := core.Config{Sim: sim.Config{Seed: *seed}, DetectRaces: *races, VerifyTheorem1: *verifyT1}
-	analysis, err := core.Analyze(p, cfg)
+	res, err := pipeline.Run(req)
 	if err != nil {
 		fatal(err)
 	}
+	analysis := res.Analysis
 
-	fmt.Print(analysis.Summary(*top))
-	if analysis.Theorem1 != nil {
-		fmt.Println(" " + analysis.Theorem1.String())
-	}
+	fmt.Print(res.Report)
 	if *timeline {
 		fmt.Println(timelinepkg.Render(analysis.Recorded.Trace, timelinepkg.Options{Width: 100}))
 	}
 	if *le {
-		res, err := elision.Run(analysis.Recorded.Trace, elision.Options{Seed: *seed})
+		leRes, err := elision.Run(analysis.Recorded.Trace, elision.Options{Seed: *seed})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("lock elision baseline: total %v (locked %v, ULCP-free %v); %d commits, %d aborts (%d false), %d fallbacks, %v wasted\n",
-			res.Total, analysis.Debug.Tut, analysis.Debug.Tuft,
-			res.Commits, res.Aborts, res.FalseAborts, res.Fallbacks, res.WastedWork)
-	}
-	for _, r := range analysis.Races {
-		fmt.Printf(" race: %s\n", r)
+			leRes.Total, analysis.Debug.Tut, analysis.Debug.Tuft,
+			leRes.Commits, leRes.Aborts, leRes.FalseAborts, leRes.Fallbacks, leRes.WastedWork)
 	}
 
 	if *traceOut != "" {
@@ -181,11 +191,11 @@ func main() {
 // diffFiles loads two trace files and prints the per-region lock profile
 // diff (e.g. a buggy recording against a patched one).
 func diffFiles(pathA, pathB string) error {
-	a, err := loadTrace(pathA)
+	a, err := trace.ReadFile(pathA)
 	if err != nil {
 		return err
 	}
-	b, err := loadTrace(pathB)
+	b, err := trace.ReadFile(pathB)
 	if err != nil {
 		return err
 	}
@@ -197,40 +207,12 @@ func diffFiles(pathA, pathB string) error {
 	return nil
 }
 
-func loadTrace(path string) (*trace.Trace, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	tr, err := trace.ReadBinary(f)
-	if err == nil {
-		return tr, nil
-	}
-	if _, serr := f.Seek(0, 0); serr != nil {
-		return nil, err
-	}
-	return trace.ReadJSON(f)
-}
-
 // replayFile loads a trace from disk and replays it under the chosen
 // scheme, reporting the replayed time and ULCP summary.
 func replayFile(path, scheme string) error {
-	f, err := os.Open(path)
+	tr, err := trace.ReadFile(path)
 	if err != nil {
 		return err
-	}
-	defer f.Close()
-	tr, err := trace.ReadBinary(f)
-	if err != nil {
-		// Fall back to JSON.
-		if _, serr := f.Seek(0, 0); serr != nil {
-			return err
-		}
-		tr, err = trace.ReadJSON(f)
-		if err != nil {
-			return err
-		}
 	}
 	var sched replay.Scheduler
 	switch strings.ToLower(scheme) {
@@ -253,10 +235,11 @@ func replayFile(path, scheme string) error {
 		tr.App, len(tr.Events), tr.NumThreads, sched)
 	fmt.Printf(" recorded total: %v   replayed total: %v\n", tr.TotalTime, res.Total)
 	css := tr.ExtractCS()
-	rep := ulcp.Identify(tr, css, ulcp.Options{})
+	// Sharded identification, so the counts agree with what -app and
+	// the daemon report for the same recording.
+	rep := ulcp.IdentifySharded(tr, css, ulcp.Options{})
 	fmt.Printf(" critical sections: %d  ULCPs: %d  TLCPs: %d\n",
 		len(css), rep.NumULCPs(), rep.Counts[ulcp.TLCP])
-	_ = race.OrderByStart
 	return nil
 }
 

@@ -1,0 +1,50 @@
+// Command perfplayd is the PerfPlay analysis daemon: a long-running
+// HTTP service that accepts analysis jobs — a workload spec or an
+// uploaded trace file — runs them through the concurrent
+// internal/pipeline orchestrator on a bounded job queue, and serves the
+// ranked reports back as JSON.
+//
+// Endpoints:
+//
+//	POST /analyze    submit a job; JSON spec {"app": "mysql", "threads": 4,
+//	                 "scale": 0.5, "seed": 42, "schemes": true} or a raw
+//	                 trace body (binary or JSON encoding, options as
+//	                 ?schemes=true&races=true&top=5); returns {id}
+//	GET  /jobs/{id}  job status plus, once done, the JSON report
+//	GET  /healthz    liveness, job counts, queue and cache occupancy
+//
+// Usage:
+//
+//	perfplayd [-addr :8080] [-workers 2] [-pipeline-workers 4]
+//	          [-queue 64] [-cache 128] [-max-jobs 1024]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 2, "concurrent analysis jobs")
+		plWorkers  = flag.Int("pipeline-workers", 4, "worker-pool width inside each job")
+		queueDepth = flag.Int("queue", 64, "pending-job queue depth (further submits get 503)")
+		cacheSize  = flag.Int("cache", 128, "LRU result cache capacity")
+		maxJobs    = flag.Int("max-jobs", 1024, "finished jobs retained before eviction")
+	)
+	flag.Parse()
+
+	srv := NewServer(Config{
+		Workers:         *workers,
+		PipelineWorkers: *plWorkers,
+		QueueDepth:      *queueDepth,
+		CacheSize:       *cacheSize,
+		MaxJobs:         *maxJobs,
+	})
+	srv.Start()
+	log.Printf("perfplayd listening on %s (%d job workers × %d pipeline workers, queue %d)",
+		*addr, *workers, *plWorkers, *queueDepth)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,449 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"perfplay/internal/pipeline"
+	"perfplay/internal/trace"
+	"perfplay/internal/workload"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers is the number of job-executor goroutines (0 = 2).
+	Workers int
+	// PipelineWorkers is the pool width inside each job (0 = 4).
+	PipelineWorkers int
+	// QueueDepth bounds the pending-job queue; submissions beyond it
+	// are rejected with 503 so memory stays bounded under load (0 = 64).
+	QueueDepth int
+	// CacheSize is the pipeline's LRU result cache capacity (0 = 128).
+	CacheSize int
+	// MaxJobs bounds retained finished jobs; the oldest are evicted
+	// (0 = 1024).
+	MaxJobs int
+	// MaxTraceBytes caps each uploaded trace body (0 = 64 MiB).
+	MaxTraceBytes int64
+	// MaxQueuedTraceBytes caps the sum of upload sizes across all
+	// queued-but-unstarted trace jobs plus uploads still being
+	// buffered in handlers — a parsed trace lives in memory until a
+	// worker drains it, so the count-based queue bound alone would
+	// still admit QueueDepth×MaxTraceBytes of retained trace data.
+	// Chunked uploads (no Content-Length) can overshoot by at most one
+	// MaxTraceBytes body each before their size is known (0 = 256 MiB).
+	MaxQueuedTraceBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.PipelineWorkers == 0 {
+		c.PipelineWorkers = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 1024
+	}
+	if c.MaxTraceBytes == 0 {
+		c.MaxTraceBytes = 64 << 20
+	}
+	if c.MaxQueuedTraceBytes == 0 {
+		c.MaxQueuedTraceBytes = 256 << 20
+	}
+	return c
+}
+
+// Job states.
+const (
+	statusQueued  = "queued"
+	statusRunning = "running"
+	statusDone    = "done"
+	statusFailed  = "failed"
+)
+
+// job is one submitted analysis. Only the rendered report and summary
+// numbers are retained after completion — never the traces — so a
+// long-running daemon's footprint is bounded by MaxJobs small records.
+type job struct {
+	ID        string    `json:"id"`
+	Status    string    `json:"status"`
+	Submitted time.Time `json:"submitted"`
+	Finished  time.Time `json:"finished,omitzero"`
+	Error     string    `json:"error,omitempty"`
+
+	App            string            `json:"app,omitempty"`
+	Threads        int               `json:"threads,omitempty"`
+	Seed           int64             `json:"seed,omitempty"`
+	CritSecs       int               `json:"critical_sections,omitempty"`
+	ULCPs          int               `json:"ulcps,omitempty"`
+	DegradationPct float64           `json:"degradation_pct,omitempty"`
+	Schemes        map[string]string `json:"schemes,omitempty"`
+	CacheHit       bool              `json:"cache_hit,omitempty"`
+	Report         string            `json:"report,omitempty"`
+
+	req pipeline.Request
+	// traceBytes is the uploaded body size (an estimate of the parsed
+	// trace's footprint) counted against MaxQueuedTraceBytes until the
+	// job starts.
+	traceBytes int64
+}
+
+// analyzeSpec is the JSON body of POST /analyze.
+type analyzeSpec struct {
+	App     string  `json:"app"`
+	Threads int     `json:"threads"`
+	Input   string  `json:"input"`
+	Scale   float64 `json:"scale"`
+	Seed    int64   `json:"seed"`
+	Top     int     `json:"top"`
+	Schemes bool    `json:"schemes"`
+	Races   bool    `json:"races"`
+}
+
+// Server is the perfplayd HTTP front end: a bounded job queue drained
+// by a fixed set of workers, each running the concurrent pipeline.
+type Server struct {
+	cfg   Config
+	pl    *pipeline.Pipeline
+	queue chan *job
+
+	mu               sync.Mutex
+	jobs             map[string]*job
+	order            []string // finished job IDs, oldest first, for eviction
+	seq              int64
+	queuedTraceBytes int64 // upload bytes awaiting a worker
+	inflightBytes    int64 // upload bytes being buffered/parsed in handlers
+
+	wg      sync.WaitGroup
+	started bool
+	closed  bool
+}
+
+// NewServer builds a server; call Start to launch its workers.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		pl:    pipeline.New(pipeline.Options{CacheSize: cfg.CacheSize}),
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  make(map[string]*job),
+	}
+}
+
+// Start launches the executor goroutines.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	s.wg.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
+}
+
+// Close stops accepting jobs and waits for in-flight ones. Submissions
+// racing with Close get a 503 rather than a send on a closed channel —
+// enqueue and close both happen under the mutex.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	j.Status = statusRunning
+	s.queuedTraceBytes -= j.traceBytes // the upload has left the queue
+	s.mu.Unlock()
+
+	res, err := func() (res *pipeline.Result, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("analysis panicked: %v", r)
+			}
+		}()
+		return s.pl.Run(j.req)
+	}()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.Finished = time.Now()
+	j.req = pipeline.Request{} // release any uploaded trace
+	if err != nil {
+		j.Status = statusFailed
+		j.Error = err.Error()
+	} else {
+		j.Status = statusDone
+		a := res.Analysis
+		j.App = a.App
+		if a.Recorded != nil {
+			j.Threads = a.Recorded.Trace.NumThreads
+		} else {
+			j.Threads = len(a.OrigReplay.PerThreadCPU)
+		}
+		j.CritSecs = len(a.CSs)
+		j.ULCPs = a.Report.NumULCPs()
+		j.DegradationPct = a.Debug.NormalizedDegradation() * 100
+		j.CacheHit = res.CacheHit
+		j.Report = res.Report
+		if len(res.Schemes) > 0 {
+			j.Schemes = make(map[string]string, len(res.Schemes))
+			for _, sr := range res.Schemes {
+				j.Schemes[sr.Sched.String()] = sr.Result.Total.String()
+			}
+		}
+	}
+	s.order = append(s.order, j.ID)
+	s.evictLocked()
+}
+
+// evictLocked drops the oldest finished jobs beyond MaxJobs.
+func (s *Server) evictLocked() {
+	for len(s.order) > s.cfg.MaxJobs {
+		delete(s.jobs, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	// Cheap admission pre-checks before buffering the body, so overload
+	// rejection doesn't pay the read-and-parse cost; the authoritative
+	// checks re-run under the mutex at enqueue time.
+	ct := r.Header.Get("Content-Type")
+	jsonish := ct == "" || strings.HasPrefix(ct, "application/json")
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	if len(s.queue) == cap(s.queue) {
+		httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.QueueDepth)
+		return
+	}
+
+	// Trace bytes are budgeted from the moment they start buffering,
+	// not just once queued, so N concurrent uploads cannot transiently
+	// hold N×MaxTraceBytes. Known-length uploads reserve before the
+	// body is read; chunked ones reserve as soon as their size is
+	// known, right after buffering.
+	var reserved int64
+	reserve := func(n int64) bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.queuedTraceBytes+s.inflightBytes+n > s.cfg.MaxQueuedTraceBytes {
+			return false
+		}
+		s.inflightBytes += n
+		reserved = n
+		return true
+	}
+	defer func() {
+		if reserved > 0 {
+			s.mu.Lock()
+			s.inflightBytes -= reserved
+			s.mu.Unlock()
+		}
+	}()
+	backlogFull := func() {
+		httpError(w, http.StatusServiceUnavailable,
+			"trace backlog full (limit %d bytes)", s.cfg.MaxQueuedTraceBytes)
+	}
+	if !jsonish && r.ContentLength > 0 && !reserve(r.ContentLength) {
+		backlogFull()
+		return
+	}
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxTraceBytes)
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(body); err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "request body: %v", err)
+		return
+	}
+
+	// A JSON-encoded trace arrives with the same content type as a
+	// workload spec; traces carry an "events" array, specs never do.
+	isTrace := !jsonish
+	if jsonish {
+		var probe struct {
+			Events json.RawMessage `json:"events"`
+		}
+		if json.Unmarshal(buf.Bytes(), &probe) == nil && probe.Events != nil {
+			isTrace = true
+		}
+	}
+
+	var req pipeline.Request
+	var uploadBytes int64
+	if isTrace {
+		if reserved == 0 && !reserve(int64(buf.Len())) {
+			backlogFull()
+			return
+		}
+		tr, err := trace.ReadAny(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if len(tr.Events) == 0 || tr.NumThreads == 0 {
+			httpError(w, http.StatusBadRequest,
+				"empty trace (%d events, %d threads) — did you mean a JSON workload spec?",
+				len(tr.Events), tr.NumThreads)
+			return
+		}
+		uploadBytes = int64(buf.Len())
+		// Analysis options ride as query parameters on upload requests
+		// (the body is the trace itself).
+		q := r.URL.Query()
+		top, _ := strconv.Atoi(q.Get("top"))
+		req = pipeline.Request{
+			Trace:       tr,
+			TopK:        top,
+			Schemes:     q.Get("schemes") == "true",
+			DetectRaces: q.Get("races") == "true",
+		}
+	} else {
+		var spec analyzeSpec
+		if err := json.Unmarshal(buf.Bytes(), &spec); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		if _, ok := workload.Get(spec.App); !ok {
+			httpError(w, http.StatusBadRequest, "unknown workload %q", spec.App)
+			return
+		}
+		input, err := workload.ParseInputSize(spec.Input)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		req = pipeline.Request{
+			App: spec.App, Threads: spec.Threads, Input: input,
+			Scale: spec.Scale, Seed: spec.Seed, TopK: spec.Top,
+			Schemes: spec.Schemes, DetectRaces: spec.Races,
+		}
+	}
+	req.Workers = s.cfg.PipelineWorkers
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	// The byte budget was enforced when the upload reserved its
+	// in-flight bytes; enqueueing transfers the accounting from
+	// inflightBytes (released by the deferred handler) to
+	// queuedTraceBytes (released when a worker picks the job up).
+	s.seq++
+	j := &job{
+		ID:         fmt.Sprintf("job-%d", s.seq),
+		Status:     statusQueued,
+		Submitted:  time.Now(),
+		Seed:       req.Seed,
+		req:        req,
+		traceBytes: uploadBytes,
+	}
+	s.jobs[j.ID] = j
+	var enqueued bool
+	select { // non-blocking, so holding the mutex across it is fine
+	case s.queue <- j:
+		enqueued = true
+		s.queuedTraceBytes += uploadBytes
+	default:
+		delete(s.jobs, j.ID)
+	}
+	s.mu.Unlock()
+	if !enqueued {
+		httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.QueueDepth)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.ID, "status": statusQueued})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var snapshot job
+	if ok {
+		snapshot = *j
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, &snapshot)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	counts := map[string]int{}
+	for _, j := range s.jobs {
+		counts[j.Status]++
+	}
+	queuedBytes := s.queuedTraceBytes
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":                 true,
+		"jobs":               counts,
+		"queue_depth":        s.cfg.QueueDepth,
+		"queue_len":          len(s.queue),
+		"queued_trace_bytes": queuedBytes,
+		"cached":             s.pl.CacheLen(),
+		"workers":            s.cfg.Workers,
+		"pool_workers":       s.cfg.PipelineWorkers,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

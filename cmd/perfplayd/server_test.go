@@ -1,0 +1,330 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"perfplay/internal/sim"
+	"perfplay/internal/workload"
+)
+
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(cfg)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// waitDone polls GET /jobs/{id} until the job leaves the queue.
+func waitDone(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := decode[map[string]any](t, resp)
+		switch j["status"] {
+		case statusDone, statusFailed:
+			return j
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return nil
+}
+
+func TestAnalyzeWorkloadSpec(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	resp := postJSON(t, ts.URL+"/analyze",
+		`{"app":"mysql","threads":4,"scale":0.2,"seed":7,"schemes":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	sub := decode[map[string]string](t, resp)
+	if sub["id"] == "" || sub["status"] != statusQueued {
+		t.Fatalf("submit response: %v", sub)
+	}
+
+	j := waitDone(t, ts.URL, sub["id"])
+	if j["status"] != statusDone {
+		t.Fatalf("job failed: %v", j["error"])
+	}
+	report, _ := j["report"].(string)
+	if !strings.Contains(report, "PerfPlay analysis of mysql") {
+		t.Fatalf("report = %q", report)
+	}
+	if j["app"] != "mysql" {
+		t.Fatalf("app = %v", j["app"])
+	}
+	schemes, _ := j["schemes"].(map[string]any)
+	if len(schemes) != 4 {
+		t.Fatalf("schemes = %v", schemes)
+	}
+
+	// The identical spec resubmitted must be served from the LRU cache.
+	resp = postJSON(t, ts.URL+"/analyze",
+		`{"app":"mysql","threads":4,"scale":0.2,"seed":7,"schemes":true}`)
+	sub = decode[map[string]string](t, resp)
+	j2 := waitDone(t, ts.URL, sub["id"])
+	if j2["cache_hit"] != true {
+		t.Fatalf("resubmission missed the cache: %v", j2["cache_hit"])
+	}
+	if j2["report"] != report {
+		t.Fatal("cached report differs")
+	}
+}
+
+func TestAnalyzeTraceUpload(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	app := workload.MustGet("pbzip2")
+	rec := sim.Run(app.Build(workload.Config{Threads: 2, Scale: 0.2, Seed: 3}), sim.Config{Seed: 3})
+	var buf bytes.Buffer
+	if err := rec.Trace.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/analyze?schemes=true", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	sub := decode[map[string]string](t, resp)
+	j := waitDone(t, ts.URL, sub["id"])
+	if j["status"] != statusDone {
+		t.Fatalf("upload job failed: %v", j["error"])
+	}
+	report, _ := j["report"].(string)
+	if !strings.Contains(report, "pbzip2") {
+		t.Fatalf("report = %q", report)
+	}
+	// The scheme section's baseline must be the recording's own wall
+	// time from the trace header, not an ELSC re-replay total.
+	wantrecorded := fmt.Sprintf("scheme replays (recorded %v)", rec.Trace.TotalTime)
+	if !strings.Contains(report, wantrecorded) {
+		t.Fatalf("report lacks %q:\n%s", wantrecorded, report)
+	}
+}
+
+// TestAnalyzeJSONTraceUpload: a JSON-encoded trace posted with
+// Content-Type: application/json must be recognized as a trace (it
+// carries an "events" array), not misparsed as a workload spec that
+// would silently re-record a fresh run.
+func TestAnalyzeJSONTraceUpload(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	app := workload.MustGet("pbzip2")
+	rec := sim.Run(app.Build(workload.Config{Threads: 2, Scale: 0.2, Seed: 3}), sim.Config{Seed: 3})
+	var buf bytes.Buffer
+	if err := rec.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := postJSON(t, ts.URL+"/analyze", buf.String())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	sub := decode[map[string]string](t, resp)
+	j := waitDone(t, ts.URL, sub["id"])
+	if j["status"] != statusDone {
+		t.Fatalf("json trace job failed: %v", j["error"])
+	}
+	// An analyzed upload reports the trace's own event count; a
+	// misrouted spec job would have re-recorded and shown a seed field.
+	if got := j["critical_sections"].(float64); int(got) != len(rec.Trace.ExtractCS()) {
+		t.Fatalf("critical_sections = %v, want %d (trace was re-recorded, not analyzed?)",
+			got, len(rec.Trace.ExtractCS()))
+	}
+}
+
+// TestAnalyzeSpecWrongContentType: a spec body sent without the JSON
+// content type (curl -d default) decodes as a zero-event trace and must
+// be rejected loudly, not analyzed into an all-zero report.
+func TestAnalyzeSpecWrongContentType(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/analyze", "application/x-www-form-urlencoded",
+		strings.NewReader(`{"app":"mysql","scale":0.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if errBody := decode[map[string]string](t, resp); !strings.Contains(errBody["error"], "empty trace") {
+		t.Fatalf("error = %q", errBody["error"])
+	}
+}
+
+func TestAnalyzeRejectsBadInput(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	for body, want := range map[string]int{
+		`{"app":"no-such-app"}`:              http.StatusBadRequest,
+		`{nope`:                              http.StatusBadRequest,
+		`{"app":"mysql","input":"simwrong"}`: http.StatusBadRequest,
+	} {
+		resp := postJSON(t, ts.URL+"/analyze", body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("body %q: status %d, want %d", body, resp.StatusCode, want)
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/analyze", "application/octet-stream",
+		strings.NewReader("definitely not a trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage trace: status %d", resp.StatusCode)
+	}
+}
+
+func TestJobNotFound(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestQueueBounded(t *testing.T) {
+	// No Start(): nothing drains the depth-1 queue, so the second
+	// submission must be rejected rather than buffered without bound.
+	s := NewServer(Config{QueueDepth: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	first := postJSON(t, ts.URL+"/analyze", `{"app":"mysql","scale":0.2}`)
+	first.Body.Close()
+	if first.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", first.StatusCode)
+	}
+	second := postJSON(t, ts.URL+"/analyze", `{"app":"mysql","scale":0.2}`)
+	defer second.Body.Close()
+	if second.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second submit: status %d, want 503", second.StatusCode)
+	}
+	errBody := decode[map[string]string](t, second)
+	if !strings.Contains(errBody["error"], "queue full") {
+		t.Fatalf("error = %q", errBody["error"])
+	}
+}
+
+func TestQueuedTraceBytesBounded(t *testing.T) {
+	// No Start(): uploads accumulate in the queue, so the aggregate
+	// byte budget — not just the job count — must push back.
+	app := workload.MustGet("pbzip2")
+	rec := sim.Run(app.Build(workload.Config{Threads: 2, Scale: 0.2, Seed: 3}), sim.Config{Seed: 3})
+	var buf bytes.Buffer
+	if err := rec.Trace.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	payload := buf.Bytes()
+
+	s := NewServer(Config{QueueDepth: 16, MaxQueuedTraceBytes: int64(len(payload)) + 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	first, err := http.Post(ts.URL+"/analyze", "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Body.Close()
+	if first.StatusCode != http.StatusAccepted {
+		t.Fatalf("first upload: status %d", first.StatusCode)
+	}
+	second, err := http.Post(ts.URL+"/analyze", "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Body.Close()
+	if second.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second upload: status %d, want 503", second.StatusCode)
+	}
+	if errBody := decode[map[string]string](t, second); !strings.Contains(errBody["error"], "trace backlog full") {
+		t.Fatalf("error = %q", errBody["error"])
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	h := decode[map[string]any](t, resp)
+	if h["ok"] != true {
+		t.Fatalf("healthz = %v", h)
+	}
+}
+
+func TestJobEviction(t *testing.T) {
+	s, ts := testServer(t, Config{MaxJobs: 2})
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		resp := postJSON(t, ts.URL+"/analyze", `{"app":"pbzip2","scale":0.2,"seed":`+string(rune('0'+i))+`}`)
+		sub := decode[map[string]string](t, resp)
+		waitDone(t, ts.URL, sub["id"])
+		ids = append(ids, sub["id"])
+	}
+	s.mu.Lock()
+	retained := len(s.order)
+	s.mu.Unlock()
+	if retained != 2 {
+		t.Fatalf("retained %d finished jobs, want 2", retained)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job still served: status %d", resp.StatusCode)
+	}
+}

@@ -12,20 +12,14 @@ import (
 	"fmt"
 	"log"
 
-	"perfplay/internal/core"
+	"perfplay/examples/internal/exhelp"
 	"perfplay/internal/elision"
-	"perfplay/internal/sim"
 	"perfplay/internal/workload"
 )
 
 func main() {
 	for _, name := range []string{"mysql", "bodytrack"} {
-		app := workload.MustGet(name)
-		cfg := workload.Config{Threads: 2, Scale: 0.25, Seed: 5}
-		a, err := core.Analyze(app.Build(cfg), core.Config{Sim: sim.Config{Seed: 5}})
-		if err != nil {
-			log.Fatal(err)
-		}
+		a := exhelp.AnalyzeApp(name, workload.Config{Threads: 2, Scale: 0.25, Seed: 5})
 		le, err := elision.Run(a.Recorded.Trace, elision.Options{Seed: 5})
 		if err != nil {
 			log.Fatal(err)

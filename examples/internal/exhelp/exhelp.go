@@ -1,0 +1,54 @@
+// Package exhelp is the shared glue for the runnable examples: one
+// helper that drives the concurrent analysis pipeline and exits on
+// error, so every example declares only its workload parameters and the
+// paper-specific inspection it demonstrates.
+package exhelp
+
+import (
+	"log"
+
+	"perfplay/internal/core"
+	"perfplay/internal/pipeline"
+	"perfplay/internal/sim"
+	"perfplay/internal/workload"
+)
+
+// Analyze runs the pipeline on a request, exiting the example on error.
+func Analyze(req pipeline.Request) *pipeline.Result {
+	res, err := pipeline.Run(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+// AnalyzeApp analyzes one registered workload with the examples'
+// default pool width.
+func AnalyzeApp(app string, cfg workload.Config) *core.Analysis {
+	return Analyze(pipeline.Request{
+		App:     app,
+		Threads: cfg.Threads,
+		Input:   cfg.Input,
+		Scale:   cfg.Scale,
+		Seed:    cfg.Seed,
+		Workers: 4,
+	}).Analysis
+}
+
+// AnalyzeProgram analyzes a hand-built simulator program.
+func AnalyzeProgram(p *sim.Program, seed int64) *core.Analysis {
+	return Analyze(pipeline.Request{Program: p, Seed: seed, Workers: 4}).Analysis
+}
+
+// AnalyzeAppRaces is AnalyzeApp with the happens-before detector on.
+func AnalyzeAppRaces(app string, cfg workload.Config) *core.Analysis {
+	return Analyze(pipeline.Request{
+		App:         app,
+		Threads:     cfg.Threads,
+		Input:       cfg.Input,
+		Scale:       cfg.Scale,
+		Seed:        cfg.Seed,
+		Workers:     4,
+		DetectRaces: true,
+	}).Analysis
+}

@@ -9,9 +9,8 @@ package main
 
 import (
 	"fmt"
-	"log"
 
-	"perfplay/internal/core"
+	"perfplay/examples/internal/exhelp"
 	"perfplay/internal/sim"
 	"perfplay/internal/workload"
 )
@@ -20,13 +19,7 @@ func main() {
 	cfg := workload.Config{Threads: 4, Scale: 0.25, Seed: 11}
 
 	app := workload.MustGet("openldap")
-	analysis, err := core.Analyze(app.Build(cfg), core.Config{
-		Sim:         sim.Config{Seed: 11},
-		DetectRaces: true,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	analysis := exhelp.AnalyzeAppRaces("openldap", cfg)
 	fmt.Print(analysis.Summary(4))
 
 	// The spin loop shows up as read-read ULCPs in mp/mp_fopen.c.

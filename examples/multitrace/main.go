@@ -9,16 +9,14 @@ package main
 
 import (
 	"fmt"
-	"log"
 
+	"perfplay/examples/internal/exhelp"
 	"perfplay/internal/core"
 	"perfplay/internal/multi"
-	"perfplay/internal/sim"
 	"perfplay/internal/workload"
 )
 
 func main() {
-	app := workload.MustGet("facesim")
 	var analyses []*core.Analysis
 	configs := []workload.Config{
 		{Threads: 2, Input: workload.SimSmall, Scale: 0.5, Seed: 1},
@@ -26,10 +24,7 @@ func main() {
 		{Threads: 4, Input: workload.SimLarge, Scale: 0.5, Seed: 3},
 	}
 	for _, cfg := range configs {
-		a, err := core.Analyze(app.Build(cfg), core.Config{Sim: sim.Config{Seed: cfg.Seed}})
-		if err != nil {
-			log.Fatal(err)
-		}
+		a := exhelp.AnalyzeApp("facesim", cfg)
 		fmt.Printf("trace %s/%d threads/seed %d: degradation %.2f%%, %d groups\n",
 			cfg.Input, cfg.Threads, cfg.Seed,
 			a.Debug.NormalizedDegradation()*100, len(a.Debug.Groups))

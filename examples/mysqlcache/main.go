@@ -12,9 +12,8 @@ package main
 
 import (
 	"fmt"
-	"log"
 
-	"perfplay/internal/core"
+	"perfplay/examples/internal/exhelp"
 	"perfplay/internal/sim"
 	"perfplay/internal/workload"
 )
@@ -23,10 +22,7 @@ func main() {
 	cfg := workload.Config{Threads: 4, Scale: 0.25, Seed: 7}
 
 	app := workload.MustGet("mysql")
-	analysis, err := core.Analyze(app.Build(cfg), core.Config{Sim: sim.Config{Seed: 7}})
-	if err != nil {
-		log.Fatal(err)
-	}
+	analysis := exhelp.AnalyzeApp("mysql", cfg)
 	fmt.Print(analysis.Summary(5))
 
 	// Find the query-cache recommendation among the groups.

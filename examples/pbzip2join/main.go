@@ -9,9 +9,8 @@ package main
 
 import (
 	"fmt"
-	"log"
 
-	"perfplay/internal/core"
+	"perfplay/examples/internal/exhelp"
 	"perfplay/internal/sim"
 	"perfplay/internal/ulcp"
 	"perfplay/internal/workload"
@@ -21,10 +20,7 @@ func main() {
 	cfg := workload.Config{Threads: 2, Scale: 0.5, Seed: 3}
 
 	app := workload.MustGet("pbzip2")
-	analysis, err := core.Analyze(app.Build(cfg), core.Config{Sim: sim.Config{Seed: 3}})
-	if err != nil {
-		log.Fatal(err)
-	}
+	analysis := exhelp.AnalyzeApp("pbzip2", cfg)
 	fmt.Print(analysis.Summary(4))
 
 	// The Fig. 18 pattern shows up as read-read pairs at

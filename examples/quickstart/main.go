@@ -7,9 +7,8 @@ package main
 
 import (
 	"fmt"
-	"log"
 
-	"perfplay/internal/core"
+	"perfplay/examples/internal/exhelp"
 	"perfplay/internal/sim"
 	"perfplay/internal/ulcp"
 )
@@ -44,11 +43,9 @@ func main() {
 		}
 	})
 
-	// Record, identify, transform, replay both traces, rank.
-	analysis, err := core.Analyze(p, core.Config{Sim: sim.Config{Seed: 1}})
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Record, identify, transform, replay both traces, rank — one
+	// pipeline request.
+	analysis := exhelp.AnalyzeProgram(p, 1)
 	fmt.Print(analysis.Summary(3))
 
 	fmt.Println("\nbreakdown of identified pairs:")

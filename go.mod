@@ -1,0 +1,3 @@
+module perfplay
+
+go 1.24

@@ -85,7 +85,11 @@ func AnalyzeTrace(tr *trace.Trace, cfg Config) (*Analysis, error) {
 	a := &Analysis{App: tr.App}
 
 	a.CSs = tr.ExtractCS()
-	a.Report = ulcp.Identify(tr, a.CSs, cfg.Identify)
+	// Sharded identification (per-lock reversed-replay budget) is the
+	// repo's canonical semantics: it is what the concurrent pipeline
+	// computes, so every front end — core, CLI, daemon, experiments —
+	// reports the same counts for the same recording.
+	a.Report = ulcp.IdentifySharded(tr, a.CSs, cfg.Identify)
 
 	var err error
 	a.Transformed, err = transform.Apply(tr, a.CSs, a.Report)

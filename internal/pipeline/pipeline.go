@@ -1,0 +1,415 @@
+// Package pipeline is the concurrent analysis orchestrator: it runs the
+// PerfPlay stages — Record → Replay → Classify → Quantify → Report — as
+// one staged job with a typed Request/Result API, sharding the
+// embarrassingly parallel work (the four replay schemes, per-lock ULCP
+// pair enumeration with its per-pair reversed replays, and the
+// original/ULCP-free quantification replays) across a worker pool.
+//
+// Determinism is a hard contract: results are merged by task index in a
+// fixed order (schemes in scheduler order, classification shards in
+// sorted lock order), so a run with Workers: 8 produces byte-identical
+// reports to the serial path for the same seed. A Pipeline value adds an
+// LRU result cache keyed by (workload, input, threads, seed, config) on
+// top; cmd/perfplay, cmd/experiments, the examples, the bench harness
+// and the perfplayd daemon all drive their analyses through this
+// package instead of hand-rolling the stage glue.
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"perfplay/internal/core"
+	"perfplay/internal/perfdbg"
+	"perfplay/internal/race"
+	"perfplay/internal/replay"
+	"perfplay/internal/sim"
+	"perfplay/internal/trace"
+	"perfplay/internal/transform"
+	"perfplay/internal/ulcp"
+	"perfplay/internal/verify"
+	"perfplay/internal/vtime"
+	"perfplay/internal/workload"
+)
+
+// Request describes one analysis job. Exactly one input source applies:
+// a registered workload name (App), a pre-built simulator program
+// (Program), or a pre-recorded trace (Trace) — the latter two skip the
+// workload registry and, for Trace, the Record stage entirely.
+type Request struct {
+	// App names a registered workload (see internal/workload).
+	App string
+	// Program, when set, overrides App with a pre-built program
+	// (appendix cases, hand-written sim programs).
+	Program *sim.Program
+	// Trace, when set, is analyzed directly — the Record stage is
+	// skipped (uploaded or on-disk traces).
+	Trace *trace.Trace
+
+	// Threads, Input, Scale and Seed parameterize the recording;
+	// zero values select 2 threads, simlarge and scale 1.0.
+	Threads int
+	Input   workload.InputSize
+	Scale   float64
+	Seed    int64
+
+	// TopK bounds the ranked recommendations in the rendered report
+	// (0 = 5).
+	TopK int
+	// Workers is the pool width for the parallel stages; 0 or 1 runs
+	// the serial path. Output bytes do not depend on it.
+	Workers int
+	// Schemes additionally replays the recorded trace under all four
+	// schedulers (ORIG/ELSC/SYNC/MEM), in parallel.
+	Schemes bool
+
+	// DetectRaces, MaxRaces, DLS, LocksetCost, VerifyTheorem1 and
+	// Identify mirror core.Config. One deliberate difference from
+	// core.Analyze: classification shards per lock, so
+	// Identify.MaxReversedReplays budgets reversed replays per
+	// contended lock rather than per trace (shard-local budgets are
+	// what make the shards order-independent).
+	DetectRaces    bool
+	MaxRaces       int
+	DLS            bool
+	LocksetCost    vtime.Duration
+	VerifyTheorem1 bool
+	Identify       ulcp.Options
+}
+
+// normalize applies defaults so equivalent requests share a cache key.
+func (r Request) normalize() Request {
+	if r.Threads == 0 {
+		r.Threads = 2
+	}
+	if r.Scale == 0 {
+		r.Scale = 1.0
+	}
+	if r.TopK == 0 {
+		r.TopK = 5
+	}
+	if r.Workers < 1 {
+		r.Workers = 1
+	}
+	return r
+}
+
+// cacheable reports whether the request is a pure function of its cache
+// key; programs and pre-loaded traces are identified by pointer only
+// and therefore bypass the cache.
+func (r Request) cacheable() bool {
+	return r.App != "" && r.Program == nil && r.Trace == nil
+}
+
+// CacheKey canonically encodes every field that affects the computed
+// artifacts. Two fields are deliberately excluded: Workers (the
+// determinism contract makes the output identical at any pool width)
+// and TopK (it only affects report rendering, which a cache hit redoes
+// at the requested depth).
+func (r Request) CacheKey() string {
+	return fmt.Sprintf("%s|in%d|t%d|s%g|seed%d|sch%t|races%t|mr%d|dls%t|lc%d|v%t|id{%d,%t,%d}",
+		r.App, r.Input, r.Threads, r.Scale, r.Seed, r.Schemes,
+		r.DetectRaces, r.MaxRaces, r.DLS, r.LocksetCost, r.VerifyTheorem1,
+		r.Identify.MaxScanPerThread, r.Identify.DisableReversedReplay, r.Identify.MaxReversedReplays)
+}
+
+// SchemeReplay is one scheduler's replay of the recorded trace.
+type SchemeReplay struct {
+	Sched  replay.Scheduler
+	Result *replay.Result
+}
+
+// StageTiming records one stage's wall-clock time (observability only —
+// not part of the deterministic report).
+type StageTiming struct {
+	Stage string
+	Wall  time.Duration
+}
+
+// Result bundles a finished job: the full analysis artifacts, the
+// optional scheme replays, and the rendered ranked report whose bytes
+// are identical for serial and parallel runs of the same request.
+// Results are read-only: a cache hit returns a copy of the struct that
+// still shares the Analysis artifacts and slices with every other
+// holder of the same key, so mutating them would poison the cache.
+type Result struct {
+	Request  Request
+	Analysis *core.Analysis
+	Schemes  []SchemeReplay
+	Report   string
+	Timings  []StageTiming
+	CacheHit bool
+}
+
+// Pipeline is a long-lived orchestrator with a result cache. The zero
+// value is not usable; construct with New.
+type Pipeline struct {
+	cache *lruCache
+}
+
+// Options configures a Pipeline.
+type Options struct {
+	// CacheSize bounds the LRU result cache (0 disables caching).
+	CacheSize int
+}
+
+// New constructs a Pipeline.
+func New(opts Options) *Pipeline {
+	return &Pipeline{cache: newLRU(opts.CacheSize)}
+}
+
+// CacheLen reports how many results the cache currently holds.
+func (p *Pipeline) CacheLen() int { return p.cache.len() }
+
+// Run executes the staged pipeline for one request, consulting the
+// cache first for cacheable requests.
+func (p *Pipeline) Run(req Request) (*Result, error) {
+	req = req.normalize()
+	var key string
+	if p.cache != nil && req.cacheable() {
+		key = req.CacheKey()
+		if cached, ok := p.cache.get(key); ok {
+			hit := *cached
+			hit.Request = req
+			// TopK is outside the key — it only shapes the rendered
+			// report, so a hit re-renders at the requested depth.
+			hit.Report = render(&hit)
+			hit.CacheHit = true
+			return &hit, nil
+		}
+	}
+	res, err := run(req)
+	if err != nil {
+		return nil, err
+	}
+	if key != "" {
+		p.cache.put(key, res)
+	}
+	return res, nil
+}
+
+// RunSeeds runs the same request across several seeds — the multi-trace
+// mode of Sec. 6.7 — spreading whole jobs over the pool (each job runs
+// its own stages serially) and returning results in seed order.
+func (p *Pipeline) RunSeeds(req Request, seeds []int64) ([]*Result, error) {
+	req = req.normalize()
+	pool := NewPool(req.Workers)
+	results := make([]*Result, len(seeds))
+	errs := make([]error, len(seeds))
+	pool.Each(len(seeds), func(i int) {
+		r := req
+		r.Seed = seeds[i]
+		r.Workers = 1
+		results[i], errs[i] = p.Run(r)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Run executes one request without a cache; the convenience entry point
+// for one-shot callers (CLI, benchmarks).
+func Run(req Request) (*Result, error) {
+	return New(Options{}).Run(req)
+}
+
+// run is the staged orchestrator.
+func run(req Request) (*Result, error) {
+	pool := NewPool(req.Workers)
+	res := &Result{Request: req}
+	a := &core.Analysis{}
+	res.Analysis = a
+
+	stage := func(name string, f func() error) error {
+		start := time.Now()
+		err := f()
+		res.Timings = append(res.Timings, StageTiming{Stage: name, Wall: time.Since(start)})
+		return err
+	}
+
+	// Stage 1 — Record: build and run the workload under the recording
+	// simulator, unless the caller supplied a trace. The trace is warmed
+	// here because the later stages replay it from several goroutines.
+	tr := req.Trace
+	if err := stage("record", func() error {
+		if tr == nil {
+			prog := req.Program
+			if prog == nil {
+				app, ok := workload.Get(req.App)
+				if !ok {
+					return fmt.Errorf("pipeline: unknown workload %q", req.App)
+				}
+				prog = app.Build(workload.Config{
+					Threads: req.Threads, Input: req.Input, Scale: req.Scale, Seed: req.Seed,
+				})
+			}
+			a.Recorded = sim.Run(prog, sim.Config{Seed: req.Seed})
+			tr = a.Recorded.Trace
+		}
+		if err := tr.Validate(); err != nil {
+			return err
+		}
+		// Validate's loops are vacuous on an event-free trace, which is
+		// what a stray JSON object decodes to — reject it here so every
+		// front end reports an error instead of an all-zero analysis.
+		if len(tr.Events) == 0 || tr.NumThreads == 0 {
+			return fmt.Errorf("pipeline: empty trace (%d events, %d threads)",
+				len(tr.Events), tr.NumThreads)
+		}
+		tr.Warm()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	a.App = tr.App
+
+	// Stage 2 — Replay: the independent scheduler replays of the
+	// recorded trace. The ELSC run doubles as the quantification
+	// baseline (core's OrigReplay), so it always runs; the other three
+	// schemes join the fan-out when requested.
+	if err := stage("replay", func() error {
+		scheds := []replay.Scheduler{replay.ELSCS}
+		if req.Schemes {
+			scheds = []replay.Scheduler{replay.OrigS, replay.ELSCS, replay.SyncS, replay.MemS}
+		}
+		results := make([]*replay.Result, len(scheds))
+		errs := make([]error, len(scheds))
+		pool.Each(len(scheds), func(i int) {
+			results[i], errs[i] = replay.Run(tr, replay.Options{Sched: scheds[i]})
+		})
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("pipeline: %v replay: %w", scheds[i], err)
+			}
+		}
+		for i, s := range scheds {
+			if s == replay.ELSCS {
+				a.OrigReplay = results[i]
+			}
+			if req.Schemes {
+				res.Schemes = append(res.Schemes, SchemeReplay{Sched: s, Result: results[i]})
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Stage 3 — Classify: extract critical sections, shard ULCP pair
+	// enumeration per lock (each shard runs its own per-pair reversed
+	// replays), merge shard reports in sorted lock order, and build the
+	// ULCP-free trace.
+	if err := stage("classify", func() error {
+		a.CSs = tr.ExtractCS()
+		groups := ulcp.SortedLockGroups(a.CSs)
+		shards := make([]*ulcp.Report, len(groups))
+		pool.Each(len(groups), func(i int) {
+			shards[i] = ulcp.IdentifyShard(tr, groups[i], req.Identify)
+		})
+		a.Report = ulcp.MergeReports(shards...)
+		var err error
+		a.Transformed, err = transform.Apply(tr, a.CSs, a.Report)
+		if err != nil {
+			return err
+		}
+		// The quantify stage replays this trace concurrently with the
+		// Theorem 1 check.
+		a.Transformed.Trace.Warm()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Stage 4 — Quantify: replay the ULCP-free trace under ELSC (in
+	// parallel with the Theorem 1 check when requested), then evaluate
+	// Eq. 1/Eq. 2 and optionally the happens-before detector.
+	if err := stage("quantify", func() error {
+		maxRaces := req.MaxRaces
+		if maxRaces == 0 {
+			maxRaces = 32
+		}
+		tasks := []func() error{
+			func() error {
+				var err error
+				a.FreeReplay, err = replay.Run(a.Transformed.Trace, replay.Options{
+					Sched:       replay.ELSCS,
+					DLS:         req.DLS,
+					LocksetCost: req.LocksetCost,
+				})
+				if err != nil {
+					return fmt.Errorf("pipeline: ULCP-free replay: %w", err)
+				}
+				return nil
+			},
+		}
+		if req.VerifyTheorem1 {
+			tasks = append(tasks, func() error {
+				var err error
+				a.Theorem1, err = verify.Check(tr, a.Transformed.Trace, req.MaxRaces)
+				if err != nil {
+					return fmt.Errorf("pipeline: theorem 1 check: %w", err)
+				}
+				return nil
+			})
+		}
+		errs := make([]error, len(tasks))
+		pool.Each(len(tasks), func(i int) { errs[i] = tasks[i]() })
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		a.Debug = perfdbg.Evaluate(tr, a.CSs, a.Report, a.OrigReplay, a.FreeReplay, tr.NumThreads)
+		if req.DetectRaces {
+			order := race.OrderByStart(a.FreeReplay.EventStart)
+			a.Races = race.Detect(a.Transformed.Trace, order, maxRaces)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Stage 5 — Report: render the ranked report. Everything in it is a
+	// deterministic function of the merged artifacts.
+	_ = stage("report", func() error {
+		res.Report = render(res)
+		return nil
+	})
+	return res, nil
+}
+
+// render produces the job's human-readable ranked report.
+func render(res *Result) string {
+	a := res.Analysis
+	s := a.Summary(res.Request.TopK)
+	if a.Theorem1 != nil {
+		s += " " + a.Theorem1.String() + "\n"
+	}
+	if len(res.Schemes) > 0 {
+		s += fmt.Sprintf(" scheme replays (recorded %v):", recordedTotal(res))
+		for _, sr := range res.Schemes {
+			s += fmt.Sprintf("  %v %v", sr.Sched, sr.Result.Total)
+		}
+		s += "\n"
+	}
+	for _, r := range a.Races {
+		s += fmt.Sprintf(" race: %s\n", r)
+	}
+	return s
+}
+
+// recordedTotal is the recording's own wall time — for uploaded traces
+// it comes from the trace header, not from a re-replay (which can
+// differ whenever ELSC reorders contended acquisitions).
+func recordedTotal(res *Result) vtime.Duration {
+	if a := res.Analysis; a.Recorded != nil {
+		return a.Recorded.Trace.TotalTime
+	}
+	if res.Request.Trace != nil {
+		return res.Request.Trace.TotalTime
+	}
+	return res.Analysis.OrigReplay.Total
+}

@@ -1,0 +1,235 @@
+package pipeline
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"perfplay/internal/replay"
+	"perfplay/internal/sim"
+	"perfplay/internal/trace"
+	"perfplay/internal/workload"
+)
+
+// TestParallelByteIdentical is the determinism contract: for the same
+// request and seed, the parallel pipeline must produce byte-identical
+// ranked reports to the serial path — across several seeds and
+// workloads, and stably across repeated parallel runs.
+func TestParallelByteIdentical(t *testing.T) {
+	for _, app := range []string{"mysql", "pbzip2"} {
+		for _, seed := range []int64{1, 7, 42} {
+			req := Request{
+				App: app, Threads: 4, Scale: 0.2, Seed: seed,
+				Schemes: true, DetectRaces: true,
+			}
+
+			serialReq := req
+			serialReq.Workers = 1
+			serial, err := Run(serialReq)
+			if err != nil {
+				t.Fatalf("%s/seed %d serial: %v", app, seed, err)
+			}
+
+			parReq := req
+			parReq.Workers = 8
+			for round := 0; round < 2; round++ {
+				par, err := Run(parReq)
+				if err != nil {
+					t.Fatalf("%s/seed %d workers=8: %v", app, seed, err)
+				}
+				if par.Report != serial.Report {
+					t.Fatalf("%s/seed %d round %d: parallel report differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+						app, seed, round, serial.Report, par.Report)
+				}
+			}
+			if serial.Report == "" || !strings.Contains(serial.Report, "PerfPlay analysis") {
+				t.Fatalf("%s/seed %d: implausible report: %q", app, seed, serial.Report)
+			}
+		}
+	}
+}
+
+// TestSchemesAndStages checks the stage plumbing: four scheme replays in
+// scheduler order, all five stage timings, and a populated analysis.
+func TestSchemesAndStages(t *testing.T) {
+	res, err := Run(Request{App: "pbzip2", Scale: 0.2, Seed: 3, Workers: 4, Schemes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []replay.Scheduler{replay.OrigS, replay.ELSCS, replay.SyncS, replay.MemS}
+	if len(res.Schemes) != len(want) {
+		t.Fatalf("got %d scheme replays, want %d", len(res.Schemes), len(want))
+	}
+	for i, s := range want {
+		if res.Schemes[i].Sched != s || res.Schemes[i].Result == nil {
+			t.Fatalf("scheme %d = %v (result %v), want %v", i, res.Schemes[i].Sched, res.Schemes[i].Result, s)
+		}
+	}
+	stages := []string{"record", "replay", "classify", "quantify", "report"}
+	if len(res.Timings) != len(stages) {
+		t.Fatalf("got %d stage timings: %v", len(res.Timings), res.Timings)
+	}
+	for i, s := range stages {
+		if res.Timings[i].Stage != s {
+			t.Fatalf("stage %d = %q, want %q", i, res.Timings[i].Stage, s)
+		}
+	}
+	a := res.Analysis
+	if a.Recorded == nil || a.Report == nil || a.Transformed == nil ||
+		a.OrigReplay == nil || a.FreeReplay == nil || a.Debug == nil {
+		t.Fatalf("analysis artifacts missing: %+v", a)
+	}
+}
+
+// TestTraceRequest analyzes a pre-recorded trace (the daemon's upload
+// path): Record is skipped and the result matches an App-driven run of
+// the same recording.
+func TestTraceRequest(t *testing.T) {
+	app := workload.MustGet("pbzip2")
+	p := app.Build(workload.Config{Threads: 2, Scale: 0.2, Seed: 5})
+	rec := sim.Run(p, sim.Config{Seed: 5})
+
+	fromTrace, err := Run(Request{Trace: rec.Trace, Workers: 4, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromTrace.Analysis.Recorded != nil {
+		t.Fatal("Record stage ran despite a supplied trace")
+	}
+	if fromTrace.Analysis.App != rec.Trace.App {
+		t.Fatalf("app = %q, want %q", fromTrace.Analysis.App, rec.Trace.App)
+	}
+	if fromTrace.Report == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestRunSeeds(t *testing.T) {
+	p := New(Options{})
+	seeds := []int64{1, 2, 3}
+	results, err := p.RunSeeds(Request{App: "pbzip2", Scale: 0.2, Workers: 4}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(seeds) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Request.Seed != seeds[i] {
+			t.Fatalf("result %d has seed %d, want %d", i, r.Request.Seed, seeds[i])
+		}
+	}
+}
+
+func TestCache(t *testing.T) {
+	p := New(Options{CacheSize: 2})
+	req := Request{App: "pbzip2", Scale: 0.2, Seed: 9}
+
+	first, err := p.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first run reported a cache hit")
+	}
+
+	// Same request at a different worker count must hit: workers are
+	// excluded from the key by the determinism contract.
+	req.Workers = 8
+	second, err := p.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("second run missed the cache")
+	}
+	if second.Report != first.Report {
+		t.Fatal("cached report differs")
+	}
+
+	// A different TopK also hits — it only affects rendering, which the
+	// hit redoes at the requested depth.
+	req.TopK = 2
+	rerender, err := p.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rerender.CacheHit {
+		t.Fatal("different TopK missed the cache")
+	}
+	if rerender.Report == first.Report {
+		t.Fatal("report not re-rendered for the new TopK")
+	}
+	if rerender.Request.TopK != 2 {
+		t.Fatalf("hit kept the cached TopK: %d", rerender.Request.TopK)
+	}
+	req.TopK = 0
+
+	// A different seed misses.
+	req.Seed = 10
+	third, err := p.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.CacheHit {
+		t.Fatal("different seed hit the cache")
+	}
+
+	// LRU eviction: capacity 2, three distinct keys → oldest evicted.
+	req.Seed = 11
+	if _, err := p.Run(req); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CacheLen(); got != 2 {
+		t.Fatalf("cache holds %d entries, want 2", got)
+	}
+	req.Seed = 9
+	again, err := p.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CacheHit {
+		t.Fatal("evicted entry still hit")
+	}
+}
+
+func TestPoolEach(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		var hits [100]atomic.Int32
+		NewPool(workers).Each(len(hits), func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+	NewPool(4).Each(0, func(int) { t.Fatal("task ran for n=0") })
+}
+
+func TestPoolPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic did not propagate")
+		}
+	}()
+	NewPool(4).Each(16, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := Run(Request{App: "no-such-app"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestEmptyTraceRejected: Validate is vacuous on a zero-event trace (the
+// shape a stray JSON object decodes to), so the record stage must
+// reject it rather than emit an all-zero analysis.
+func TestEmptyTraceRejected(t *testing.T) {
+	if _, err := Run(Request{Trace: trace.New("empty", 2)}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}

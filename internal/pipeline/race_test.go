@@ -1,0 +1,24 @@
+package pipeline
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestConcurrentStagesRaceFree reproduces the multi-core daemon/bench
+// shape on this (possibly single-CPU) host: several Ps, a wide pool,
+// and the scheme + quantify fan-outs replaying shared traces. Run with
+// -race; it guards the trace-warming in the record/classify stages,
+// without which the lazy PerThread/LockOrder caches race.
+func TestConcurrentStagesRaceFree(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for i := 0; i < 3; i++ {
+		_, err := Run(Request{
+			App: "mysql", Threads: 4, Scale: 0.2, Seed: int64(i),
+			Workers: 8, Schemes: true, VerifyTheorem1: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

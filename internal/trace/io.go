@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadAny decodes a trace in either the binary or the JSON encoding,
+// sniffing the format by attempting binary first (it is guarded by a
+// magic number) and falling back to JSON. This is the loader every
+// consumer of on-disk or uploaded traces shares — the CLI's -replay and
+// -diff paths and the analysis daemon's trace upload endpoint.
+func ReadAny(r io.ReadSeeker) (*Trace, error) {
+	tr, berr := ReadBinary(r)
+	if berr == nil {
+		return tr, nil
+	}
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, berr
+	}
+	tr, jerr := ReadJSON(r)
+	if jerr != nil {
+		return nil, fmt.Errorf("trace: neither binary (%v) nor JSON (%v)", berr, jerr)
+	}
+	return tr, nil
+}
+
+// ReadFile loads a trace file in either encoding.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAny(f)
+}

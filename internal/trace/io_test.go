@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadAnySniffsBothEncodings(t *testing.T) {
+	tr := buildSample()
+
+	var bin, js bytes.Buffer
+	if err := tr.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for name, payload := range map[string][]byte{"binary": bin.Bytes(), "json": js.Bytes()} {
+		got, err := ReadAny(bytes.NewReader(payload))
+		if err != nil {
+			t.Fatalf("%s: ReadAny: %v", name, err)
+		}
+		if got.App != tr.App || len(got.Events) != len(tr.Events) {
+			t.Fatalf("%s: round trip mismatch: %s/%d events", name, got.App, len(got.Events))
+		}
+	}
+
+	if _, err := ReadAny(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Fatal("garbage accepted")
+	} else if !strings.Contains(err.Error(), "neither") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadFile(t *testing.T) {
+	tr := buildSample()
+	path := filepath.Join(t.TempDir(), "t.trace")
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != tr.App {
+		t.Fatalf("got app %q", got.App)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -66,6 +66,17 @@ func (tr *Trace) Append(e Event) int32 {
 	return int32(len(tr.Events) - 1)
 }
 
+// Warm populates the lazily-built indices (PerThread, LockOrder) so the
+// trace can afterwards be shared by concurrent readers. The lazy
+// getters themselves are not safe to race on a cold trace; any caller
+// that fans replay or analysis of one trace out across goroutines must
+// warm it first.
+func (tr *Trace) Warm() *Trace {
+	tr.PerThread()
+	tr.LockOrder()
+	return tr
+}
+
 // PerThread returns, for each thread, the ascending global indices of its
 // events. The result is cached; callers must not mutate it.
 func (tr *Trace) PerThread() [][]int32 {

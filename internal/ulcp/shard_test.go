@@ -1,0 +1,69 @@
+package ulcp
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"perfplay/internal/sim"
+	"perfplay/internal/trace"
+	"perfplay/internal/workload"
+)
+
+// recordedCS records one workload and extracts its critical sections.
+func recordedCS(t *testing.T, app string, seed int64) (*trace.Trace, []*trace.CritSec) {
+	t.Helper()
+	a := workload.MustGet(app)
+	p := a.Build(workload.Config{Threads: 2, Scale: 0.2, Seed: seed})
+	res := sim.Run(p, sim.Config{Seed: seed})
+	return res.Trace, res.Trace.ExtractCS()
+}
+
+// TestShardMergeMatchesIdentify: with a non-binding reversed-replay
+// budget, running each lock group through IdentifyShard and merging in
+// sorted lock order must reproduce Identify exactly (same pairs in the
+// same order, same counts and causal edges) — the per-lock vs per-trace
+// budget difference only matters when the budget binds.
+func TestShardMergeMatchesIdentify(t *testing.T) {
+	for _, app := range []string{"pbzip2", "mysql"} {
+		tr, css := recordedCS(t, app, 7)
+		opts := Options{MaxReversedReplays: 1 << 30}
+
+		serial := Identify(tr, css, opts)
+
+		byLock := trace.CSByLock(css)
+		locks := make([]trace.LockID, 0, len(byLock))
+		for l := range byLock {
+			locks = append(locks, l)
+		}
+		sort.Slice(locks, func(i, j int) bool { return locks[i] < locks[j] })
+		shards := make([]*Report, len(locks))
+		for i, l := range locks {
+			shards[i] = IdentifyShard(tr, byLock[l], opts)
+		}
+		merged := MergeReports(shards...)
+
+		if !reflect.DeepEqual(merged.Pairs, serial.Pairs) {
+			t.Fatalf("%s: shard-merged pairs differ from Identify (%d vs %d pairs)",
+				app, len(merged.Pairs), len(serial.Pairs))
+		}
+		if !reflect.DeepEqual(merged.Counts, serial.Counts) {
+			t.Fatalf("%s: counts differ: %v vs %v", app, merged.Counts, serial.Counts)
+		}
+		if !reflect.DeepEqual(merged.CausalEdges, serial.CausalEdges) {
+			t.Fatalf("%s: causal edges differ", app)
+		}
+	}
+}
+
+// TestIdentifyDeterministic: two runs over the same trace produce
+// identical reports (sorted lock/thread iteration removed the map-order
+// dependence that made budget consumption racy).
+func TestIdentifyDeterministic(t *testing.T) {
+	tr, css := recordedCS(t, "mysql", 3)
+	a := Identify(tr, css, Options{})
+	b := Identify(tr, css, Options{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Identify is not deterministic across runs")
+	}
+}

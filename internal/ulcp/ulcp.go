@@ -147,6 +147,9 @@ type identifier struct {
 }
 
 // Identify runs the full identification pass over a recorded trace.
+// Locks and peer threads are visited in sorted order, so the report —
+// including the reversed-replay budget's consumption order — is a
+// deterministic function of (trace, critical sections, options).
 func Identify(tr *trace.Trace, css []*trace.CritSec, opts Options) *Report {
 	opts = opts.withDefaults()
 	id := &identifier{
@@ -162,24 +165,106 @@ func Identify(tr *trace.Trace, css []*trace.CritSec, opts Options) *Report {
 	return id.rep
 }
 
+// IdentifyShard runs identification over a single lock's critical
+// sections (one group of trace.CSByLock) with a shard-local memo and
+// reversed-replay budget. Shards are independent — the result is a pure
+// function of (trace, lock group, options) — so callers may run them
+// concurrently and combine them with MergeReports; merging in sorted
+// lock order reproduces Identify's pair order. Note the budget semantics
+// differ from Identify: MaxReversedReplays caps replays per lock rather
+// than per trace.
+func IdentifyShard(tr *trace.Trace, lockCSs []*trace.CritSec, opts Options) *Report {
+	opts = opts.withDefaults()
+	id := &identifier{
+		tr:   tr,
+		css:  lockCSs,
+		opts: opts,
+		rep: &Report{
+			Counts: make(map[Category]int),
+		},
+		benignMemo: make(map[string]bool),
+	}
+	id.runLock(lockCSs)
+	return id.rep
+}
+
+// SortedLockGroups returns CSByLock's groups in ascending lock order —
+// the canonical shard decomposition shared by Identify, IdentifySharded
+// and the concurrent pipeline. Keeping it in one place is what keeps
+// the serial and parallel paths byte-identical.
+func SortedLockGroups(css []*trace.CritSec) [][]*trace.CritSec {
+	byLock := trace.CSByLock(css)
+	locks := make([]trace.LockID, 0, len(byLock))
+	for l := range byLock {
+		locks = append(locks, l)
+	}
+	sort.Slice(locks, func(i, j int) bool { return locks[i] < locks[j] })
+	groups := make([][]*trace.CritSec, len(locks))
+	for i, l := range locks {
+		groups[i] = byLock[l]
+	}
+	return groups
+}
+
+// IdentifySharded is the serial convenience over the shard API: every
+// lock group through IdentifyShard, merged in sorted lock order. It has
+// the pipeline's per-lock budget semantics (unlike Identify's per-trace
+// budget), so serial tools that must agree with pipeline-produced
+// reports should use it.
+func IdentifySharded(tr *trace.Trace, css []*trace.CritSec, opts Options) *Report {
+	groups := SortedLockGroups(css)
+	reports := make([]*Report, len(groups))
+	for i, g := range groups {
+		reports[i] = IdentifyShard(tr, g, opts)
+	}
+	return MergeReports(reports...)
+}
+
+// MergeReports combines shard reports in call order into one report.
+func MergeReports(reports ...*Report) *Report {
+	out := &Report{Counts: make(map[Category]int)}
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		out.Pairs = append(out.Pairs, r.Pairs...)
+		out.CausalEdges = append(out.CausalEdges, r.CausalEdges...)
+		for c, n := range r.Counts {
+			out.Counts[c] += n
+		}
+		out.Truncated += r.Truncated
+		out.ReversedReplays += r.ReversedReplays
+	}
+	return out
+}
+
 func (id *identifier) run() {
-	byLock := trace.CSByLock(id.css)
-	// Per lock, per thread, the CSs in acquisition order.
-	for _, lockCSs := range byLock {
-		perThread := make(map[int32][]*trace.CritSec)
-		for _, cs := range lockCSs {
-			perThread[cs.Thread] = append(perThread[cs.Thread], cs)
-		}
-		if len(perThread) < 2 {
-			continue // single-thread lock: no cross-thread pairs
-		}
-		for _, cur := range lockCSs {
-			for t, peer := range perThread {
-				if t == cur.Thread {
-					continue
-				}
-				id.scan(cur, peer)
+	for _, g := range SortedLockGroups(id.css) {
+		id.runLock(g)
+	}
+}
+
+// runLock scans one lock's critical sections: per thread in acquisition
+// order, with peer threads visited in sorted order.
+func (id *identifier) runLock(lockCSs []*trace.CritSec) {
+	perThread := make(map[int32][]*trace.CritSec)
+	for _, cs := range lockCSs {
+		perThread[cs.Thread] = append(perThread[cs.Thread], cs)
+	}
+	if len(perThread) < 2 {
+		return // single-thread lock: no cross-thread pairs
+	}
+	threads := make([]int32, 0, len(perThread))
+	for t := range perThread {
+		threads = append(threads, t)
+	}
+	sort.Slice(threads, func(i, j int) bool { return threads[i] < threads[j] })
+	for _, cur := range lockCSs {
+		for _, t := range threads {
+			if t == cur.Thread {
+				continue
 			}
+			id.scan(cur, perThread[t])
 		}
 	}
 }

@@ -13,6 +13,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"perfplay/internal/sim"
 	"perfplay/internal/vtime"
@@ -43,6 +44,21 @@ func (s InputSize) String() string {
 	default:
 		return fmt.Sprintf("InputSize(%d)", int(s))
 	}
+}
+
+// ParseInputSize maps a PARSEC input-class name to its InputSize; the
+// empty string selects the default class (simlarge). Shared by every
+// front end that accepts the class by name (CLI flags, daemon specs).
+func ParseInputSize(name string) (InputSize, error) {
+	switch strings.ToLower(name) {
+	case "", "simlarge":
+		return SimLarge, nil
+	case "simmedium":
+		return SimMedium, nil
+	case "simsmall":
+		return SimSmall, nil
+	}
+	return 0, fmt.Errorf("workload: unknown input size %q", name)
 }
 
 // factor converts the input class to an iteration multiplier.
