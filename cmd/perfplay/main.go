@@ -7,21 +7,27 @@
 // Usage:
 //
 //	perfplay -app mysql -threads 2 [-scale 0.5] [-top 5] [-workers 8]
-//	         [-trace out.trace] [-json] [-races] [-schemes]
+//	         [-trace out.trace] [-json] [-races] [-schemes] [-save-trace]
+//	perfplay -trace-digest sha256:... [-corpus dir]
 //	perfplay -list
 //
 // With -trace the recorded execution is also written to disk in the
 // binary (or, with -json, JSON) trace format, replayable later via
-// -replay.
+// -replay. With -save-trace it is stored in the local content-addressed
+// corpus (-corpus, the same on-disk layout perfplayd serves), and
+// -trace-digest re-analyzes a stored trace by its sha256 digest without
+// re-recording.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"perfplay/internal/core"
+	"perfplay/internal/corpus"
 	"perfplay/internal/elision"
 	"perfplay/internal/multi"
 	"perfplay/internal/pipeline"
@@ -54,6 +60,9 @@ func main() {
 		caseNum   = flag.Int("case", 0, "analyze an appendix real-world case (1-10) instead of a full workload")
 		diffA     = flag.String("diff", "", "diff two trace files per code region: -diff a.trace -with b.trace")
 		diffB     = flag.String("with", "", "second trace file for -diff")
+		corpusDir = flag.String("corpus", "perfplay-corpus", "content-addressed trace corpus directory (shared layout with perfplayd)")
+		saveTrace = flag.Bool("save-trace", false, "store the recorded trace in the corpus and print its sha256 digest")
+		digestIn  = flag.String("trace-digest", "", "analyze a stored trace from the corpus by sha256 digest instead of recording")
 		le        = flag.Bool("le", false, "also run the speculative lock elision baseline on the recording")
 		verifyT1  = flag.Bool("verify", false, "run the Theorem 1 correctness check on the transformation")
 	)
@@ -69,6 +78,19 @@ func main() {
 
 	if *replayIn != "" {
 		if err := replayFile(*replayIn, *scheduler); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *digestIn != "" {
+		if err := analyzeDigest(*corpusDir, *digestIn, pipeline.Request{
+			TopK:           *top,
+			Workers:        *workers,
+			Schemes:        *schemes,
+			DetectRaces:    *races,
+			VerifyTheorem1: *verifyT1,
+		}); err != nil {
 			fatal(err)
 		}
 		return
@@ -186,6 +208,61 @@ func main() {
 		}
 		fmt.Printf("trace written to %s (%d events)\n", *traceOut, len(analysis.Recorded.Trace.Events))
 	}
+
+	if *saveTrace {
+		if err := saveToCorpus(*corpusDir, analysis.Recorded.Trace); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// saveToCorpus stores the recording in the local content-addressed
+// corpus (the same layout perfplayd serves) and prints its digest, so a
+// later -trace-digest run — or a daemon job {"trace": "sha256:..."} over
+// the same directory — can re-analyze it without re-recording.
+func saveToCorpus(dir string, tr *trace.Trace) error {
+	store, err := corpus.Open(dir, corpus.Options{})
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		return err
+	}
+	meta, created, err := store.Put(buf.Bytes(), false)
+	if err != nil {
+		return err
+	}
+	verb := "stored in"
+	if !created {
+		verb = "already in"
+	}
+	fmt.Printf("trace %s %s: %s (%d bytes, %d events)\n", verb, dir, meta.Digest, meta.Size, meta.Events)
+	return nil
+}
+
+// analyzeDigest runs the full pipeline over a trace stored in the local
+// corpus, identified by content digest. The digest also keys the result
+// cache, matching the daemon's keying for the same stored trace.
+func analyzeDigest(dir, digest string, req pipeline.Request) error {
+	store, err := corpus.Open(dir, corpus.Options{})
+	if err != nil {
+		return err
+	}
+	tr, meta, err := store.Load(digest)
+	if err != nil {
+		return err
+	}
+	req.Trace = tr
+	req.TraceDigest = meta.Digest
+	req.TraceBytes = meta.Size
+	res, err := pipeline.Run(req)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("analyzing %s %s (%d events, %d threads)\n", meta.App, meta.Digest, meta.Events, meta.Threads)
+	fmt.Print(res.Report)
+	return nil
 }
 
 // diffFiles loads two trace files and prints the per-region lock profile

@@ -6,17 +6,26 @@
 //
 // Endpoints:
 //
-//	POST /analyze    submit a job; JSON spec {"app": "mysql", "threads": 4,
-//	                 "scale": 0.5, "seed": 42, "schemes": true} or a raw
-//	                 trace body (binary or JSON encoding, options as
-//	                 ?schemes=true&races=true&top=5); returns {id}
-//	GET  /jobs/{id}  job status plus, once done, the JSON report
-//	GET  /healthz    liveness, job counts, queue and cache occupancy
+//	POST /analyze         submit a job; JSON spec {"app": "mysql", "threads": 4,
+//	                      "scale": 0.5, "seed": 42, "schemes": true}, a stored-
+//	                      trace reference {"trace": "sha256:...", "schemes": true},
+//	                      or a raw trace body (binary or JSON encoding, options
+//	                      as ?schemes=true&races=true&top=5); returns {id}
+//	GET  /jobs/{id}       job status plus, once done, the JSON report
+//	GET  /healthz         liveness, job counts, queue/cache/corpus occupancy
+//	POST /traces          store a trace in the content-addressed corpus;
+//	                      dedupes by SHA-256 (201 new, 200 already present);
+//	                      ?pin=true exempts it from LRU eviction
+//	GET  /traces          list stored traces and their metadata
+//	GET  /traces/{digest} download a stored trace blob
+//	DELETE /traces/{digest} evict a stored trace
+//	PATCH /traces/{digest}?pin=true|false  flip LRU-eviction exemption
 //
 // Usage:
 //
 //	perfplayd [-addr :8080] [-workers 2] [-pipeline-workers 4]
 //	          [-queue 64] [-cache 128] [-max-jobs 1024]
+//	          [-corpus perfplay-corpus] [-corpus-max-bytes 1073741824]
 package main
 
 import (
@@ -27,22 +36,29 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 2, "concurrent analysis jobs")
-		plWorkers  = flag.Int("pipeline-workers", 4, "worker-pool width inside each job")
-		queueDepth = flag.Int("queue", 64, "pending-job queue depth (further submits get 503)")
-		cacheSize  = flag.Int("cache", 128, "LRU result cache capacity")
-		maxJobs    = flag.Int("max-jobs", 1024, "finished jobs retained before eviction")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 2, "concurrent analysis jobs")
+		plWorkers   = flag.Int("pipeline-workers", 4, "worker-pool width inside each job")
+		queueDepth  = flag.Int("queue", 64, "pending-job queue depth (further submits get 503)")
+		cacheSize   = flag.Int("cache", 128, "LRU result cache capacity")
+		maxJobs     = flag.Int("max-jobs", 1024, "finished jobs retained before eviction")
+		corpusDir   = flag.String("corpus", "perfplay-corpus", "trace corpus directory (same layout as perfplay -corpus; empty disables /traces)")
+		corpusBytes = flag.Int64("corpus-max-bytes", 0, "corpus byte budget; LRU-evicts unpinned traces beyond it (0 = 1 GiB)")
 	)
 	flag.Parse()
 
-	srv := NewServer(Config{
+	srv, err := NewServer(Config{
 		Workers:         *workers,
 		PipelineWorkers: *plWorkers,
 		QueueDepth:      *queueDepth,
 		CacheSize:       *cacheSize,
 		MaxJobs:         *maxJobs,
+		CorpusDir:       *corpusDir,
+		CorpusMaxBytes:  *corpusBytes,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv.Start()
 	log.Printf("perfplayd listening on %s (%d job workers × %d pipeline workers, queue %d)",
 		*addr, *workers, *plWorkers, *queueDepth)

@@ -3,13 +3,16 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"perfplay/internal/corpus"
 	"perfplay/internal/pipeline"
 	"perfplay/internal/trace"
 	"perfplay/internal/workload"
@@ -39,6 +42,13 @@ type Config struct {
 	// Chunked uploads (no Content-Length) can overshoot by at most one
 	// MaxTraceBytes body each before their size is known (0 = 256 MiB).
 	MaxQueuedTraceBytes int64
+	// CorpusDir roots the content-addressed trace store behind the
+	// /traces endpoints and "trace": "sha256:..." analyze requests.
+	// Empty disables the corpus (those requests get 503).
+	CorpusDir string
+	// CorpusMaxBytes caps the corpus blob bytes; least-recently-used
+	// unpinned traces are evicted beyond it (0 = 1 GiB).
+	CorpusMaxBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +73,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueuedTraceBytes == 0 {
 		c.MaxQueuedTraceBytes = 256 << 20
 	}
+	if c.CorpusMaxBytes == 0 {
+		c.CorpusMaxBytes = 1 << 30
+	}
 	return c
 }
 
@@ -85,6 +98,7 @@ type job struct {
 	Error     string    `json:"error,omitempty"`
 
 	App            string            `json:"app,omitempty"`
+	TraceDigest    string            `json:"trace_digest,omitempty"`
 	Threads        int               `json:"threads,omitempty"`
 	Seed           int64             `json:"seed,omitempty"`
 	CritSecs       int               `json:"critical_sections,omitempty"`
@@ -104,6 +118,7 @@ type job struct {
 // analyzeSpec is the JSON body of POST /analyze.
 type analyzeSpec struct {
 	App     string  `json:"app"`
+	Trace   string  `json:"trace"` // corpus digest ("sha256:..."); overrides App
 	Threads int     `json:"threads"`
 	Input   string  `json:"input"`
 	Scale   float64 `json:"scale"`
@@ -116,9 +131,10 @@ type analyzeSpec struct {
 // Server is the perfplayd HTTP front end: a bounded job queue drained
 // by a fixed set of workers, each running the concurrent pipeline.
 type Server struct {
-	cfg   Config
-	pl    *pipeline.Pipeline
-	queue chan *job
+	cfg    Config
+	pl     *pipeline.Pipeline
+	corpus *corpus.Store // nil when Config.CorpusDir is empty
+	queue  chan *job
 
 	mu               sync.Mutex
 	jobs             map[string]*job
@@ -133,14 +149,22 @@ type Server struct {
 }
 
 // NewServer builds a server; call Start to launch its workers.
-func NewServer(cfg Config) *Server {
+func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		pl:    pipeline.New(pipeline.Options{CacheSize: cfg.CacheSize}),
 		queue: make(chan *job, cfg.QueueDepth),
 		jobs:  make(map[string]*job),
 	}
+	if cfg.CorpusDir != "" {
+		st, err := corpus.Open(cfg.CorpusDir, corpus.Options{MaxBytes: cfg.CorpusMaxBytes})
+		if err != nil {
+			return nil, err
+		}
+		s.corpus = st
+	}
+	return s, nil
 }
 
 // Start launches the executor goroutines.
@@ -240,7 +264,190 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /traces", s.handleTraceUpload)
+	mux.HandleFunc("GET /traces", s.handleTraceList)
+	mux.HandleFunc("GET /traces/{digest}", s.handleTraceGet)
+	mux.HandleFunc("DELETE /traces/{digest}", s.handleTraceDelete)
+	mux.HandleFunc("PATCH /traces/{digest}", s.handleTracePin)
 	return mux
+}
+
+// reserveInflight reserves n upload bytes against MaxQueuedTraceBytes
+// and returns their release func, or nil when the backlog is full. The
+// budget covers bodies still being buffered in handlers as well as
+// queued jobs, so N concurrent uploads cannot transiently hold
+// N×MaxTraceBytes.
+func (s *Server) reserveInflight(n int64) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.queuedTraceBytes+s.inflightBytes+n > s.cfg.MaxQueuedTraceBytes {
+		return nil
+	}
+	s.inflightBytes += n
+	return func() {
+		s.mu.Lock()
+		s.inflightBytes -= n
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) backlogFull(w http.ResponseWriter) {
+	httpError(w, http.StatusServiceUnavailable,
+		"trace backlog full (limit %d bytes)", s.cfg.MaxQueuedTraceBytes)
+}
+
+// admitUpload runs the declared-length admission checks shared by the
+// trace-body endpoints: a Content-Length beyond the per-trace cap can
+// never be accepted, so it answers 413 up front instead of reserving
+// doomed budget that would 503 legitimate concurrent uploads while the
+// body dribbles in toward MaxBytesReader's cutoff; known-length bodies
+// reserve their in-flight bytes before buffering begins. Chunked bodies
+// (no Content-Length) pass through and must be reserved by the caller
+// once buffered. ok=false means the response has been written.
+func (s *Server) admitUpload(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if r.ContentLength > s.cfg.MaxTraceBytes {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"trace body %d bytes exceeds limit %d", r.ContentLength, s.cfg.MaxTraceBytes)
+		return nil, false
+	}
+	if r.ContentLength > 0 {
+		if release = s.reserveInflight(r.ContentLength); release == nil {
+			s.backlogFull(w)
+			return nil, false
+		}
+	}
+	return release, true
+}
+
+// requireCorpus 503s when the daemon runs without a trace store.
+func (s *Server) requireCorpus(w http.ResponseWriter) bool {
+	if s.corpus == nil {
+		httpError(w, http.StatusServiceUnavailable, "trace corpus disabled (start perfplayd with -corpus)")
+		return false
+	}
+	return true
+}
+
+// corpusError maps store errors onto HTTP statuses: caller mistakes to
+// 4xx, capacity to 507, and internal store I/O failures to 500.
+func corpusError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, corpus.ErrNotFound):
+		httpError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, corpus.ErrBudget):
+		httpError(w, http.StatusInsufficientStorage, "%v", err)
+	case errors.Is(err, corpus.ErrInvalid):
+		httpError(w, http.StatusBadRequest, "%v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// handleTraceUpload stores a trace body (binary or JSON encoding) in
+// the corpus. Re-uploading identical content is idempotent: one blob,
+// the same digest, a 200 instead of a 201. ?pin=true exempts the trace
+// from LRU eviction.
+func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCorpus(w) {
+		return
+	}
+	// Corpus uploads buffer their whole body while it is parsed and
+	// written, so they draw on the same in-flight byte budget as
+	// /analyze uploads; chunked bodies reserve once their size is known.
+	release, ok := s.admitUpload(w, r)
+	if !ok {
+		return
+	}
+	defer func() {
+		if release != nil {
+			release()
+		}
+	}()
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxTraceBytes)
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(body); err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, "request body: %v", err)
+		return
+	}
+	if release == nil {
+		if release = s.reserveInflight(int64(buf.Len())); release == nil {
+			s.backlogFull(w)
+			return
+		}
+	}
+	meta, created, err := s.corpus.Put(buf.Bytes(), r.URL.Query().Get("pin") == "true")
+	if err != nil {
+		corpusError(w, err)
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	w.Header().Set("Location", "/traces/"+meta.Digest)
+	writeJSON(w, code, map[string]any{"created": created, "trace": meta})
+}
+
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCorpus(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"traces":      s.corpus.List(),
+		"total_bytes": s.corpus.TotalBytes(),
+	})
+}
+
+// handleTraceGet streams the blob straight from disk, so concurrent
+// downloads of large traces never buffer whole bodies in daemon memory.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCorpus(w) {
+		return
+	}
+	blob, meta, err := s.corpus.OpenBlob(r.PathValue("digest"))
+	if err != nil {
+		corpusError(w, err)
+		return
+	}
+	defer blob.Close()
+	ct := "application/octet-stream"
+	if meta.Format == trace.FormatJSON {
+		ct = "application/json"
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set("Content-Length", strconv.FormatInt(meta.Size, 10))
+	_, _ = io.Copy(w, blob)
+}
+
+func (s *Server) handleTraceDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCorpus(w) {
+		return
+	}
+	digest := r.PathValue("digest")
+	if err := s.corpus.Delete(digest); err != nil {
+		corpusError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": digest})
+}
+
+// handleTracePin flips a stored trace's eviction exemption:
+// PATCH /traces/{digest}?pin=true|false.
+func (s *Server) handleTracePin(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCorpus(w) {
+		return
+	}
+	pin := r.URL.Query().Get("pin")
+	if pin != "true" && pin != "false" {
+		httpError(w, http.StatusBadRequest, "pin must be ?pin=true or ?pin=false")
+		return
+	}
+	digest := r.PathValue("digest")
+	if err := s.corpus.Pin(digest, pin == "true"); err != nil {
+		corpusError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"digest": digest, "pinned": pin == "true"})
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -262,35 +469,28 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Trace bytes are budgeted from the moment they start buffering,
-	// not just once queued, so N concurrent uploads cannot transiently
-	// hold N×MaxTraceBytes. Known-length uploads reserve before the
-	// body is read; chunked ones reserve as soon as their size is
-	// known, right after buffering.
-	var reserved int64
+	// not just once queued (see reserveInflight). Known-length uploads
+	// reserve before the body is read; chunked ones reserve as soon as
+	// their size is known, right after buffering.
+	var release func()
 	reserve := func(n int64) bool {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if s.queuedTraceBytes+s.inflightBytes+n > s.cfg.MaxQueuedTraceBytes {
-			return false
-		}
-		s.inflightBytes += n
-		reserved = n
-		return true
+		release = s.reserveInflight(n)
+		return release != nil
 	}
 	defer func() {
-		if reserved > 0 {
-			s.mu.Lock()
-			s.inflightBytes -= reserved
-			s.mu.Unlock()
+		if release != nil {
+			release()
 		}
 	}()
-	backlogFull := func() {
-		httpError(w, http.StatusServiceUnavailable,
-			"trace backlog full (limit %d bytes)", s.cfg.MaxQueuedTraceBytes)
-	}
-	if !jsonish && r.ContentLength > 0 && !reserve(r.ContentLength) {
-		backlogFull()
-		return
+	backlogFull := func() { s.backlogFull(w) }
+	// Declared-trace bodies go through the shared admission checks;
+	// jsonish bodies might still be workload specs, so their (possible)
+	// trace bytes are only reserved after sniffing, below.
+	if !jsonish {
+		var ok bool
+		if release, ok = s.admitUpload(w, r); !ok {
+			return
+		}
 	}
 
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxTraceBytes)
@@ -315,7 +515,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req pipeline.Request
 	var uploadBytes int64
 	if isTrace {
-		if reserved == 0 && !reserve(int64(buf.Len())) {
+		if release == nil && !reserve(int64(buf.Len())) {
 			backlogFull()
 			return
 		}
@@ -332,11 +532,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		uploadBytes = int64(buf.Len())
 		// Analysis options ride as query parameters on upload requests
-		// (the body is the trace itself).
+		// (the body is the trace itself). The body's content digest keys
+		// the result cache, so re-uploading identical bytes — or
+		// analyzing the same content stored in the corpus — is a hit.
 		q := r.URL.Query()
 		top, _ := strconv.Atoi(q.Get("top"))
 		req = pipeline.Request{
 			Trace:       tr,
+			TraceDigest: corpus.Digest(buf.Bytes()),
+			TraceBytes:  uploadBytes,
 			TopK:        top,
 			Schemes:     q.Get("schemes") == "true",
 			DetectRaces: q.Get("races") == "true",
@@ -347,19 +551,54 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 			return
 		}
-		if _, ok := workload.Get(spec.App); !ok {
-			httpError(w, http.StatusBadRequest, "unknown workload %q", spec.App)
-			return
-		}
-		input, err := workload.ParseInputSize(spec.Input)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		req = pipeline.Request{
-			App: spec.App, Threads: spec.Threads, Input: input,
-			Scale: spec.Scale, Seed: spec.Seed, TopK: spec.Top,
-			Schemes: spec.Schemes, DetectRaces: spec.Races,
+		if spec.Trace != "" {
+			// Analyze a stored trace by digest: no re-upload, and the
+			// digest-keyed result cache is shared with direct uploads of
+			// the same bytes. The blob is NOT read here — a TraceLoader
+			// defers disk I/O and parsing to the worker, and only on a
+			// cache miss, so repeats of an already-analyzed trace cost
+			// neither memory while queued nor a redundant parse. That
+			// also means digest jobs draw nothing from the upload byte
+			// budget: at most Workers traces are in memory at once.
+			if !s.requireCorpus(w) {
+				return
+			}
+			// Touch, not Stat: referencing a trace by digest must count
+			// as use for LRU purposes even when the job is later served
+			// from the result cache without re-reading the blob —
+			// otherwise hot traces would be the first evicted.
+			meta, err := s.corpus.Touch(spec.Trace)
+			if err != nil {
+				corpusError(w, err)
+				return
+			}
+			digest := meta.Digest
+			req = pipeline.Request{
+				TraceLoader: func() (*trace.Trace, error) {
+					tr, _, err := s.corpus.Load(digest)
+					return tr, err
+				},
+				TraceDigest: digest,
+				TraceBytes:  meta.Size,
+				TopK:        spec.Top,
+				Schemes:     spec.Schemes,
+				DetectRaces: spec.Races,
+			}
+		} else {
+			if _, ok := workload.Get(spec.App); !ok {
+				httpError(w, http.StatusBadRequest, "unknown workload %q", spec.App)
+				return
+			}
+			input, err := workload.ParseInputSize(spec.Input)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			req = pipeline.Request{
+				App: spec.App, Threads: spec.Threads, Input: input,
+				Scale: spec.Scale, Seed: spec.Seed, TopK: spec.Top,
+				Schemes: spec.Schemes, DetectRaces: spec.Races,
+			}
 		}
 	}
 	req.Workers = s.cfg.PipelineWorkers
@@ -376,12 +615,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// queuedTraceBytes (released when a worker picks the job up).
 	s.seq++
 	j := &job{
-		ID:         fmt.Sprintf("job-%d", s.seq),
-		Status:     statusQueued,
-		Submitted:  time.Now(),
-		Seed:       req.Seed,
-		req:        req,
-		traceBytes: uploadBytes,
+		ID:          fmt.Sprintf("job-%d", s.seq),
+		Status:      statusQueued,
+		Submitted:   time.Now(),
+		Seed:        req.Seed,
+		TraceDigest: req.TraceDigest,
+		req:         req,
+		traceBytes:  uploadBytes,
 	}
 	s.jobs[j.ID] = j
 	var enqueued bool
@@ -424,6 +664,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	queuedBytes := s.queuedTraceBytes
 	s.mu.Unlock()
+	var corpusTraces int
+	var corpusBytes int64
+	if s.corpus != nil {
+		corpusTraces = s.corpus.Len()
+		corpusBytes = s.corpus.TotalBytes()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":                 true,
 		"jobs":               counts,
@@ -433,6 +679,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"cached":             s.pl.CacheLen(),
 		"workers":            s.cfg.Workers,
 		"pool_workers":       s.cfg.PipelineWorkers,
+		"corpus_enabled":     s.corpus != nil,
+		"corpus_traces":      corpusTraces,
+		"corpus_bytes":       corpusBytes,
 	})
 }
 

@@ -4,19 +4,27 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"perfplay/internal/corpus"
 	"perfplay/internal/sim"
 	"perfplay/internal/workload"
 )
 
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := NewServer(cfg)
+	if cfg.CorpusDir == "" {
+		cfg.CorpusDir = t.TempDir()
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
@@ -232,7 +240,10 @@ func TestJobNotFound(t *testing.T) {
 func TestQueueBounded(t *testing.T) {
 	// No Start(): nothing drains the depth-1 queue, so the second
 	// submission must be rejected rather than buffered without bound.
-	s := NewServer(Config{QueueDepth: 1})
+	s, err := NewServer(Config{QueueDepth: 1, CorpusDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -263,7 +274,10 @@ func TestQueuedTraceBytesBounded(t *testing.T) {
 	}
 	payload := buf.Bytes()
 
-	s := NewServer(Config{QueueDepth: 16, MaxQueuedTraceBytes: int64(len(payload)) + 1})
+	s, err := NewServer(Config{QueueDepth: 16, MaxQueuedTraceBytes: int64(len(payload)) + 1, CorpusDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -300,6 +314,285 @@ func TestHealthz(t *testing.T) {
 	h := decode[map[string]any](t, resp)
 	if h["ok"] != true {
 		t.Fatalf("healthz = %v", h)
+	}
+}
+
+// recordedPayload serializes a small deterministic recording.
+func recordedPayload(t *testing.T, seed int64) []byte {
+	t.Helper()
+	app := workload.MustGet("pbzip2")
+	rec := sim.Run(app.Build(workload.Config{Threads: 2, Scale: 0.2, Seed: seed}), sim.Config{Seed: seed})
+	var buf bytes.Buffer
+	if err := rec.Trace.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceCorpusLifecycle drives the full /traces surface: upload,
+// idempotent re-upload (one blob, same digest), list, download
+// byte-for-byte, delete, and post-delete 404s.
+func TestTraceCorpusLifecycle(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	payload := recordedPayload(t, 3)
+
+	up, err := http.Post(ts.URL+"/traces", "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.StatusCode != http.StatusCreated {
+		t.Fatalf("first upload: status %d, want 201", up.StatusCode)
+	}
+	first := decode[map[string]any](t, up)
+	meta, _ := first["trace"].(map[string]any)
+	digest, _ := meta["digest"].(string)
+	if first["created"] != true || digest != corpus.Digest(payload) {
+		t.Fatalf("first upload response: %v", first)
+	}
+
+	// Uploading the same bytes again stores nothing new.
+	up2, err := http.Post(ts.URL+"/traces", "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up2.StatusCode != http.StatusOK {
+		t.Fatalf("re-upload: status %d, want 200", up2.StatusCode)
+	}
+	second := decode[map[string]any](t, up2)
+	meta2, _ := second["trace"].(map[string]any)
+	if second["created"] != false || meta2["digest"] != digest {
+		t.Fatalf("re-upload response: %v", second)
+	}
+	if n := s.corpus.Len(); n != 1 {
+		t.Fatalf("corpus holds %d blobs after duplicate upload, want 1", n)
+	}
+
+	list, err := http.Get(ts.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed := decode[map[string]any](t, list)
+	if traces, _ := listed["traces"].([]any); len(traces) != 1 {
+		t.Fatalf("GET /traces listed %v", listed)
+	}
+
+	dl, err := http.Get(ts.URL + "/traces/" + digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(dl.Body)
+	dl.Body.Close()
+	if err != nil || dl.StatusCode != http.StatusOK {
+		t.Fatalf("download: status %d err %v", dl.StatusCode, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("downloaded %d bytes differ from uploaded %d", len(got), len(payload))
+	}
+
+	del, err := httpDelete(ts.URL + "/traces/" + digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del.Body.Close()
+	if del.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", del.StatusCode)
+	}
+	for _, probe := range []string{"/traces/" + digest} {
+		resp, err := http.Get(ts.URL + probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s after delete: status %d", probe, resp.StatusCode)
+		}
+	}
+}
+
+func httpDelete(url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return http.DefaultClient.Do(req)
+}
+
+func httpPatch(url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPatch, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// TestOversizedDeclaredLengthRejectedEarly: a Content-Length beyond the
+// per-trace cap can never be accepted, so both upload endpoints must
+// answer 413 immediately instead of reserving shared budget (and 503ing
+// other clients) while the doomed body streams in.
+func TestOversizedDeclaredLengthRejectedEarly(t *testing.T) {
+	_, ts := testServer(t, Config{MaxTraceBytes: 1 << 10})
+	oversized := make([]byte, 64<<10)
+	for _, path := range []string{"/traces", "/analyze"} {
+		resp, err := http.Post(ts.URL+path, "application/octet-stream", bytes.NewReader(oversized))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("POST %s with oversized Content-Length: status %d, want 413", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestTracePinEndpoint flips eviction exemption over HTTP and checks
+// the store observes it.
+func TestTracePinEndpoint(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	payload := recordedPayload(t, 3)
+	up, err := http.Post(ts.URL+"/traces", "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := decode[map[string]any](t, up)["trace"].(map[string]any)["digest"].(string)
+
+	for _, want := range []bool{true, false} {
+		resp, err := httpPatch(fmt.Sprintf("%s/traces/%s?pin=%t", ts.URL, digest, want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := decode[map[string]any](t, resp)
+		if resp.StatusCode != http.StatusOK || body["pinned"] != want {
+			t.Fatalf("pin=%t: status %d body %v", want, resp.StatusCode, body)
+		}
+		meta, err := s.corpus.Stat(digest)
+		if err != nil || meta.Pinned != want {
+			t.Fatalf("store pinned=%v after pin=%t (err %v)", meta.Pinned, want, err)
+		}
+	}
+
+	bad, err := httpPatch(ts.URL + "/traces/" + digest + "?pin=maybe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("pin=maybe: status %d, want 400", bad.StatusCode)
+	}
+	missing, err := httpPatch(ts.URL + "/traces/" + corpus.Digest([]byte("nope")) + "?pin=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("pin missing digest: status %d, want 404", missing.StatusCode)
+	}
+}
+
+// TestAnalyzeByDigest: a job referencing a stored trace by digest runs
+// without re-uploading, and a second job over the same stored trace is
+// served from the pipeline's digest-keyed result cache.
+func TestAnalyzeByDigest(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	payload := recordedPayload(t, 3)
+
+	up, err := http.Post(ts.URL+"/traces", "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploaded := decode[map[string]any](t, up)
+	digest := uploaded["trace"].(map[string]any)["digest"].(string)
+
+	submit := fmt.Sprintf(`{"trace":%q,"schemes":true}`, digest)
+	resp := postJSON(t, ts.URL+"/analyze", submit)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("analyze by digest: status %d", resp.StatusCode)
+	}
+	sub := decode[map[string]string](t, resp)
+	j := waitDone(t, ts.URL, sub["id"])
+	if j["status"] != statusDone {
+		t.Fatalf("digest job failed: %v", j["error"])
+	}
+	if j["cache_hit"] == true {
+		t.Fatal("first digest job claims a cache hit")
+	}
+	if j["trace_digest"] != digest {
+		t.Fatalf("job trace_digest = %v", j["trace_digest"])
+	}
+	report, _ := j["report"].(string)
+	if !strings.Contains(report, "pbzip2") {
+		t.Fatalf("report = %q", report)
+	}
+
+	// Same stored trace again: one cache entry shared across jobs.
+	resp = postJSON(t, ts.URL+"/analyze", submit)
+	sub = decode[map[string]string](t, resp)
+	j2 := waitDone(t, ts.URL, sub["id"])
+	if j2["status"] != statusDone {
+		t.Fatalf("second digest job failed: %v", j2["error"])
+	}
+	if j2["cache_hit"] != true {
+		t.Fatal("second digest job missed the pipeline result cache")
+	}
+	if j2["report"] != report {
+		t.Fatal("cached digest report differs")
+	}
+
+	// A direct upload of the identical bytes shares the same cache
+	// entry — content addressing, not transport, keys the cache.
+	resp2, err := http.Post(ts.URL+"/analyze?schemes=true", "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub = decode[map[string]string](t, resp2)
+	j3 := waitDone(t, ts.URL, sub["id"])
+	if j3["cache_hit"] != true {
+		t.Fatal("identical direct upload missed the digest-keyed cache")
+	}
+
+	if n := s.pl.CacheLen(); n != 1 {
+		t.Fatalf("pipeline cache holds %d entries, want 1", n)
+	}
+}
+
+func TestAnalyzeByDigestErrors(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	missing := corpus.Digest([]byte("never stored"))
+	resp := postJSON(t, ts.URL+"/analyze", fmt.Sprintf(`{"trace":%q}`, missing))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown digest: status %d, want 404", resp.StatusCode)
+	}
+
+	malformed := postJSON(t, ts.URL+"/analyze", `{"trace":"sha256:nope"}`)
+	defer malformed.Body.Close()
+	if malformed.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed digest: status %d, want 400", malformed.StatusCode)
+	}
+}
+
+// TestCorpusDisabled: a daemon started without a corpus directory keeps
+// the analyze endpoints but 503s every corpus-backed request.
+func TestCorpusDisabled(t *testing.T) {
+	s, err := NewServer(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/traces", "application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST /traces without corpus: status %d, want 503", resp.StatusCode)
+	}
+	byDigest := postJSON(t, ts.URL+"/analyze", fmt.Sprintf(`{"trace":%q}`, corpus.Digest([]byte("x"))))
+	defer byDigest.Body.Close()
+	if byDigest.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("analyze by digest without corpus: status %d, want 503", byDigest.StatusCode)
 	}
 }
 

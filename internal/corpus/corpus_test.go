@@ -1,0 +1,361 @@
+package corpus
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"perfplay/internal/sim"
+	"perfplay/internal/trace"
+	"perfplay/internal/workload"
+)
+
+// sampleTrace records a small deterministic workload and returns its
+// serialized bytes; different seeds yield different digests.
+func sampleTrace(t *testing.T, seed int64) []byte {
+	t.Helper()
+	app := workload.MustGet("pbzip2")
+	rec := sim.Run(app.Build(workload.Config{Threads: 2, Scale: 0.1, Seed: seed}), sim.Config{Seed: seed})
+	var buf bytes.Buffer
+	if err := rec.Trace.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fakeClock hands out strictly increasing times so LRU order is
+// deterministic regardless of wall-clock resolution.
+func fakeClock() func() time.Time {
+	now := time.Date(2026, 7, 26, 0, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		now = now.Add(time.Second)
+		return now
+	}
+}
+
+func TestPutGetDedupe(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := sampleTrace(t, 1)
+
+	m, created, err := s.Put(data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("first Put reported existing blob")
+	}
+	if m.Digest != Digest(data) {
+		t.Fatalf("digest = %s, want %s", m.Digest, Digest(data))
+	}
+	if m.Size != int64(len(data)) || m.Format != trace.FormatBinary || m.App != "pbzip2" {
+		t.Fatalf("meta = %+v", m)
+	}
+
+	// Same content again: one blob, same digest, created=false.
+	m2, created, err := s.Put(data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created || m2.Digest != m.Digest {
+		t.Fatalf("dedupe: created=%v digest=%s", created, m2.Digest)
+	}
+	if s.Len() != 1 || s.TotalBytes() != int64(len(data)) {
+		t.Fatalf("store holds %d traces / %d bytes after dedupe", s.Len(), s.TotalBytes())
+	}
+
+	got, gm, err := s.Get(m.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) || gm.Digest != m.Digest {
+		t.Fatal("Get returned different bytes")
+	}
+	tr, _, err := s.Load(m.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.App != "pbzip2" || len(tr.Events) != m.Events {
+		t.Fatalf("Load: app=%s events=%d", tr.App, len(tr.Events))
+	}
+
+	// JSON encoding of the same trace is different content: second blob.
+	app := workload.MustGet("pbzip2")
+	rec := sim.Run(app.Build(workload.Config{Threads: 2, Scale: 0.1, Seed: 1}), sim.Config{Seed: 1})
+	var js bytes.Buffer
+	if err := rec.Trace.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	jm, created, err := s.Put(js.Bytes(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created || jm.Format != trace.FormatJSON || jm.Digest == m.Digest {
+		t.Fatalf("json put: created=%v meta=%+v", created, jm)
+	}
+}
+
+func TestRejectsGarbageAndEmptyAndBadDigests(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Put([]byte("not a trace"), false); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("garbage: err = %v, want ErrInvalid", err)
+	}
+	// A structurally valid but empty trace must be refused.
+	var buf bytes.Buffer
+	if err := trace.New("empty", 0).WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Put(buf.Bytes(), false); err == nil || !strings.Contains(err.Error(), "empty trace") {
+		t.Fatalf("empty trace: err = %v", err)
+	}
+
+	for _, d := range []string{"", "sha256:zz", "md5:abc", "sha256:" + strings.Repeat("g", 64)} {
+		if _, _, err := s.Get(d); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("digest %q: err = %v, want ErrInvalid", d, err)
+		}
+	}
+	missing := Digest([]byte("missing"))
+	if _, _, err := s.Get(missing); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) = %v", err)
+	}
+	if _, err := s.Stat(missing); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stat(missing) = %v", err)
+	}
+	if err := s.Delete(missing); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete(missing) = %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := sampleTrace(t, 2)
+	m, _, err := s.Put(data, true) // pinned traces still Delete
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(m.Digest); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(m.Digest); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete = %v", err)
+	}
+	if s.Len() != 0 || s.TotalBytes() != 0 {
+		t.Fatalf("len=%d bytes=%d after delete", s.Len(), s.TotalBytes())
+	}
+	blobs, err := os.ReadDir(filepath.Join(dir, "blobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 0 {
+		t.Fatalf("%d blobs left on disk", len(blobs))
+	}
+}
+
+func TestLRUEvictionRespectsRecencyAndPins(t *testing.T) {
+	a := sampleTrace(t, 10)
+	b := sampleTrace(t, 11)
+	c := sampleTrace(t, 12)
+	budget := int64(len(a) + len(b) + len(c)) // all three fit; a fourth will not
+
+	s, err := Open(t.TempDir(), Options{MaxBytes: budget, now: fakeClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, _, _ := s.Put(a, false)
+	mb, _, _ := s.Put(b, true) // pinned: never evicted
+	mc, _, _ := s.Put(c, false)
+
+	// Touch a so c becomes the least recently used unpinned trace.
+	if _, _, err := s.Get(ma.Digest); err != nil {
+		t.Fatal(err)
+	}
+
+	d := sampleTrace(t, 13)
+	md, created, err := s.Put(d, false)
+	if err != nil || !created {
+		t.Fatalf("put d: created=%v err=%v", created, err)
+	}
+	if _, err := s.Stat(mc.Digest); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("c should have been evicted (LRU), got %v", err)
+	}
+	for _, digest := range []string{ma.Digest, mb.Digest, md.Digest} {
+		if _, err := s.Stat(digest); err != nil {
+			t.Fatalf("%s unexpectedly evicted: %v", digest, err)
+		}
+	}
+	if s.TotalBytes() > budget {
+		t.Fatalf("store over budget: %d > %d", s.TotalBytes(), budget)
+	}
+}
+
+func TestBudgetExhaustedByPins(t *testing.T) {
+	a := sampleTrace(t, 20)
+	b := sampleTrace(t, 21)
+	s, err := Open(t.TempDir(), Options{MaxBytes: int64(len(a)) + 1, now: fakeClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Put(a, true); err != nil {
+		t.Fatal(err)
+	}
+	// b cannot fit alongside the pinned a: the Put must be refused up
+	// front, storing nothing.
+	if _, _, err := s.Put(b, false); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d after refused put", s.Len())
+	}
+	if _, err := s.Stat(Digest(b)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("refused blob still indexed: %v", err)
+	}
+}
+
+// TestRefusedPutEvictsNothing pins down the no-data-loss contract: a
+// Put that cannot possibly fit (pinned residue + new blob over budget)
+// must not evict any existing unpinned trace on its way to failing.
+func TestRefusedPutEvictsNothing(t *testing.T) {
+	pinned := sampleTrace(t, 22)
+	resident := sampleTrace(t, 23)
+	incoming := sampleTrace(t, 24)
+	// Budget: both residents fit, but pinned + incoming never can.
+	budget := int64(len(pinned) + len(resident))
+	if int64(len(pinned)+len(incoming)) <= budget {
+		t.Fatalf("fixture sizes defeat the setup: %d+%d <= %d", len(pinned), len(incoming), budget)
+	}
+	s, err := Open(t.TempDir(), Options{MaxBytes: budget, now: fakeClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Put(pinned, true); err != nil {
+		t.Fatal(err)
+	}
+	mr, _, err := s.Put(resident, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Put(incoming, false); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if _, err := s.Stat(mr.Digest); err != nil {
+		t.Fatalf("refused Put destroyed a stored trace: %v", err)
+	}
+
+	// A single blob larger than the whole budget is refused outright.
+	s2, err := Open(t.TempDir(), Options{MaxBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s2.Put(incoming, false); !errors.Is(err, ErrBudget) {
+		t.Fatalf("oversized blob: err = %v", err)
+	}
+}
+
+func TestReopenPersistsIndexAndRecoversStrays(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sampleTrace(t, 30)
+	b := sampleTrace(t, 31)
+	ma, _, _ := s.Put(a, true)
+	mb, _, _ := s.Put(b, false)
+
+	// Reopen: the index round-trips, including pins.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 || s2.TotalBytes() != int64(len(a)+len(b)) {
+		t.Fatalf("reopened: len=%d bytes=%d", s2.Len(), s2.TotalBytes())
+	}
+	sa, err := s2.Stat(ma.Digest)
+	if err != nil || !sa.Pinned {
+		t.Fatalf("pin lost across reopen: %+v err=%v", sa, err)
+	}
+
+	// Losing the index (crash between blob rename and index write, or a
+	// deleted index.json) must not lose identifiable blobs.
+	if err := os.Remove(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Len() != 2 {
+		t.Fatalf("recovered %d traces from blobs, want 2", s3.Len())
+	}
+	got, _, err := s3.Get(mb.Digest)
+	if err != nil || !bytes.Equal(got, b) {
+		t.Fatalf("recovered blob differs: %v", err)
+	}
+
+	// A corrupt stray blob is ignored, not adopted and not deleted.
+	bad := filepath.Join(dir, "blobs", strings.Repeat("ab", 32))
+	if err := os.WriteFile(bad, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s4, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4.Len() != 2 {
+		t.Fatalf("corrupt blob adopted: len=%d", s4.Len())
+	}
+	if _, err := os.Stat(bad); err != nil {
+		t.Fatalf("corrupt blob deleted: %v", err)
+	}
+
+	// Crash-leftover temp files (the store's own naming) are swept on
+	// Open; nothing else may linger either.
+	for _, sub := range []string{dir, filepath.Join(dir, "blobs")} {
+		if err := os.WriteFile(filepath.Join(sub, "tmp-123456"), []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Open(dir, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{dir, filepath.Join(dir, "blobs")} {
+		entries, err := os.ReadDir(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "tmp-") {
+				t.Fatalf("leftover temp file %s", e.Name())
+			}
+		}
+	}
+}
+
+func TestListOrder(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{now: fakeClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, _, _ := s.Put(sampleTrace(t, 40), false)
+	mb, _, _ := s.Put(sampleTrace(t, 41), false)
+	list := s.List()
+	if len(list) != 2 {
+		t.Fatalf("list len = %d", len(list))
+	}
+	if list[0].Digest != mb.Digest || list[1].Digest != ma.Digest {
+		t.Fatalf("list not newest-first: %s, %s", list[0].Digest, list[1].Digest)
+	}
+}

@@ -9,26 +9,37 @@ import (
 // keyed by the normalized request (see Request.CacheKey). The daemon
 // and any long-lived embedder share it across jobs so repeated analyses
 // of the same (workload, input, threads, seed, config) tuple are free.
+//
+// Besides the entry-count cap, the cache enforces a byte budget over
+// weighted entries: trace-backed results retain the caller's parsed
+// trace (weighted by its serialized size, Request.TraceBytes), and
+// client-sized uploads must not let a count-bounded cache pin
+// cap×MaxTraceBytes of memory. Workload-backed results weigh zero —
+// their footprint is bounded by the modelled workloads themselves.
 type lruCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64      // weighted-entry budget; 0 = no byte bound
+	bytes    int64      // current weighted total
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
 }
 
 type lruEntry struct {
-	key string
-	res *Result
+	key  string
+	res  *Result
+	cost int64
 }
 
-func newLRU(capacity int) *lruCache {
+func newLRU(capacity int, maxBytes int64) *lruCache {
 	if capacity <= 0 {
 		return nil
 	}
 	return &lruCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element, capacity),
+		cap:      capacity,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
 	}
 }
 
@@ -46,22 +57,49 @@ func (c *lruCache) get(key string) (*Result, bool) {
 	return el.Value.(*lruEntry).res, true
 }
 
-func (c *lruCache) put(key string, res *Result) {
+// put inserts a result with its weight (0 for workload-backed results,
+// the serialized trace size for trace-backed ones).
+func (c *lruCache) put(key string, res *Result, cost int64) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).res = res
+		e := el.Value.(*lruEntry)
+		c.bytes += cost - e.cost
+		e.res, e.cost = res, cost
 		c.ll.MoveToFront(el)
-		return
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, res: res, cost: cost})
+		c.bytes += cost
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
+	// Evict past either bound. Over the count cap, the cold end goes
+	// regardless of weight; over only the byte budget, evict the
+	// coldest entry that actually carries weight — removing zero-cost
+	// workload results would destroy valid entries without freeing a
+	// byte. The most recent entry always survives even if it alone
+	// exceeds the byte budget — at worst one oversized result is
+	// retained, still bounded by the front end's per-upload size limit.
+	for c.ll.Len() > 1 {
+		overCount := c.ll.Len() > c.cap
+		overBytes := c.maxBytes > 0 && c.bytes > c.maxBytes
+		if !overCount && !overBytes {
+			break
+		}
+		victim := c.ll.Back()
+		if !overCount {
+			for victim != nil && victim != c.ll.Front() && victim.Value.(*lruEntry).cost == 0 {
+				victim = victim.Prev()
+			}
+			if victim == nil || victim == c.ll.Front() {
+				break // all remaining weight sits in the most recent entry
+			}
+		}
+		e := victim.Value.(*lruEntry)
+		c.ll.Remove(victim)
+		c.bytes -= e.cost
+		delete(c.items, e.key)
 	}
 }
 

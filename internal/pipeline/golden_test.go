@@ -1,0 +1,63 @@
+package pipeline
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden report files")
+
+// TestGoldenReports pins the ranked ULCP reports for two fixture
+// workloads byte-for-byte against committed goldens, for both the
+// serial and the 4-worker pipeline. This is a stronger check than
+// serial ≡ parallel alone: it also catches changes that alter both
+// paths identically (ranking tweaks, formatting drift, cost-model
+// regressions) so report changes are always explicit in review.
+//
+// Regenerate with: go test ./internal/pipeline/ -run TestGoldenReports -update
+func TestGoldenReports(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"pbzip2", Request{App: "pbzip2", Threads: 2, Scale: 0.2, Seed: 3, TopK: 5, Schemes: true}},
+		{"mysql", Request{App: "mysql", Threads: 4, Scale: 0.2, Seed: 7, TopK: 5, DetectRaces: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serialReq := tc.req
+			serialReq.Workers = 1
+			serial, err := Run(serialReq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parReq := tc.req
+			parReq.Workers = 4
+			par, err := Run(parReq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Report != serial.Report {
+				t.Fatalf("4-worker report differs from serial:\nserial:\n%s\nparallel:\n%s",
+					serial.Report, par.Report)
+			}
+
+			goldenPath := filepath.Join("testdata", tc.name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, []byte(serial.Report), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Report != string(want) {
+				t.Fatalf("report drifted from %s (rerun with -update if intentional):\nwant:\n%s\ngot:\n%s",
+					goldenPath, want, serial.Report)
+			}
+		})
+	}
+}

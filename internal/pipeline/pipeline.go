@@ -45,6 +45,24 @@ type Request struct {
 	// Trace, when set, is analyzed directly — the Record stage is
 	// skipped (uploaded or on-disk traces).
 	Trace *trace.Trace
+	// TraceDigest, when set alongside Trace, is the trace's content
+	// address (the corpus "sha256:..." digest of its serialized bytes).
+	// It re-enables the result cache for trace requests: two jobs over
+	// the same stored trace share one cache entry even though they
+	// parsed separate *trace.Trace values. Callers must only pass a
+	// digest that really identifies Trace's content.
+	TraceDigest string
+	// TraceBytes is the serialized size of Trace (upload body or corpus
+	// blob). It is excluded from the cache key and used only to weigh
+	// trace-backed results against the cache's byte budget; zero means
+	// "unknown" and weighs nothing.
+	TraceBytes int64
+	// TraceLoader, set with TraceDigest instead of Trace, defers
+	// loading to the moment the pipeline actually needs the events: a
+	// digest-keyed cache hit returns without ever invoking it, so
+	// re-analyzing an already-analyzed stored trace costs no blob read
+	// and no parse. Ignored when Trace is set.
+	TraceLoader func() (*trace.Trace, error)
 
 	// Threads, Input, Scale and Seed parameterize the recording;
 	// zero values select 2 threads, simlarge and scale 1.0.
@@ -95,20 +113,34 @@ func (r Request) normalize() Request {
 }
 
 // cacheable reports whether the request is a pure function of its cache
-// key; programs and pre-loaded traces are identified by pointer only
-// and therefore bypass the cache.
+// key. Workload requests are keyed by name; trace requests are keyed by
+// content digest when the caller supplies one. Programs and digest-less
+// traces are identified by pointer only and therefore bypass the cache.
 func (r Request) cacheable() bool {
-	return r.App != "" && r.Program == nil && r.Trace == nil
+	if r.Program != nil {
+		return false
+	}
+	if r.Trace != nil || r.TraceLoader != nil {
+		return r.TraceDigest != ""
+	}
+	return r.App != ""
 }
 
 // CacheKey canonically encodes every field that affects the computed
 // artifacts. Two fields are deliberately excluded: Workers (the
 // determinism contract makes the output identical at any pool width)
 // and TopK (it only affects report rendering, which a cache hit redoes
-// at the requested depth).
+// at the requested depth). For digest-keyed trace requests the
+// record-stage fields (Input, Threads, Scale, Seed) are inert — the
+// Record stage is skipped — but they stay in the key, so callers should
+// leave them zero to share entries.
 func (r Request) CacheKey() string {
+	src := r.App
+	if r.TraceDigest != "" {
+		src = r.TraceDigest
+	}
 	return fmt.Sprintf("%s|in%d|t%d|s%g|seed%d|sch%t|races%t|mr%d|dls%t|lc%d|v%t|id{%d,%t,%d}",
-		r.App, r.Input, r.Threads, r.Scale, r.Seed, r.Schemes,
+		src, r.Input, r.Threads, r.Scale, r.Seed, r.Schemes,
 		r.DetectRaces, r.MaxRaces, r.DLS, r.LocksetCost, r.VerifyTheorem1,
 		r.Identify.MaxScanPerThread, r.Identify.DisableReversedReplay, r.Identify.MaxReversedReplays)
 }
@@ -139,6 +171,11 @@ type Result struct {
 	Report   string
 	Timings  []StageTiming
 	CacheHit bool
+
+	// traceTotal is the analyzed trace's own recorded wall time,
+	// captured at run time so cache hits can re-render the report
+	// without holding (or re-loading) the trace itself.
+	traceTotal vtime.Duration
 }
 
 // Pipeline is a long-lived orchestrator with a result cache. The zero
@@ -151,11 +188,19 @@ type Pipeline struct {
 type Options struct {
 	// CacheSize bounds the LRU result cache (0 disables caching).
 	CacheSize int
+	// CacheTraceBytes additionally bounds the summed Request.TraceBytes
+	// of cached trace-backed results, since those retain their parsed
+	// traces; the coldest are evicted beyond it (0 = 256 MiB, negative
+	// disables the byte bound).
+	CacheTraceBytes int64
 }
 
 // New constructs a Pipeline.
 func New(opts Options) *Pipeline {
-	return &Pipeline{cache: newLRU(opts.CacheSize)}
+	if opts.CacheTraceBytes == 0 {
+		opts.CacheTraceBytes = 256 << 20
+	}
+	return &Pipeline{cache: newLRU(opts.CacheSize, opts.CacheTraceBytes)}
 }
 
 // CacheLen reports how many results the cache currently holds.
@@ -183,7 +228,11 @@ func (p *Pipeline) Run(req Request) (*Result, error) {
 		return nil, err
 	}
 	if key != "" {
-		p.cache.put(key, res)
+		var cost int64
+		if req.Trace != nil || req.TraceLoader != nil {
+			cost = req.TraceBytes
+		}
+		p.cache.put(key, res, cost)
 	}
 	return res, nil
 }
@@ -235,6 +284,12 @@ func run(req Request) (*Result, error) {
 	// here because the later stages replay it from several goroutines.
 	tr := req.Trace
 	if err := stage("record", func() error {
+		if tr == nil && req.TraceLoader != nil {
+			var err error
+			if tr, err = req.TraceLoader(); err != nil {
+				return fmt.Errorf("pipeline: load trace: %w", err)
+			}
+		}
 		if tr == nil {
 			prog := req.Program
 			if prog == nil {
@@ -265,6 +320,7 @@ func run(req Request) (*Result, error) {
 		return nil, err
 	}
 	a.App = tr.App
+	res.traceTotal = tr.TotalTime
 
 	// Stage 2 — Replay: the independent scheduler replays of the
 	// recorded trace. The ELSC run doubles as the quantification
@@ -407,6 +463,9 @@ func render(res *Result) string {
 func recordedTotal(res *Result) vtime.Duration {
 	if a := res.Analysis; a.Recorded != nil {
 		return a.Recorded.Trace.TotalTime
+	}
+	if res.traceTotal != 0 {
+		return res.traceTotal
 	}
 	if res.Request.Trace != nil {
 		return res.Request.Trace.TotalTime

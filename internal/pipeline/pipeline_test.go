@@ -1,10 +1,13 @@
 package pipeline
 
 import (
+	"bytes"
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
 
+	"perfplay/internal/corpus"
 	"perfplay/internal/replay"
 	"perfplay/internal/sim"
 	"perfplay/internal/trace"
@@ -190,6 +193,158 @@ func TestCache(t *testing.T) {
 	}
 	if again.CacheHit {
 		t.Fatal("evicted entry still hit")
+	}
+}
+
+// TestDigestKeyedTraceCache: trace requests are cacheable when the
+// caller supplies the trace's content digest — two jobs over separately
+// parsed copies of the same bytes share one cache entry — while
+// digest-less trace requests keep bypassing the cache.
+func TestDigestKeyedTraceCache(t *testing.T) {
+	app := workload.MustGet("pbzip2")
+	rec := sim.Run(app.Build(workload.Config{Threads: 2, Scale: 0.2, Seed: 5}), sim.Config{Seed: 5})
+	var buf bytes.Buffer
+	if err := rec.Trace.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	digest := corpus.Digest(buf.Bytes())
+
+	p := New(Options{CacheSize: 4})
+
+	anon, err := p.Run(Request{Trace: rec.Trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anon.CacheHit || p.CacheLen() != 0 {
+		t.Fatalf("digest-less trace request touched the cache (len %d)", p.CacheLen())
+	}
+
+	parse := func() *trace.Trace {
+		tr, err := trace.ReadAny(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	first, err := p.Run(Request{Trace: parse(), TraceDigest: digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first digest run reported a cache hit")
+	}
+	second, err := p.Run(Request{Trace: parse(), TraceDigest: digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("same digest missed the cache despite a distinct *Trace")
+	}
+	if second.Report != first.Report {
+		t.Fatal("cached digest report differs")
+	}
+	// The digest must key the analysis config too.
+	withSchemes, err := p.Run(Request{Trace: parse(), TraceDigest: digest, Schemes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withSchemes.CacheHit {
+		t.Fatal("different config hit the digest cache")
+	}
+}
+
+// TestTraceLoaderLazy: with a TraceLoader the blob is parsed only on a
+// cache miss — a repeat of an already-analyzed digest never invokes the
+// loader, and its re-rendered report (including the recorded-total
+// line, which normally comes from the trace header) is byte-identical.
+func TestTraceLoaderLazy(t *testing.T) {
+	app := workload.MustGet("pbzip2")
+	rec := sim.Run(app.Build(workload.Config{Threads: 2, Scale: 0.2, Seed: 5}), sim.Config{Seed: 5})
+	var buf bytes.Buffer
+	if err := rec.Trace.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	digest := corpus.Digest(buf.Bytes())
+
+	p := New(Options{CacheSize: 4})
+	calls := 0
+	req := Request{
+		TraceLoader: func() (*trace.Trace, error) {
+			calls++
+			return trace.ReadAny(bytes.NewReader(buf.Bytes()))
+		},
+		TraceDigest: digest,
+		TraceBytes:  int64(buf.Len()),
+		Schemes:     true,
+	}
+	first, err := p.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit || calls != 1 {
+		t.Fatalf("first run: hit=%v loader calls=%d", first.CacheHit, calls)
+	}
+	wantRecorded := fmt.Sprintf("recorded %v", rec.Trace.TotalTime)
+	if !strings.Contains(first.Report, wantRecorded) {
+		t.Fatalf("report lacks %q:\n%s", wantRecorded, first.Report)
+	}
+
+	second, err := p.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("repeat missed the cache")
+	}
+	if calls != 1 {
+		t.Fatalf("cache hit invoked the loader (%d calls)", calls)
+	}
+	if second.Report != first.Report {
+		t.Fatalf("re-rendered report differs:\nfirst:\n%s\nsecond:\n%s", first.Report, second.Report)
+	}
+
+	// Loader failures surface as run errors, not panics.
+	bad := Request{
+		TraceLoader: func() (*trace.Trace, error) { return nil, fmt.Errorf("blob vanished") },
+		TraceDigest: corpus.Digest([]byte("other")),
+	}
+	if _, err := p.Run(bad); err == nil || !strings.Contains(err.Error(), "blob vanished") {
+		t.Fatalf("loader error lost: %v", err)
+	}
+}
+
+// TestTraceCacheByteBudget: cached trace-backed results retain their
+// parsed traces, so the cache evicts the coldest of them past the byte
+// budget even when the entry-count cap has room — while the most recent
+// entry always survives, keeping analyze-by-digest repeats cache hits.
+func TestTraceCacheByteBudget(t *testing.T) {
+	app := workload.MustGet("pbzip2")
+	serialize := func(seed int64) ([]byte, *trace.Trace) {
+		rec := sim.Run(app.Build(workload.Config{Threads: 2, Scale: 0.2, Seed: seed}), sim.Config{Seed: seed})
+		var buf bytes.Buffer
+		if err := rec.Trace.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), rec.Trace
+	}
+	bytesA, trA := serialize(5)
+	bytesB, trB := serialize(6)
+
+	// Budget holds one trace but not two: caching B must evict A.
+	p := New(Options{CacheSize: 16, CacheTraceBytes: int64(len(bytesA)+len(bytesB)) - 1})
+	reqA := Request{Trace: trA, TraceDigest: corpus.Digest(bytesA), TraceBytes: int64(len(bytesA))}
+	reqB := Request{Trace: trB, TraceDigest: corpus.Digest(bytesB), TraceBytes: int64(len(bytesB))}
+	if _, err := p.Run(reqA); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := p.Run(reqB); err != nil || res.CacheHit {
+		t.Fatalf("B first run: hit=%v err=%v", res.CacheHit, err)
+	}
+	if res, err := p.Run(reqB); err != nil || !res.CacheHit {
+		t.Fatalf("B repeat should hit even over budget alone: hit=%v err=%v", res.CacheHit, err)
+	}
+	if res, err := p.Run(reqA); err != nil || res.CacheHit {
+		t.Fatalf("A should have been evicted by the byte budget: hit=%v err=%v", res.CacheHit, err)
 	}
 }
 

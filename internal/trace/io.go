@@ -1,10 +1,28 @@
 package trace
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
 )
+
+// Encoding names for the two on-disk trace formats, as reported by
+// DetectFormat and recorded in corpus metadata.
+const (
+	FormatBinary = "binary"
+	FormatJSON   = "json"
+)
+
+// DetectFormat reports which encoding raw trace bytes carry, by the
+// binary format's magic number. Anything without the magic is assumed
+// JSON; whether it actually parses is ReadAny's job.
+func DetectFormat(data []byte) string {
+	if len(data) >= 4 && binary.LittleEndian.Uint32(data) == binMagic {
+		return FormatBinary
+	}
+	return FormatJSON
+}
 
 // ReadAny decodes a trace in either the binary or the JSON encoding,
 // sniffing the format by attempting binary first (it is guarded by a

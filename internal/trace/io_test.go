@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,6 +33,69 @@ func TestReadAnySniffsBothEncodings(t *testing.T) {
 		t.Fatal("garbage accepted")
 	} else if !strings.Contains(err.Error(), "neither") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestReadAnyRejectsMalformed table-drives the content-sniffing loader
+// over hostile inputs: every case must come back as an error from both
+// decoders — never a panic, never a silently empty trace.
+func TestReadAnyRejectsMalformed(t *testing.T) {
+	tr := buildSample()
+	var bin bytes.Buffer
+	if err := tr.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+
+	// An otherwise-valid binary header that declares an absurd App
+	// string length: the length guard must fire before any attempt to
+	// allocate or read that much.
+	oversized := make([]byte, 0, 12)
+	oversized = append(oversized, bin.Bytes()[:8]...) // magic + version
+	oversized = binary.LittleEndian.AppendUint32(oversized, 1<<24)
+
+	cases := map[string]struct {
+		data    []byte
+		wantErr string // substring of the returned error
+	}{
+		"empty file":             {data: nil, wantErr: "neither"},
+		"truncated header":       {data: bin.Bytes()[:6], wantErr: "neither"},
+		"truncated mid-events":   {data: bin.Bytes()[:bin.Len()/2], wantErr: "neither"},
+		"truncated last byte":    {data: bin.Bytes()[:bin.Len()-1], wantErr: "neither"},
+		"bad magic":              {data: []byte{0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4}, wantErr: "bad magic"},
+		"oversized string field": {data: oversized, wantErr: "exceeds limit"},
+		"invalid json":           {data: []byte(`{"app": "x", "events": [`), wantErr: "json"},
+		"json wrong shape":       {data: []byte(`{"events": "not-an-array"}`), wantErr: "json"},
+		"garbage text":           {data: []byte("definitely not a trace"), wantErr: "neither"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			got, err := ReadAny(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatalf("accepted %d malformed bytes: %d events", len(tc.data), len(got.Events))
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDetectFormat(t *testing.T) {
+	tr := buildSample()
+	var bin, js bytes.Buffer
+	if err := tr.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for data, want := range map[*bytes.Buffer]string{&bin: FormatBinary, &js: FormatJSON} {
+		if got := DetectFormat(data.Bytes()); got != want {
+			t.Fatalf("DetectFormat = %q, want %q", got, want)
+		}
+	}
+	if got := DetectFormat(nil); got != FormatJSON {
+		t.Fatalf("DetectFormat(nil) = %q", got)
 	}
 }
 

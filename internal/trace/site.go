@@ -11,6 +11,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // SiteID indexes a code site in a trace's SiteTable. Zero is "unknown".
@@ -35,8 +36,13 @@ func (s Site) String() string {
 	return fmt.Sprintf("%s:%d(%s)", s.File, s.Line, s.Func)
 }
 
-// SiteTable interns Sites and hands out stable SiteIDs.
+// SiteTable interns Sites and hands out stable SiteIDs. It is safe for
+// concurrent use: simulated application threads run as real goroutines
+// and may intern sites while recording (e.g. workloads that resolve
+// sites inside their thread bodies), and replay/analysis stages resolve
+// IDs from several pool workers at once.
 type SiteTable struct {
+	mu    sync.RWMutex
 	sites []Site
 	index map[Site]SiteID
 }
@@ -50,10 +56,18 @@ func NewSiteTable() *SiteTable {
 
 // Intern returns the ID for s, allocating one if needed.
 func (t *SiteTable) Intern(s Site) SiteID {
-	if id, ok := t.index[s]; ok {
+	t.mu.RLock()
+	id, ok := t.index[s]
+	t.mu.RUnlock()
+	if ok {
 		return id
 	}
-	id := SiteID(len(t.sites))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.index[s]; ok { // lost the race to another interner
+		return id
+	}
+	id = SiteID(len(t.sites))
 	t.sites = append(t.sites, s)
 	t.index[s] = id
 	return id
@@ -61,6 +75,8 @@ func (t *SiteTable) Intern(s Site) SiteID {
 
 // At returns the site for an ID; out-of-range IDs yield the unknown site.
 func (t *SiteTable) At(id SiteID) Site {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if id < 0 || int(id) >= len(t.sites) {
 		return t.sites[0]
 	}
@@ -68,13 +84,25 @@ func (t *SiteTable) At(id SiteID) Site {
 }
 
 // Len reports the number of interned sites (including the unknown site).
-func (t *SiteTable) Len() int { return len(t.sites) }
+func (t *SiteTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.sites)
+}
 
-// All returns the table contents; callers must not mutate the slice.
-func (t *SiteTable) All() []Site { return t.sites }
+// All returns the table contents at the time of the call; callers must
+// not mutate the slice. Entries are append-only, so the returned prefix
+// stays valid even if other goroutines keep interning.
+func (t *SiteTable) All() []Site {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sites
+}
 
 // rebuildIndex restores the intern map after deserialization.
 func (t *SiteTable) rebuildIndex() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.index = make(map[Site]SiteID, len(t.sites))
 	for i, s := range t.sites {
 		t.index[s] = SiteID(i)

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSiteTableConcurrentIntern hammers one table from many goroutines
+// (run under -race in CI): every goroutine interning the same site must
+// observe the same ID, and the table must stay internally consistent.
+func TestSiteTableConcurrentIntern(t *testing.T) {
+	tbl := NewSiteTable()
+	const goroutines = 8
+	const sitesPerG = 50
+
+	ids := make([][]SiteID, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids[g] = make([]SiteID, sitesPerG)
+			for i := 0; i < sitesPerG; i++ {
+				// Same site set from every goroutine, maximum contention.
+				s := Site{File: "f.c", Line: i, Func: fmt.Sprintf("fn%d", i)}
+				ids[g][i] = tbl.Intern(s)
+				// Interleave reads with the writes.
+				if got := tbl.At(ids[g][i]); got != s {
+					panic(fmt.Sprintf("At(%d) = %v, want %v", ids[g][i], got, s))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for g := 1; g < goroutines; g++ {
+		for i := range ids[g] {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d got id %d for site %d, goroutine 0 got %d",
+					g, ids[g][i], i, ids[0][i])
+			}
+		}
+	}
+	if tbl.Len() != sitesPerG+1 { // + the reserved unknown site
+		t.Fatalf("table holds %d sites, want %d", tbl.Len(), sitesPerG+1)
+	}
+	if got := len(tbl.All()); got != tbl.Len() {
+		t.Fatalf("All() returned %d sites, Len() says %d", got, tbl.Len())
+	}
+}

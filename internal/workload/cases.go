@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"perfplay/internal/sim"
+	"perfplay/internal/trace"
 )
 
 // Appendix A of the paper lists ten real-world ULCP cases "mainly used for
@@ -266,7 +267,11 @@ func buildCase8(cfg Config) *sim.Program {
 	p := sim.NewProgram("case8-hashlookup")
 	mu := p.NewLock("fil_system->mutex")
 	hash := p.Mem.AllocN("fil_system->spaces", 8, 5)
-	sites := []struct {
+	// Sites are interned up front, as in every other case, rather than
+	// from inside the thread bodies: the threads run as concurrent
+	// goroutines under the simulator, so per-iteration interning would
+	// hammer the (now synchronized) site table from all of them.
+	lookups := []struct {
 		fn   string
 		line int
 	}{
@@ -275,11 +280,14 @@ func buildCase8(cfg Config) *sim.Program {
 		{"fil_decr_pending_ops", 4961},
 		{"fil_space_get_size", 4850},
 	}
+	sites := make([]trace.SiteID, len(lookups))
+	for i, l := range lookups {
+		sites[i] = p.Site("storage/innobase/fil/fil0fil.cc", l.line, l.fn)
+	}
 	for i := 0; i < cfg.Threads; i++ {
 		p.AddThread(func(th *sim.Thread) {
 			for it := 0; it < cfg.iters(5); it++ {
-				for _, site := range sites {
-					s := p.Site("storage/innobase/fil/fil0fil.cc", site.line, site.fn)
+				for _, s := range sites {
 					th.Lock(mu, s)
 					th.Read(hash[it%len(hash)], s)
 					th.Compute(200)
