@@ -1,0 +1,170 @@
+// Command benchjson converts `go test -bench` text output into the
+// repo's BENCH_<sha>.json format, so CI can file one benchmark snapshot
+// per commit as an artifact and the perf trajectory accumulates instead
+// of living in scroll-back. It has no dependencies beyond the standard
+// library on purpose: CI runs it with `go run` before anything else is
+// installed.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | \
+//	  benchjson -commit "$GITHUB_SHA" -out "BENCH_${GITHUB_SHA::12}.json"
+//
+// The tool exits non-zero when the input contains no benchmark lines
+// (or any package failed), so a CI job cannot silently upload an empty
+// snapshot.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark's bare name (no "Benchmark" prefix, no
+	// -GOMAXPROCS suffix); FullName preserves the raw first column.
+	Name     string `json:"name"`
+	FullName string `json:"full_name"`
+	Pkg      string `json:"pkg,omitempty"`
+	Procs    int    `json:"procs,omitempty"`
+	// Iterations is b.N for the run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every "<value> <unit>" pair on the
+	// line (ns/op, B/op, allocs/op, and anything b.ReportMetric added).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the BENCH_<sha>.json document.
+type Snapshot struct {
+	Commit     string      `json:"commit,omitempty"`
+	Generated  string      `json:"generated"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parse reads `go test -bench` output. It tolerates interleaved b.Log
+// lines and multiple packages, and reports an error when a package
+// failed or no benchmark lines were found.
+func parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	pkg := ""
+	failed := []string{}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "--- FAIL"):
+			failed = append(failed, line)
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line, pkg); ok {
+				snap.Benchmarks = append(snap.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(failed) > 0 {
+		return nil, fmt.Errorf("benchmark run failed: %s", strings.Join(failed, "; "))
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found (ran with -bench and -benchtime?)")
+	}
+	return snap, nil
+}
+
+// parseBenchLine parses one "BenchmarkX-4  10  123 ns/op  456 B/op"
+// line. Lines that merely start with "Benchmark" but do not follow the
+// tabular shape (a b.Log line, say) are skipped, not errors.
+func parseBenchLine(line, pkg string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		FullName:   fields[0],
+		Pkg:        pkg,
+		Iterations: iters,
+		Metrics:    make(map[string]float64),
+	}
+	b.Name = strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Procs = procs
+			b.Name = b.Name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func main() {
+	var (
+		in     = flag.String("in", "-", "benchmark output file (- = stdin)")
+		out    = flag.String("out", "-", "JSON destination (- = stdout)")
+		commit = flag.String("commit", "", "commit SHA to stamp into the snapshot")
+	)
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+	snap, err := parse(src)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	snap.Commit = *commit
+	snap.Generated = time.Now().UTC().Format(time.RFC3339)
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: perfplay
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkTable1-4             	       1	 123456789 ns/op
+BenchmarkTraceBinaryRoundTrip-4  	       3	   1234 ns/op	     567 B/op	       8 allocs/op
+BenchmarkCustomMetric-8       	      10	    99.5 ns/op	        42.0 widgets/op
+    bench_test.go:38:
+        some b.Log output that mentions BenchmarkTable1 mid-line
+PASS
+ok  	perfplay	12.3s
+pkg: perfplay/internal/pipeline
+BenchmarkPipelineSerial       	       1	  55 ns/op
+PASS
+ok  	perfplay/internal/pipeline	1.0s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Goos != "linux" || snap.Goarch != "amd64" || !strings.Contains(snap.CPU, "Xeon") {
+		t.Fatalf("header: %+v", snap)
+	}
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+
+	b := snap.Benchmarks[0]
+	if b.Name != "Table1" || b.FullName != "BenchmarkTable1-4" || b.Procs != 4 ||
+		b.Iterations != 1 || b.Pkg != "perfplay" {
+		t.Fatalf("first benchmark: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 123456789 {
+		t.Fatalf("ns/op = %v", b.Metrics)
+	}
+
+	rt := snap.Benchmarks[1]
+	if rt.Metrics["B/op"] != 567 || rt.Metrics["allocs/op"] != 8 {
+		t.Fatalf("round-trip metrics: %v", rt.Metrics)
+	}
+
+	cm := snap.Benchmarks[2]
+	if cm.Metrics["widgets/op"] != 42.0 || cm.Procs != 8 {
+		t.Fatalf("custom metric: %+v", cm)
+	}
+
+	// The second package's context sticks.
+	if last := snap.Benchmarks[3]; last.Pkg != "perfplay/internal/pipeline" ||
+		last.Name != "PipelineSerial" || last.Procs != 0 {
+		t.Fatalf("last benchmark: %+v", last)
+	}
+}
+
+func TestParseRejectsEmptyAndFailed(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok  \tperfplay\t1s\n")); err == nil {
+		t.Fatal("empty input must be an error, not an empty snapshot")
+	}
+	failed := "BenchmarkX-4\t1\t5 ns/op\n--- FAIL: TestY\nFAIL\nFAIL\tperfplay\t1s\n"
+	if _, err := parse(strings.NewReader(failed)); err == nil {
+		t.Fatal("FAIL lines must fail the conversion")
+	}
+}
+
+func TestParseBenchLineShapes(t *testing.T) {
+	for _, line := range []string{
+		"Benchmark output from a log line",
+		"BenchmarkNoMetrics-4\t1",
+		"BenchmarkOdd-4\t1\t5",
+	} {
+		if _, ok := parseBenchLine(line, ""); ok {
+			t.Fatalf("line %q parsed as a benchmark", line)
+		}
+	}
+	b, ok := parseBenchLine("BenchmarkPlain\t100\t5 ns/op", "p")
+	if !ok || b.Procs != 0 || b.Name != "Plain" || b.Iterations != 100 {
+		t.Fatalf("plain line: %+v ok=%t", b, ok)
+	}
+}

@@ -1,0 +1,284 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"perfplay/internal/corpus"
+	"perfplay/internal/pipeline"
+	"perfplay/internal/trace"
+	"perfplay/internal/ulcp"
+)
+
+// Daemon roles. Every role serves the full HTTP surface; the role only
+// changes which side of the shard protocol the daemon drives. A worker
+// is a daemon whose /shards endpoint is expected to do the heavy
+// lifting; a coordinator additionally fans each job's classification
+// shards out to its -peers (workers or other standalones), falling back
+// to local execution when a peer fails.
+const (
+	roleStandalone  = "standalone"
+	roleWorker      = "worker"
+	roleCoordinator = "coordinator"
+)
+
+// shardTraceCacheCap bounds the worker-side parsed-trace cache. Parsed
+// traces are the big objects here (tens of MB at production scale), so
+// the cap is deliberately small: a worker typically serves ranges of
+// one or two live traces at a time.
+const shardTraceCacheCap = 4
+
+// shardTrace is one cached decomposition: the parsed (and warmed)
+// trace and its sorted lock groups — everything handleShards needs
+// that is derivable from the blob alone.
+type shardTrace struct {
+	tr     *trace.Trace
+	groups [][]*trace.CritSec
+}
+
+// shardTraceCache is a tiny LRU keyed by trace digest. It exists so a
+// coordinator analyzing the same stored trace repeatedly (the verdict
+// table cache's headline case) does not make each worker re-pay the
+// blob read + parse + CS extraction per shard request.
+type shardTraceCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*shardTrace
+	order []string // oldest first
+}
+
+func newShardTraceCache(capacity int) *shardTraceCache {
+	return &shardTraceCache{cap: capacity, items: make(map[string]*shardTrace, capacity)}
+}
+
+func (c *shardTraceCache) get(digest string) (*shardTrace, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.items[digest]
+	if ok {
+		c.touchLocked(digest)
+	}
+	return st, ok
+}
+
+func (c *shardTraceCache) put(digest string, st *shardTrace) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[digest]; ok {
+		c.touchLocked(digest)
+		return
+	}
+	c.items[digest] = st
+	c.order = append(c.order, digest)
+	for len(c.order) > c.cap {
+		delete(c.items, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+func (c *shardTraceCache) touchLocked(digest string) {
+	for i, d := range c.order {
+		if d == digest {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), digest)
+			return
+		}
+	}
+}
+
+// shardRequest is the body of POST /shards: analyze lock groups
+// [Start, End) of the sorted shard decomposition of the trace stored
+// under Trace, with the given options and shared verdict table. The
+// trace is referenced by content digest, never inlined — a coordinator
+// pushes the blob (POST /traces) only to peers that miss it.
+type shardRequest struct {
+	Trace string             `json:"trace"`
+	Start int                `json:"start"`
+	End   int                `json:"end"`
+	Opts  ulcp.Options       `json:"options"`
+	Table *ulcp.VerdictTable `json:"table,omitempty"`
+}
+
+// shardResponse answers with one wire report per requested group, in
+// group order, plus the worker's view of the decomposition so a
+// coordinator can detect a mismatched trace before merging garbage.
+type shardResponse struct {
+	Trace   string             `json:"trace"`
+	Start   int                `json:"start"`
+	End     int                `json:"end"`
+	Groups  int                `json:"groups"`
+	Reports []*ulcp.WireReport `json:"reports"`
+}
+
+// handleShards is the worker half of the shard protocol. It is
+// synchronous — the coordinator owns queueing and placement; a worker
+// just computes. Unknown digests are 404 (the coordinator's cue to push
+// the blob and retry); malformed ranges are 400; bodies beyond the
+// trace size cap are 413.
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCorpus(w) {
+		return
+	}
+	// Admission control: /shards bypasses the job queue (the
+	// coordinator owns queueing), so a bounded semaphore stands in for
+	// it — beyond MaxShardRequests concurrent executions the worker
+	// answers 503 and the coordinator re-runs the range locally.
+	if s.shardSem != nil {
+		select {
+		case s.shardSem <- struct{}{}:
+			defer func() { <-s.shardSem }()
+		default:
+			httpError(w, http.StatusServiceUnavailable,
+				"shard executor busy (%d concurrent requests)", cap(s.shardSem))
+			return
+		}
+	}
+	// Shard requests are metadata-sized (options + verdict table), so a
+	// single MaxTraceBytes cap bounds them without drawing on the
+	// upload byte budget reserved for whole-trace bodies.
+	var req shardRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxTraceBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"shard request exceeds %d bytes", s.cfg.MaxTraceBytes)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "bad shard request: %v", err)
+		return
+	}
+	st, ok := s.shardTraces.get(req.Trace)
+	if !ok {
+		tr, _, err := s.corpus.Load(req.Trace)
+		if err != nil {
+			corpusError(w, err)
+			return
+		}
+		tr.Warm()
+		st = &shardTrace{tr: tr, groups: ulcp.SortedLockGroups(tr.ExtractCS())}
+		s.shardTraces.put(req.Trace, st)
+	} else if _, err := s.corpus.Touch(req.Trace); err != nil {
+		// The blob was deleted out from under the cache: behave like a
+		// miss so the coordinator re-seeds rather than silently reusing
+		// evicted content. (Touch also keeps the LRU honest about use.)
+		corpusError(w, err)
+		return
+	}
+	if req.Start < 0 || req.End < req.Start || req.End > len(st.groups) {
+		httpError(w, http.StatusBadRequest,
+			"shard range [%d,%d) out of bounds for %d lock groups", req.Start, req.End, len(st.groups))
+		return
+	}
+	reports := make([]*ulcp.WireReport, req.End-req.Start)
+	pool := pipeline.NewPool(s.cfg.PipelineWorkers)
+	pool.Each(len(reports), func(i int) {
+		rep := ulcp.IdentifyShardWithVerdicts(st.tr, st.groups[req.Start+i], req.Opts, req.Table)
+		reports[i] = rep.Wire()
+	})
+	writeJSON(w, http.StatusOK, &shardResponse{
+		Trace:   req.Trace,
+		Start:   req.Start,
+		End:     req.End,
+		Groups:  len(st.groups),
+		Reports: reports,
+	})
+}
+
+// peerExecutor drives one peer through the shard protocol; it
+// implements pipeline.ShardExecutor. On an unknown-trace 404 it pushes
+// the job's canonical blob into the peer's corpus and retries once; any
+// other failure surfaces to the distributor, which re-runs the range
+// locally.
+type peerExecutor struct {
+	base   string
+	client *http.Client
+	remote *corpus.Remote
+}
+
+func newPeerExecutor(base string, timeout time.Duration) *peerExecutor {
+	client := &http.Client{Timeout: timeout}
+	return &peerExecutor{
+		base:   base,
+		client: client,
+		remote: &corpus.Remote{Base: base, Client: client},
+	}
+}
+
+func (p *peerExecutor) Name() string { return p.base }
+
+func (p *peerExecutor) ExecuteShards(job *pipeline.ShardJob, rng pipeline.ShardRange) ([]*ulcp.Report, error) {
+	// Digest avoids serializing the trace when the pipeline's digest
+	// memo already knows its canonical name; the bytes themselves are
+	// materialized only if this peer turns out to miss the blob.
+	digest, err := job.Digest()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.post(digest, job, rng)
+	if errors.Is(err, corpus.ErrNotFound) {
+		// The peer has never seen this trace: seed its corpus and retry.
+		var data []byte
+		if _, data, err = job.Blob(); err != nil {
+			return nil, err
+		}
+		if _, err = p.remote.Push(data); err != nil {
+			return nil, fmt.Errorf("seed %s: %w", p.base, err)
+		}
+		resp, err = p.post(digest, job, rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if resp.Groups != len(job.Groups) || resp.Start != rng.Start || resp.End != rng.End {
+		return nil, fmt.Errorf("peer %s decomposed %d groups for range [%d,%d), want %d for [%d,%d)",
+			p.base, resp.Groups, resp.Start, resp.End, len(job.Groups), rng.Start, rng.End)
+	}
+	byID := job.CSIndex()
+	reports := make([]*ulcp.Report, len(resp.Reports))
+	for i, wr := range resp.Reports {
+		if wr == nil {
+			return nil, fmt.Errorf("peer %s: null report at index %d", p.base, i)
+		}
+		if reports[i], err = wr.Rehydrate(byID); err != nil {
+			return nil, fmt.Errorf("peer %s: %w", p.base, err)
+		}
+	}
+	return reports, nil
+}
+
+func (p *peerExecutor) post(digest string, job *pipeline.ShardJob, rng pipeline.ShardRange) (*shardResponse, error) {
+	body, err := json.Marshal(&shardRequest{
+		Trace: digest,
+		Start: rng.Start,
+		End:   rng.End,
+		Opts:  job.Opts,
+		Table: job.Table,
+	})
+	if err != nil {
+		return nil, err
+	}
+	httpResp, err := p.client.Post(p.base+"/shards", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("post shards to %s: %w", p.base, err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		// corpus.RemoteError maps the daemon's JSON error body onto the
+		// local sentinels; a 404 comes back errors.Is(ErrNotFound), the
+		// cue to push the blob and retry.
+		return nil, corpus.RemoteError("shards on "+p.base, httpResp)
+	}
+	var resp shardResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("peer %s: decode shard response: %w", p.base, err)
+	}
+	if len(resp.Reports) != rng.End-rng.Start {
+		return nil, fmt.Errorf("peer %s: %d reports for %d groups", p.base, len(resp.Reports), rng.End-rng.Start)
+	}
+	return &resp, nil
+}

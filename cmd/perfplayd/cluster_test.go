@@ -1,0 +1,395 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"perfplay/internal/corpus"
+	"perfplay/internal/sim"
+	"perfplay/internal/ulcp"
+	"perfplay/internal/workload"
+)
+
+// goldenSpecs are the committed pipeline goldens, expressed as daemon
+// analyze specs. The cluster contract under test: a coordinator + N
+// workers produce the same report bytes these goldens pin.
+//
+// warmup is the same analysis with different reporting flags: it misses
+// the result cache for the golden spec but shares its verdict-table
+// key, and a fresh-table run classifies locally as a side effect of
+// building the table — so the warmup is what arms distribution for the
+// golden job that follows.
+var goldenSpecs = []struct {
+	name   string
+	warmup string
+	spec   string
+}{
+	{"pbzip2",
+		`{"app":"pbzip2","threads":2,"scale":0.2,"seed":3,"top":5}`,
+		`{"app":"pbzip2","threads":2,"scale":0.2,"seed":3,"top":5,"schemes":true}`},
+	{"mysql",
+		`{"app":"mysql","threads":4,"scale":0.2,"seed":7,"top":5}`,
+		`{"app":"mysql","threads":4,"scale":0.2,"seed":7,"top":5,"races":true}`},
+}
+
+func goldenReport(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "internal", "pipeline", "testdata", name+".golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// runJobReport submits a spec and returns the finished job's report.
+func runJobReport(t *testing.T, base, spec string) string {
+	t.Helper()
+	resp := postJSON(t, base+"/analyze", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	sub := decode[map[string]string](t, resp)
+	j := waitDone(t, base, sub["id"])
+	if j["status"] != statusDone {
+		t.Fatalf("job failed: %v", j["error"])
+	}
+	report, _ := j["report"].(string)
+	return report
+}
+
+// clusterServer starts a daemon and returns it with its base URL.
+func clusterServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	return testServer(t, cfg)
+}
+
+// TestClusterByteIdenticalReports is the multi-node acceptance test: a
+// coordinator fanning shards out to two in-process workers produces
+// merged ranked reports byte-identical to the committed goldens (and
+// therefore to a serial single-node run) for both fixtures. It also
+// checks the blob push path: the workers start with empty corpora and
+// must end up holding the coordinator's canonical trace blobs.
+func TestClusterByteIdenticalReports(t *testing.T) {
+	w1, ts1 := clusterServer(t, Config{Role: roleWorker})
+	w2, ts2 := clusterServer(t, Config{Role: roleWorker})
+	_, coord := clusterServer(t, Config{Peers: []string{ts1.URL, ts2.URL}})
+
+	for _, g := range goldenSpecs {
+		runJobReport(t, coord.URL, g.warmup) // builds + caches the verdict table
+		report := runJobReport(t, coord.URL, g.spec)
+		if want := goldenReport(t, g.name); report != want {
+			t.Fatalf("%s: cluster report differs from golden:\nwant:\n%s\ngot:\n%s", g.name, want, report)
+		}
+	}
+	// Each worker was seeded with both traces via the 404-push-retry
+	// handshake (the coordinator's canonical binary blobs).
+	for i, w := range []*Server{w1, w2} {
+		if n := w.corpus.Len(); n != 2 {
+			t.Fatalf("worker %d corpus holds %d traces after 2 cluster jobs, want 2", i+1, n)
+		}
+	}
+}
+
+// abortableWorker wraps a worker daemon so its /shards handler can be
+// made to hang until the test kills the whole server — the "peer dies
+// mid-job" scenario, as opposed to a peer that was already down.
+type abortableWorker struct {
+	inner    http.Handler
+	mu       sync.Mutex
+	hang     bool
+	started  chan struct{} // closed when a /shards call has begun hanging
+	release  chan struct{} // closed to abort the hanging calls
+	startOne sync.Once
+}
+
+func (a *abortableWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && r.URL.Path == "/shards" {
+		a.mu.Lock()
+		hang := a.hang
+		a.mu.Unlock()
+		if hang {
+			a.startOne.Do(func() { close(a.started) })
+			<-a.release
+			panic(http.ErrAbortHandler) // sever the connection mid-response
+		}
+	}
+	a.inner.ServeHTTP(w, r)
+}
+
+// TestClusterWorkerKilledMidJob kills one worker while it is holding a
+// shard request, then restarts a fresh worker on the same address. The
+// in-flight job must fall back and still produce the golden bytes, and
+// the restarted worker must serve the next job without fallbacks.
+func TestClusterWorkerKilledMidJob(t *testing.T) {
+	_, ts1 := clusterServer(t, Config{Role: roleWorker})
+
+	w2srv, err := NewServer(Config{Role: roleWorker, CorpusDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2srv.Start()
+	ab := &abortableWorker{
+		inner:   w2srv.Handler(),
+		hang:    true,
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	ts2 := httptest.NewServer(ab)
+	w2addr := ts2.Listener.Addr().String()
+
+	coordSrv, coord := clusterServer(t, Config{Peers: []string{ts1.URL, "http://" + w2addr}})
+
+	// Warm the verdict table (a local pass; no shard traffic yet), then
+	// submit the distributed job, wait until worker 2 is actually
+	// holding a shard request, and kill it mid-flight.
+	runJobReport(t, coord.URL, goldenSpecs[1].warmup)
+	resp := postJSON(t, coord.URL+"/analyze", goldenSpecs[1].spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	sub := decode[map[string]string](t, resp)
+	<-ab.started
+	close(ab.release)
+	ts2.Close()
+	w2srv.Close()
+
+	j := waitDone(t, coord.URL, sub["id"])
+	if j["status"] != statusDone {
+		t.Fatalf("job failed after worker kill: %v", j["error"])
+	}
+	if report, want := j["report"].(string), goldenReport(t, "mysql"); report != want {
+		t.Fatalf("report after mid-job worker kill differs from golden:\nwant:\n%s\ngot:\n%s", want, report)
+	}
+	if coordSrv.dist.Fallbacks() == 0 {
+		t.Fatal("coordinator recorded no fallbacks despite the killed worker")
+	}
+	after := coordSrv.dist.Fallbacks()
+
+	// Restart a fresh worker on the same address; note the push-retry
+	// handshake must re-seed its empty corpus. The next distributed job
+	// (a different fixture, warmed first) must use it without fallbacks.
+	ln, err := net.Listen("tcp", w2addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", w2addr, err)
+	}
+	w2b, err := NewServer(Config{Role: roleWorker, CorpusDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2b.Start()
+	ts2b := &httptest.Server{Listener: ln, Config: &http.Server{Handler: w2b.Handler()}}
+	ts2b.Start()
+	t.Cleanup(func() {
+		ts2b.Close()
+		w2b.Close()
+	})
+
+	runJobReport(t, coord.URL, goldenSpecs[0].warmup)
+	if report, want := runJobReport(t, coord.URL, goldenSpecs[0].spec), goldenReport(t, "pbzip2"); report != want {
+		t.Fatalf("report after worker restart differs from golden:\nwant:\n%s\ngot:\n%s", want, report)
+	}
+	if got := coordSrv.dist.Fallbacks(); got != after {
+		t.Fatalf("restarted worker still caused fallbacks (%d → %d)", after, got)
+	}
+	if n := w2b.corpus.Len(); n != 1 {
+		t.Fatalf("restarted worker corpus holds %d traces, want 1 (re-seeded)", n)
+	}
+}
+
+// TestClusterAllPeersDown: a coordinator whose every peer is
+// unreachable must still complete jobs locally with golden-identical
+// output — the cluster can only degrade, never corrupt or wedge.
+func TestClusterAllPeersDown(t *testing.T) {
+	dead1 := httptest.NewServer(http.NotFoundHandler())
+	dead2 := httptest.NewServer(http.NotFoundHandler())
+	addr1, addr2 := dead1.URL, dead2.URL
+	dead1.Close() // closed before any job: connection refused
+	dead2.Close()
+
+	coordSrv, coord := clusterServer(t, Config{Peers: []string{addr1, addr2}})
+	runJobReport(t, coord.URL, goldenSpecs[0].warmup) // local; arms distribution
+	if report, want := runJobReport(t, coord.URL, goldenSpecs[0].spec), goldenReport(t, "pbzip2"); report != want {
+		t.Fatalf("all-peers-down report differs from golden:\nwant:\n%s\ngot:\n%s", want, report)
+	}
+	if coordSrv.dist.Fallbacks() == 0 {
+		t.Fatal("no fallbacks recorded with every peer down")
+	}
+}
+
+// TestShardsEndpointErrors drives the worker protocol's error paths
+// directly: unknown trace digest (404 — the push-retry cue), malformed
+// body (400), out-of-bounds range (400), and an oversized request
+// (413).
+func TestShardsEndpointErrors(t *testing.T) {
+	srv, ts := clusterServer(t, Config{Role: roleWorker, MaxTraceBytes: 64 << 10})
+
+	// Unknown digest → 404.
+	body, _ := json.Marshal(&shardRequest{Trace: corpus.Digest([]byte("never stored")), Start: 0, End: 1})
+	resp := postJSON(t, ts.URL+"/shards", string(body))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown digest: status %d, want 404", resp.StatusCode)
+	}
+
+	// Malformed digest → 400; malformed JSON → 400.
+	for _, bad := range []string{`{"trace":"sha256:nope"}`, `{nope`} {
+		resp := postJSON(t, ts.URL+"/shards", bad)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// Store a real trace, then ask for an impossible range → 400.
+	payload := recordedPayload(t, 3)
+	meta, _, err := srv.corpus.Put(payload, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = json.Marshal(&shardRequest{Trace: meta.Digest, Start: 0, End: 1 << 20})
+	resp = postJSON(t, ts.URL+"/shards", string(body))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-bounds range: status %d, want 400", resp.StatusCode)
+	}
+	if errBody := decode[map[string]string](t, resp); !strings.Contains(errBody["error"], "out of bounds") {
+		t.Fatalf("error = %q", errBody["error"])
+	}
+
+	// A shard request larger than MaxTraceBytes → 413.
+	huge := fmt.Sprintf(`{"trace":%q,"start":0,"end":1,"table":{"verdicts":{%q:true}}}`,
+		meta.Digest, strings.Repeat("x", 128<<10))
+	resp = postJSON(t, ts.URL+"/shards", huge)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized shard request: status %d, want 413", resp.StatusCode)
+	}
+
+	// No corpus → 503 (a worker cannot resolve digests at all).
+	noCorpus, err := NewServer(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsNC := httptest.NewServer(noCorpus.Handler())
+	defer tsNC.Close()
+	body, _ = json.Marshal(&shardRequest{Trace: meta.Digest, Start: 0, End: 1})
+	resp = postJSON(t, tsNC.URL+"/shards", string(body))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("corpus-less worker: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestShardsBusy: a worker at its concurrent-shard-request bound
+// answers 503 (the coordinator's cue to run the range locally) instead
+// of stacking unbounded CPU-bound work, and recovers once a slot frees.
+func TestShardsBusy(t *testing.T) {
+	srv, ts := clusterServer(t, Config{Role: roleWorker, MaxShardRequests: 1})
+
+	srv.shardSem <- struct{}{} // occupy the only slot
+	body, _ := json.Marshal(&shardRequest{Trace: corpus.Digest([]byte("x")), Start: 0, End: 1})
+	resp := postJSON(t, ts.URL+"/shards", string(body))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("busy worker: status %d, want 503", resp.StatusCode)
+	}
+	if errBody := decode[map[string]string](t, resp); !strings.Contains(errBody["error"], "busy") {
+		t.Fatalf("error = %q", errBody["error"])
+	}
+
+	<-srv.shardSem // free the slot; the endpoint must serve again
+	resp2 := postJSON(t, ts.URL+"/shards", string(body))
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound { // unknown digest, but admitted
+		t.Fatalf("freed worker: status %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestShardTraceCacheLRU pins the worker-side parsed-trace cache's
+// bound and recency behavior.
+func TestShardTraceCacheLRU(t *testing.T) {
+	c := newShardTraceCache(2)
+	a, b, d := &shardTrace{}, &shardTrace{}, &shardTrace{}
+	c.put("a", a)
+	c.put("b", b)
+	if _, ok := c.get("a"); !ok { // refresh a's recency
+		t.Fatal("a missing")
+	}
+	c.put("d", d) // evicts b, the coldest
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived past the cap")
+	}
+	for _, k := range []string{"a", "d"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s evicted wrongly", k)
+		}
+	}
+}
+
+// TestShardsEndpointHappyPath exercises the worker protocol end to end
+// without a coordinator: push a trace, request every group with a
+// locally-built verdict table, and check the merged rehydrated reports
+// equal a direct identification.
+func TestShardsEndpointHappyPath(t *testing.T) {
+	_, ts := clusterServer(t, Config{Role: roleWorker})
+
+	app := workload.MustGet("mysql")
+	rec := sim.Run(app.Build(workload.Config{Threads: 4, Scale: 0.2, Seed: 7}), sim.Config{Seed: 7})
+	var buf bytes.Buffer
+	if err := rec.Trace.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	payload := buf.Bytes()
+	up, err := http.Post(ts.URL+"/traces", "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	up.Body.Close()
+
+	css := rec.Trace.ExtractCS()
+	groups := ulcp.SortedLockGroups(css)
+	table, want := ulcp.BuildVerdictTable(rec.Trace, css, ulcp.Options{})
+
+	body, _ := json.Marshal(&shardRequest{
+		Trace: corpus.Digest(payload), Start: 0, End: len(groups), Table: table,
+	})
+	resp := postJSON(t, ts.URL+"/shards", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shards: status %d", resp.StatusCode)
+	}
+	sr := decode[shardResponse](t, resp)
+	if sr.Groups != len(groups) || len(sr.Reports) != len(groups) {
+		t.Fatalf("response shape: groups=%d reports=%d, want %d", sr.Groups, len(sr.Reports), len(groups))
+	}
+	byID := ulcp.CSByID(css)
+	merged := &ulcp.Report{Counts: map[ulcp.Category]int{}}
+	for _, wr := range sr.Reports {
+		rep, err := wr.Rehydrate(byID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged = ulcp.MergeReports(merged, rep)
+	}
+	if len(merged.Pairs) != len(want.Pairs) {
+		t.Fatalf("merged %d pairs, want %d", len(merged.Pairs), len(want.Pairs))
+	}
+	for i := range merged.Pairs {
+		if merged.Pairs[i].C1.ID != want.Pairs[i].C1.ID ||
+			merged.Pairs[i].C2.ID != want.Pairs[i].C2.ID ||
+			merged.Pairs[i].Cat != want.Pairs[i].Cat {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+	if merged.ReversedReplays != 0 {
+		t.Fatalf("worker performed %d replays despite the shipped table", merged.ReversedReplays)
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestJobLongPoll drives GET /jobs/{id}?wait= through its three paths:
+// waking on state change, timing out on a parked job, and answering a
+// terminal job immediately with the per-stage timings in the body.
+func TestJobLongPoll(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	resp := postJSON(t, ts.URL+"/analyze", `{"app":"pbzip2","scale":0.2,"seed":5}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	sub := decode[map[string]string](t, resp)
+	id := sub["id"]
+
+	// Long-poll until terminal: each request parks until a transition,
+	// so this loop needs at most queued→running→done round trips. A
+	// broken wake-up would stall each iteration for the full 5s and trip
+	// the loop bound.
+	var j map[string]any
+	for i := 0; ; i++ {
+		if i > 4 {
+			t.Fatal("long-poll made too many round trips for one job")
+		}
+		r, err := http.Get(ts.URL + "/jobs/" + id + "?wait=5s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		j = decode[map[string]any](t, r)
+		if j["status"] == statusDone || j["status"] == statusFailed {
+			break
+		}
+	}
+	if j["status"] != statusDone {
+		t.Fatalf("job failed: %v", j["error"])
+	}
+
+	// The finished body carries every stage's wall clock.
+	timings, _ := j["timings"].([]any)
+	if len(timings) != 5 {
+		t.Fatalf("timings = %v, want the 5 pipeline stages", j["timings"])
+	}
+	wantStages := []string{"record", "replay", "classify", "quantify", "report"}
+	for i, raw := range timings {
+		st, _ := raw.(map[string]any)
+		if st["stage"] != wantStages[i] {
+			t.Fatalf("timing %d = %v, want stage %q", i, raw, wantStages[i])
+		}
+		if _, ok := st["wall_ns"].(float64); !ok {
+			t.Fatalf("timing %d lacks wall_ns: %v", i, raw)
+		}
+	}
+
+	// A terminal job answers a long-poll immediately.
+	start := time.Now()
+	r, err := http.Get(ts.URL + "/jobs/" + id + "?wait=5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("long-poll on a done job took %v, want immediate", elapsed)
+	}
+
+	// Malformed wait durations are rejected.
+	bad, err := http.Get(ts.URL + "/jobs/" + id + "?wait=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wait=banana: status %d, want 400", bad.StatusCode)
+	}
+}
+
+// TestJobLongPollTimeout: with no workers draining the queue, a
+// long-poll on a queued job must return at the wait deadline — still
+// queued — rather than hanging.
+func TestJobLongPollTimeout(t *testing.T) {
+	s, err := NewServer(Config{CorpusDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/analyze", `{"app":"pbzip2","scale":0.2}`)
+	sub := decode[map[string]string](t, resp)
+
+	start := time.Now()
+	r, err := http.Get(ts.URL + "/jobs/" + sub["id"] + "?wait=300ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := decode[map[string]any](t, r)
+	elapsed := time.Since(start)
+	if j["status"] != statusQueued {
+		t.Fatalf("status = %v, want queued (nothing drains the queue)", j["status"])
+	}
+	if elapsed < 250*time.Millisecond {
+		t.Fatalf("long-poll returned after %v, before the 300ms wait", elapsed)
+	}
+}

@@ -11,8 +11,15 @@
 //	                      trace reference {"trace": "sha256:...", "schemes": true},
 //	                      or a raw trace body (binary or JSON encoding, options
 //	                      as ?schemes=true&races=true&top=5); returns {id}
-//	GET  /jobs/{id}       job status plus, once done, the JSON report
-//	GET  /healthz         liveness, job counts, queue/cache/corpus occupancy
+//	POST /shards          execute classification shards [start,end) of a stored
+//	                      trace's sorted lock groups with a shipped verdict
+//	                      table (the cluster worker protocol; see README
+//	                      "Cluster mode")
+//	GET  /jobs/{id}       job status plus, once done, the JSON report and
+//	                      per-stage timings; ?wait=10s long-polls until the
+//	                      job changes state or the wait expires
+//	GET  /healthz         liveness, job counts, queue/cache/corpus occupancy,
+//	                      cluster role and shard-fallback count
 //	POST /traces          store a trace in the content-addressed corpus;
 //	                      dedupes by SHA-256 (201 new, 200 already present);
 //	                      ?pin=true exempts it from LRU eviction
@@ -26,26 +33,62 @@
 //	perfplayd [-addr :8080] [-workers 2] [-pipeline-workers 4]
 //	          [-queue 64] [-cache 128] [-max-jobs 1024]
 //	          [-corpus perfplay-corpus] [-corpus-max-bytes 1073741824]
+//	          [-role standalone|worker|coordinator]
+//	          [-peers http://h1:8080,http://h2:8080] [-shard-timeout 120s]
+//
+// Cluster mode: start workers with -role=worker (a corpus is required —
+// shard requests reference traces by digest), then a coordinator with
+// -peers listing them. Every analyze job's classification shards fan
+// out across the peers and merge deterministically; dead peers fall
+// back to local execution. See README "Cluster mode".
 package main
 
 import (
 	"flag"
 	"log"
 	"net/http"
+	"strings"
 )
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		workers     = flag.Int("workers", 2, "concurrent analysis jobs")
-		plWorkers   = flag.Int("pipeline-workers", 4, "worker-pool width inside each job")
-		queueDepth  = flag.Int("queue", 64, "pending-job queue depth (further submits get 503)")
-		cacheSize   = flag.Int("cache", 128, "LRU result cache capacity")
-		maxJobs     = flag.Int("max-jobs", 1024, "finished jobs retained before eviction")
-		corpusDir   = flag.String("corpus", "perfplay-corpus", "trace corpus directory (same layout as perfplay -corpus; empty disables /traces)")
-		corpusBytes = flag.Int64("corpus-max-bytes", 0, "corpus byte budget; LRU-evicts unpinned traces beyond it (0 = 1 GiB)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 2, "concurrent analysis jobs")
+		plWorkers    = flag.Int("pipeline-workers", 4, "worker-pool width inside each job")
+		queueDepth   = flag.Int("queue", 64, "pending-job queue depth (further submits get 503)")
+		cacheSize    = flag.Int("cache", 128, "LRU result cache capacity")
+		maxJobs      = flag.Int("max-jobs", 1024, "finished jobs retained before eviction")
+		corpusDir    = flag.String("corpus", "perfplay-corpus", "trace corpus directory (same layout as perfplay -corpus; empty disables /traces)")
+		corpusBytes  = flag.Int64("corpus-max-bytes", 0, "corpus byte budget; LRU-evicts unpinned traces beyond it (0 = 1 GiB)")
+		role         = flag.String("role", "", "cluster role: standalone, worker, or coordinator (default standalone; coordinator when -peers is set)")
+		peers        = flag.String("peers", "", "comma-separated peer base URLs to fan classification shards out to (implies -role=coordinator)")
+		shardTimeout = flag.Duration("shard-timeout", 0, "per-peer shard call timeout (0 = 120s)")
 	)
 	flag.Parse()
+
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, strings.TrimRight(p, "/"))
+		}
+	}
+	switch *role {
+	case "", roleStandalone, roleWorker, roleCoordinator:
+	default:
+		log.Fatalf("perfplayd: unknown -role %q (want standalone, worker, or coordinator)", *role)
+	}
+	if *role == roleCoordinator && len(peerList) == 0 {
+		log.Fatal("perfplayd: -role=coordinator requires -peers")
+	}
+	if len(peerList) > 0 && (*role == roleWorker || *role == roleStandalone) {
+		// Peers make this daemon distribute; letting it also claim to be
+		// a worker/standalone would give operators contradictory signals
+		// (healthz role vs observed fan-out).
+		log.Fatalf("perfplayd: -peers implies -role=coordinator, not %q", *role)
+	}
+	if *role == roleWorker && *corpusDir == "" {
+		log.Fatal("perfplayd: -role=worker requires a -corpus (shard requests reference traces by digest)")
+	}
 
 	srv, err := NewServer(Config{
 		Workers:         *workers,
@@ -55,12 +98,21 @@ func main() {
 		MaxJobs:         *maxJobs,
 		CorpusDir:       *corpusDir,
 		CorpusMaxBytes:  *corpusBytes,
+		Role:            *role,
+		Peers:           peerList,
+		ShardTimeout:    *shardTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv.Start()
-	log.Printf("perfplayd listening on %s (%d job workers × %d pipeline workers, queue %d)",
-		*addr, *workers, *plWorkers, *queueDepth)
+	cluster := ""
+	if len(peerList) > 0 {
+		cluster = " as coordinator of " + strings.Join(peerList, ", ")
+	} else if srv.cfg.Role != roleStandalone {
+		cluster = " as " + srv.cfg.Role
+	}
+	log.Printf("perfplayd listening on %s (%d job workers × %d pipeline workers, queue %d)%s",
+		*addr, *workers, *plWorkers, *queueDepth, cluster)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -49,6 +50,25 @@ type Config struct {
 	// CorpusMaxBytes caps the corpus blob bytes; least-recently-used
 	// unpinned traces are evicted beyond it (0 = 1 GiB).
 	CorpusMaxBytes int64
+	// Role names the daemon's cluster role (standalone, worker,
+	// coordinator) — observability only; the HTTP surface is identical.
+	// Empty means standalone, or coordinator when Peers are set.
+	Role string
+	// Peers lists peer daemon base URLs ("http://host:8080"). When
+	// non-empty every job's classification shards fan out across them
+	// (one range always stays local), with per-peer fallback to local
+	// execution, so a dead peer degrades throughput, never correctness.
+	Peers []string
+	// ShardTimeout bounds each peer shard call, including the one-time
+	// blob push to a peer that misses the trace (0 = 120s).
+	ShardTimeout time.Duration
+	// MaxShardRequests bounds concurrent POST /shards executions; a
+	// worker answering several coordinators must not run unbounded
+	// CPU-bound classification in parallel just because /shards skips
+	// the job queue. Excess requests get 503 and the coordinator falls
+	// back locally (0 = Workers, the same parallelism the job path
+	// allows; negative disables the bound).
+	MaxShardRequests int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +95,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CorpusMaxBytes == 0 {
 		c.CorpusMaxBytes = 1 << 30
+	}
+	if c.ShardTimeout == 0 {
+		c.ShardTimeout = 120 * time.Second
+	}
+	if c.MaxShardRequests == 0 {
+		c.MaxShardRequests = c.Workers
+	}
+	if c.Role == "" {
+		c.Role = roleStandalone
+		if len(c.Peers) > 0 {
+			c.Role = roleCoordinator
+		}
 	}
 	return c
 }
@@ -107,12 +139,35 @@ type job struct {
 	Schemes        map[string]string `json:"schemes,omitempty"`
 	CacheHit       bool              `json:"cache_hit,omitempty"`
 	Report         string            `json:"report,omitempty"`
+	// Timings are the pipeline's per-stage wall clocks. A cache-hit job
+	// reports the timings of the run that originally computed the
+	// result — the hit itself did no stage work.
+	Timings []stageTiming `json:"timings,omitempty"`
 
 	req pipeline.Request
 	// traceBytes is the uploaded body size (an estimate of the parsed
 	// trace's footprint) counted against MaxQueuedTraceBytes until the
 	// job starts.
 	traceBytes int64
+	// changed is closed (and replaced) on every status transition, so
+	// GET /jobs/{id}?wait=... long-polls wake on state change rather
+	// than spinning. Guarded by Server.mu.
+	changed chan struct{}
+}
+
+// stageTiming is one pipeline stage's wall clock in the job JSON.
+type stageTiming struct {
+	Stage  string `json:"stage"`
+	WallNS int64  `json:"wall_ns"`
+	Wall   string `json:"wall"`
+}
+
+// notifyLocked broadcasts a job state change: every waiting long-poll
+// wakes, and later waiters get a fresh channel. Call with Server.mu
+// held.
+func (j *job) notifyLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
 }
 
 // analyzeSpec is the JSON body of POST /analyze.
@@ -133,8 +188,17 @@ type analyzeSpec struct {
 type Server struct {
 	cfg    Config
 	pl     *pipeline.Pipeline
-	corpus *corpus.Store // nil when Config.CorpusDir is empty
+	corpus *corpus.Store         // nil when Config.CorpusDir is empty
+	dist   *pipeline.Distributor // nil unless Config.Peers is non-empty
 	queue  chan *job
+	// shardSem admission-controls POST /shards (see MaxShardRequests);
+	// nil disables the bound.
+	shardSem chan struct{}
+	// shardTraces caches parsed traces (plus their extracted critical
+	// sections and sorted lock groups) across shard requests, so a
+	// worker serving many ranges of the same stored trace parses it
+	// once, not once per request.
+	shardTraces *shardTraceCache
 
 	mu               sync.Mutex
 	jobs             map[string]*job
@@ -152,10 +216,14 @@ type Server struct {
 func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		pl:    pipeline.New(pipeline.Options{CacheSize: cfg.CacheSize}),
-		queue: make(chan *job, cfg.QueueDepth),
-		jobs:  make(map[string]*job),
+		cfg:         cfg,
+		pl:          pipeline.New(pipeline.Options{CacheSize: cfg.CacheSize}),
+		queue:       make(chan *job, cfg.QueueDepth),
+		jobs:        make(map[string]*job),
+		shardTraces: newShardTraceCache(shardTraceCacheCap),
+	}
+	if cfg.MaxShardRequests > 0 {
+		s.shardSem = make(chan struct{}, cfg.MaxShardRequests)
 	}
 	if cfg.CorpusDir != "" {
 		st, err := corpus.Open(cfg.CorpusDir, corpus.Options{MaxBytes: cfg.CorpusMaxBytes})
@@ -163,6 +231,19 @@ func NewServer(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.corpus = st
+	}
+	if len(cfg.Peers) > 0 {
+		peers := make([]pipeline.ShardExecutor, len(cfg.Peers))
+		for i, base := range cfg.Peers {
+			peers[i] = newPeerExecutor(base, cfg.ShardTimeout)
+		}
+		s.dist = &pipeline.Distributor{
+			Peers: peers,
+			OnFallback: func(peer string, rng pipeline.ShardRange, err error) {
+				log.Printf("perfplayd: peer %s failed shard range [%d,%d), re-running locally: %v",
+					peer, rng.Start, rng.End, err)
+			},
+		}
 	}
 	return s, nil
 }
@@ -206,6 +287,7 @@ func (s *Server) worker() {
 func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	j.Status = statusRunning
+	j.notifyLocked()
 	s.queuedTraceBytes -= j.traceBytes // the upload has left the queue
 	s.mu.Unlock()
 
@@ -239,6 +321,10 @@ func (s *Server) runJob(j *job) {
 		j.DegradationPct = a.Debug.NormalizedDegradation() * 100
 		j.CacheHit = res.CacheHit
 		j.Report = res.Report
+		j.Timings = make([]stageTiming, len(res.Timings))
+		for i, st := range res.Timings {
+			j.Timings[i] = stageTiming{Stage: st.Stage, WallNS: st.Wall.Nanoseconds(), Wall: st.Wall.String()}
+		}
 		if len(res.Schemes) > 0 {
 			j.Schemes = make(map[string]string, len(res.Schemes))
 			for _, sr := range res.Schemes {
@@ -246,6 +332,7 @@ func (s *Server) runJob(j *job) {
 			}
 		}
 	}
+	j.notifyLocked()
 	s.order = append(s.order, j.ID)
 	s.evictLocked()
 }
@@ -262,6 +349,7 @@ func (s *Server) evictLocked() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /shards", s.handleShards)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /traces", s.handleTraceUpload)
@@ -602,6 +690,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	req.Workers = s.cfg.PipelineWorkers
+	// A coordinator fans every job's classification shards out to its
+	// peers; the determinism contract keeps the output byte-identical
+	// to a local run, so this changes placement, never results.
+	req.Distributor = s.dist
 
 	s.mu.Lock()
 	if s.closed {
@@ -622,6 +714,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		TraceDigest: req.TraceDigest,
 		req:         req,
 		traceBytes:  uploadBytes,
+		changed:     make(chan struct{}),
 	}
 	s.jobs[j.ID] = j
 	var enqueued bool
@@ -641,17 +734,54 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.ID, "status": statusQueued})
 }
 
+// maxJobWait caps GET /jobs/{id}?wait= long-polls so a daemon never
+// accumulates unbounded parked handlers behind a wedged job.
+const maxJobWait = 60 * time.Second
+
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	var wait time.Duration
+	if ws := r.URL.Query().Get("wait"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil || d < 0 {
+			httpError(w, http.StatusBadRequest, "bad wait %q: want a duration like 10s", ws)
+			return
+		}
+		wait = min(d, maxJobWait)
+	}
+
+	id := r.PathValue("id")
 	s.mu.Lock()
-	j, ok := s.jobs[r.PathValue("id")]
+	j, ok := s.jobs[id]
 	var snapshot job
+	var changed chan struct{}
 	if ok {
 		snapshot = *j
+		changed = j.changed
 	}
 	s.mu.Unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "no such job")
 		return
+	}
+	// Long-poll: park until the job changes state (queued→running or
+	// →done/failed), the wait expires, or the client goes away — then
+	// answer with whatever the job looks like now. Terminal jobs answer
+	// immediately; "state change" includes starting, so a caller
+	// tracking progress sees each transition with one request apiece.
+	if wait > 0 && (snapshot.Status == statusQueued || snapshot.Status == statusRunning) {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case <-changed:
+		case <-timer.C:
+		case <-r.Context().Done():
+			return
+		}
+		s.mu.Lock()
+		if j, ok := s.jobs[id]; ok {
+			snapshot = *j
+		}
+		s.mu.Unlock()
 	}
 	writeJSON(w, http.StatusOK, &snapshot)
 }
@@ -670,18 +800,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		corpusTraces = s.corpus.Len()
 		corpusBytes = s.corpus.TotalBytes()
 	}
+	var fallbacks int
+	if s.dist != nil {
+		fallbacks = s.dist.Fallbacks()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":                 true,
+		"role":               s.cfg.Role,
 		"jobs":               counts,
 		"queue_depth":        s.cfg.QueueDepth,
 		"queue_len":          len(s.queue),
 		"queued_trace_bytes": queuedBytes,
 		"cached":             s.pl.CacheLen(),
+		"cached_tables":      s.pl.TableCacheLen(),
 		"workers":            s.cfg.Workers,
 		"pool_workers":       s.cfg.PipelineWorkers,
 		"corpus_enabled":     s.corpus != nil,
 		"corpus_traces":      corpusTraces,
 		"corpus_bytes":       corpusBytes,
+		"peers":              len(s.cfg.Peers),
+		"shard_fallbacks":    fallbacks,
 	})
 }
 

@@ -1,3 +1,7 @@
 module perfplay
 
-go 1.24
+// 1.23 is the floor CI's version matrix tests; the code sticks to
+// 1.23-compatible language and stdlib surface (the one `omitzero` JSON
+// tag degrades to always-serializing under 1.23, which nothing relies
+// on).
+go 1.23

@@ -1,0 +1,113 @@
+package corpus
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Remote is a client for another node's corpus — the /traces endpoints
+// a perfplayd daemon serves. A coordinator uses it to push a job's
+// trace blob to peers whose store misses the digest, and any node can
+// pull a blob it has only heard referenced. Content addressing makes
+// both directions safe to retry: pushing identical bytes twice dedupes
+// server-side, and every fetched blob is verified against its digest
+// before being trusted.
+type Remote struct {
+	// Base is the peer's base URL, e.g. "http://host:8080".
+	Base string
+	// Client overrides http.DefaultClient (timeouts, transports).
+	Client *http.Client
+	// MaxFetchBytes bounds how much of a fetched blob Fetch will buffer
+	// (0 = 1 GiB, matching the store's default byte budget) — a broken
+	// peer must not be able to balloon this process.
+	MaxFetchBytes int64
+}
+
+func (r *Remote) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return http.DefaultClient
+}
+
+// RemoteError decodes a perfplayd-style {"error": "..."} body into an
+// error tagged with the local sentinel matching the remote status, so
+// callers can errors.Is a peer's ErrNotFound exactly like a local
+// store's. It is exported because every client of the daemon's JSON
+// surface (not just this package) wants the same mapping — notably the
+// cluster shard protocol, whose 404 means "push the blob and retry".
+func RemoteError(op string, resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body); err == nil && body.Error != "" {
+		msg = body.Error
+	}
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s: %s", ErrNotFound, op, msg)
+	case http.StatusInsufficientStorage:
+		return fmt.Errorf("%w: %s: %s", ErrBudget, op, msg)
+	case http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+		return fmt.Errorf("%w: %s: %s", ErrInvalid, op, msg)
+	default:
+		return fmt.Errorf("corpus: %s: %s", op, msg)
+	}
+}
+
+// Push stores raw trace bytes in the peer's corpus and returns the
+// stored metadata. Pushing already-present content is a cheap dedupe on
+// the peer (200 instead of 201), so callers need not probe first.
+func (r *Remote) Push(data []byte) (Meta, error) {
+	resp, err := r.client().Post(r.Base+"/traces", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		return Meta{}, fmt.Errorf("corpus: push to %s: %w", r.Base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return Meta{}, RemoteError("push to "+r.Base, resp)
+	}
+	var body struct {
+		Trace Meta `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return Meta{}, fmt.Errorf("corpus: push to %s: decode response: %w", r.Base, err)
+	}
+	return body.Trace, nil
+}
+
+// Fetch downloads a blob by digest and verifies the bytes actually hash
+// to it — a peer (or a middlebox) can be wrong, and an unverified blob
+// would poison every digest-keyed cache above us.
+func (r *Remote) Fetch(digest string) ([]byte, error) {
+	if _, err := parseDigest(digest); err != nil {
+		return nil, err
+	}
+	resp, err := r.client().Get(r.Base + "/traces/" + digest)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: fetch %s from %s: %w", digest, r.Base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, RemoteError("fetch "+digest+" from "+r.Base, resp)
+	}
+	maxBytes := r.MaxFetchBytes
+	if maxBytes <= 0 {
+		maxBytes = 1 << 30
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: fetch %s from %s: %w", digest, r.Base, err)
+	}
+	if int64(len(data)) > maxBytes {
+		return nil, fmt.Errorf("%w: peer %s served more than %d bytes for %s", ErrInvalid, r.Base, maxBytes, digest)
+	}
+	if Digest(data) != digest {
+		return nil, fmt.Errorf("%w: peer %s served %d bytes not matching %s", ErrInvalid, r.Base, len(data), digest)
+	}
+	return data, nil
+}

@@ -1,0 +1,130 @@
+package corpus
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"perfplay/internal/sim"
+	"perfplay/internal/workload"
+)
+
+// tracesStub serves a perfplayd-shaped /traces surface over a real
+// Store, so Remote is tested against the store semantics it will meet
+// in production without importing the daemon.
+func tracesStub(t *testing.T, st *Store) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /traces", func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		meta, created, err := st.Put(data, false)
+		if err != nil {
+			code := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, ErrInvalid):
+				code = http.StatusBadRequest
+			case errors.Is(err, ErrBudget):
+				code = http.StatusInsufficientStorage
+			}
+			w.WriteHeader(code)
+			_, _ = w.Write([]byte(`{"error":` + `"` + strings.ReplaceAll(err.Error(), `"`, `'`) + `"}`))
+			return
+		}
+		code := http.StatusOK
+		if created {
+			code = http.StatusCreated
+		}
+		w.WriteHeader(code)
+		_, _ = w.Write([]byte(`{"trace":{"digest":"` + meta.Digest + `","size":` +
+			"0" + `}}`))
+	})
+	mux.HandleFunc("GET /traces/{digest}", func(w http.ResponseWriter, r *http.Request) {
+		data, _, err := st.Get(r.PathValue("digest"))
+		if err != nil {
+			w.WriteHeader(http.StatusNotFound)
+			_, _ = w.Write([]byte(`{"error":"not found"}`))
+			return
+		}
+		_, _ = w.Write(data)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func remotePayload(t *testing.T) []byte {
+	t.Helper()
+	app := workload.MustGet("pbzip2")
+	rec := sim.Run(app.Build(workload.Config{Threads: 2, Scale: 0.2, Seed: 3}), sim.Config{Seed: 3})
+	var buf bytes.Buffer
+	if err := rec.Trace.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRemotePushFetch: the push/pull halves round-trip against a real
+// store, fetched bytes verify against their digest, and unknown digests
+// surface as ErrNotFound.
+func TestRemotePushFetch(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := tracesStub(t, st)
+	rem := &Remote{Base: ts.URL}
+
+	payload := remotePayload(t)
+	meta, err := rem.Push(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Digest != Digest(payload) {
+		t.Fatalf("pushed digest %s, want %s", meta.Digest, Digest(payload))
+	}
+
+	got, err := rem.Fetch(meta.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("fetched %d bytes differ from pushed %d", len(got), len(payload))
+	}
+
+	if _, err := rem.Fetch(Digest([]byte("never stored"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown digest: err = %v, want ErrNotFound", err)
+	}
+	if _, err := rem.Fetch("sha256:nope"); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("malformed digest: err = %v, want ErrInvalid", err)
+	}
+}
+
+// TestRemoteFetchRejectsBadBytes: a peer serving bytes that do not hash
+// to the requested digest — or more bytes than the caller's bound —
+// must be rejected, never trusted into a digest-keyed cache.
+func TestRemoteFetchRejectsBadBytes(t *testing.T) {
+	payload := remotePayload(t)
+	digest := Digest(payload)
+	lying := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("not the bytes you hashed"))
+	}))
+	defer lying.Close()
+
+	rem := &Remote{Base: lying.URL}
+	if _, err := rem.Fetch(digest); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("mismatched bytes: err = %v, want ErrInvalid", err)
+	}
+
+	rem.MaxFetchBytes = 8
+	if _, err := rem.Fetch(digest); err == nil || !strings.Contains(err.Error(), "more than 8 bytes") {
+		t.Fatalf("oversized body: err = %v, want size-bound rejection", err)
+	}
+}

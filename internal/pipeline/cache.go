@@ -3,20 +3,24 @@ package pipeline
 import (
 	"container/list"
 	"sync"
+
+	"perfplay/internal/ulcp"
 )
 
-// lruCache is a thread-safe fixed-capacity LRU of analysis results,
-// keyed by the normalized request (see Request.CacheKey). The daemon
-// and any long-lived embedder share it across jobs so repeated analyses
-// of the same (workload, input, threads, seed, config) tuple are free.
+// lruCache is a thread-safe fixed-capacity LRU with optional per-entry
+// byte weights. One implementation backs both of the pipeline's caches:
 //
-// Besides the entry-count cap, the cache enforces a byte budget over
-// weighted entries: trace-backed results retain the caller's parsed
-// trace (weighted by its serialized size, Request.TraceBytes), and
-// client-sized uploads must not let a count-bounded cache pin
-// cap×MaxTraceBytes of memory. Workload-backed results weigh zero —
-// their footprint is bounded by the modelled workloads themselves.
-type lruCache struct {
+//   - the result cache, keyed by the normalized request (see
+//     Request.CacheKey), whose trace-backed entries carry their
+//     serialized trace size as weight so a count-bounded cache cannot
+//     pin cap×MaxTraceBytes of parsed traces in memory; and
+//   - the verdict-table cache, keyed by (trace digest, identify
+//     options), whose entries are small and all zero-weight.
+//
+// Besides the entry-count cap, a non-zero maxBytes enforces a byte
+// budget over weighted entries; the coldest weighted entries are
+// evicted beyond it.
+type lruCache[V any] struct {
 	mu       sync.Mutex
 	cap      int
 	maxBytes int64      // weighted-entry budget; 0 = no byte bound
@@ -25,17 +29,17 @@ type lruCache struct {
 	items    map[string]*list.Element
 }
 
-type lruEntry struct {
+type lruEntry[V any] struct {
 	key  string
-	res  *Result
+	val  V
 	cost int64
 }
 
-func newLRU(capacity int, maxBytes int64) *lruCache {
+func newLRU[V any](capacity int, maxBytes int64) *lruCache[V] {
 	if capacity <= 0 {
 		return nil
 	}
-	return &lruCache{
+	return &lruCache[V]{
 		cap:      capacity,
 		maxBytes: maxBytes,
 		ll:       list.New(),
@@ -43,44 +47,44 @@ func newLRU(capacity int, maxBytes int64) *lruCache {
 	}
 }
 
-func (c *lruCache) get(key string) (*Result, bool) {
+func (c *lruCache[V]) get(key string) (V, bool) {
+	var zero V
 	if c == nil {
-		return nil, false
+		return zero, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return zero, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).res, true
+	return el.Value.(*lruEntry[V]).val, true
 }
 
-// put inserts a result with its weight (0 for workload-backed results,
-// the serialized trace size for trace-backed ones).
-func (c *lruCache) put(key string, res *Result, cost int64) {
+// put inserts a value with its weight (0 for unweighted entries).
+func (c *lruCache[V]) put(key string, val V, cost int64) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		e := el.Value.(*lruEntry)
+		e := el.Value.(*lruEntry[V])
 		c.bytes += cost - e.cost
-		e.res, e.cost = res, cost
+		e.val, e.cost = val, cost
 		c.ll.MoveToFront(el)
 	} else {
-		c.items[key] = c.ll.PushFront(&lruEntry{key: key, res: res, cost: cost})
+		c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val, cost: cost})
 		c.bytes += cost
 	}
 	// Evict past either bound. Over the count cap, the cold end goes
 	// regardless of weight; over only the byte budget, evict the
 	// coldest entry that actually carries weight — removing zero-cost
-	// workload results would destroy valid entries without freeing a
-	// byte. The most recent entry always survives even if it alone
-	// exceeds the byte budget — at worst one oversized result is
-	// retained, still bounded by the front end's per-upload size limit.
+	// entries would destroy valid entries without freeing a byte. The
+	// most recent entry always survives even if it alone exceeds the
+	// byte budget — at worst one oversized result is retained, still
+	// bounded by the front end's per-upload size limit.
 	for c.ll.Len() > 1 {
 		overCount := c.ll.Len() > c.cap
 		overBytes := c.maxBytes > 0 && c.bytes > c.maxBytes
@@ -89,21 +93,21 @@ func (c *lruCache) put(key string, res *Result, cost int64) {
 		}
 		victim := c.ll.Back()
 		if !overCount {
-			for victim != nil && victim != c.ll.Front() && victim.Value.(*lruEntry).cost == 0 {
+			for victim != nil && victim != c.ll.Front() && victim.Value.(*lruEntry[V]).cost == 0 {
 				victim = victim.Prev()
 			}
 			if victim == nil || victim == c.ll.Front() {
 				break // all remaining weight sits in the most recent entry
 			}
 		}
-		e := victim.Value.(*lruEntry)
+		e := victim.Value.(*lruEntry[V])
 		c.ll.Remove(victim)
 		c.bytes -= e.cost
 		delete(c.items, e.key)
 	}
 }
 
-func (c *lruCache) len() int {
+func (c *lruCache[V]) len() int {
 	if c == nil {
 		return 0
 	}
@@ -111,3 +115,13 @@ func (c *lruCache) len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// tableCache memoizes verdict tables across jobs, keyed by (trace
+// digest, identify options). The result cache misses whenever any
+// reporting flag differs (schemes, races, top-k), yet the verdict table
+// — the replay-heavy part of classification — depends only on the
+// trace content and the identify options; caching it separately means a
+// second job over the same stored trace skips every reversed replay
+// even on a result-cache miss. Entries are small (one bool per
+// conflicting region-pair class), so they carry no byte weight.
+type tableCache = lruCache[*ulcp.VerdictTable]

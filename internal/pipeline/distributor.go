@@ -1,0 +1,290 @@
+package pipeline
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"perfplay/internal/corpus"
+	"perfplay/internal/trace"
+	"perfplay/internal/ulcp"
+)
+
+// ShardJob carries everything an executor — local or on a peer node —
+// needs to run a range of classification shards: the trace, its sorted
+// lock groups, the identification options, and the precomputed shared
+// verdict table that makes every shard a replay-free pure function (see
+// ulcp.BuildVerdictTable).
+type ShardJob struct {
+	Trace  *trace.Trace
+	Groups [][]*trace.CritSec
+	Opts   ulcp.Options
+	Table  *ulcp.VerdictTable
+
+	// blob lazily serializes the trace in canonical binary form; peers
+	// reference the job's trace by this blob's content digest and
+	// receive the bytes only when their corpus misses it. preset, when
+	// the caller already knows the canonical digest (the pipeline's
+	// digest memo), lets Digest answer without serializing at all.
+	blobOnce sync.Once
+	blobData []byte
+	blobDig  string
+	blobErr  error
+	preset   string
+
+	// byID lazily indexes every critical section by ID — shared by all
+	// peer executors of the job, which each need it to rehydrate wire
+	// reports.
+	byIDOnce sync.Once
+	byID     map[int]*trace.CritSec
+}
+
+// NewShardJob assembles a shard job from a classify stage's artifacts.
+func NewShardJob(tr *trace.Trace, groups [][]*trace.CritSec, opts ulcp.Options, table *ulcp.VerdictTable) *ShardJob {
+	return &ShardJob{Trace: tr, Groups: groups, Opts: opts, Table: table}
+}
+
+// Blob returns the job's canonical binary serialization and its content
+// digest, computing both at most once. Every peer interaction is keyed
+// by this digest — not by any digest the trace may have had in a corpus
+// (which could address a JSON encoding of the same events) — so the
+// bytes a worker parses are exactly the bytes the coordinator hashed.
+func (j *ShardJob) Blob() (digest string, data []byte, err error) {
+	j.blobOnce.Do(func() {
+		var buf bytes.Buffer
+		if j.blobErr = j.Trace.WriteBinary(&buf); j.blobErr != nil {
+			return
+		}
+		j.blobData = buf.Bytes()
+		j.blobDig = corpus.Digest(j.blobData)
+	})
+	return j.blobDig, j.blobData, j.blobErr
+}
+
+// PresetDigest seeds the canonical digest from a prior job over the
+// same trace content, so executors that only need to *name* the trace
+// (every peer that already holds the blob) skip the serialize-and-hash
+// entirely. Callers must only preset a digest that Blob would compute.
+func (j *ShardJob) PresetDigest(d string) { j.preset = d }
+
+// Digest returns the canonical blob digest, serializing the trace only
+// when no preset is available.
+func (j *ShardJob) Digest() (string, error) {
+	if j.preset != "" {
+		return j.preset, nil
+	}
+	d, _, err := j.Blob()
+	return d, err
+}
+
+// CanonicalDigest reports the digest if this job established one
+// (preset, or computed by an executor); empty otherwise. Only call it
+// after Distributor.Run has returned — it reads the lazily-computed
+// state without synchronization.
+func (j *ShardJob) CanonicalDigest() string {
+	if j.preset != "" {
+		return j.preset
+	}
+	return j.blobDig
+}
+
+// CSIndex returns the job's critical sections indexed by ID, built at
+// most once and shared across executors.
+func (j *ShardJob) CSIndex() map[int]*trace.CritSec {
+	j.byIDOnce.Do(func() {
+		j.byID = make(map[int]*trace.CritSec)
+		for _, g := range j.Groups {
+			for _, cs := range g {
+				j.byID[cs.ID] = cs
+			}
+		}
+	})
+	return j.byID
+}
+
+// ShardRange is a contiguous run [Start, End) of sorted lock-group
+// indices — the unit of work handed to one executor.
+type ShardRange struct {
+	Start, End int
+}
+
+// Len reports how many groups the range covers.
+func (r ShardRange) Len() int { return r.End - r.Start }
+
+// ShardExecutor executes one range of lock-group shards and returns one
+// report per group, indexed rng.Start..rng.End-1. Implementations must
+// be pure relays: the report for group i must equal
+// ulcp.IdentifyShardWithVerdicts(job.Trace, job.Groups[i], job.Opts,
+// job.Table) run anywhere — that equivalence is what lets the
+// distributor place ranges on any node (or re-run them locally after a
+// peer failure) without changing the merged output.
+type ShardExecutor interface {
+	// Name identifies the executor in fallback diagnostics.
+	Name() string
+	ExecuteShards(job *ShardJob, rng ShardRange) ([]*ulcp.Report, error)
+}
+
+// Distributor is the pipeline's scheduling policy for fanning
+// classification shards out across nodes: it splits a job's sorted lock
+// groups into per-node contiguous ranges balanced by estimated pair
+// cost, executes them concurrently (one range stays local), retries any
+// failed peer range locally, and merges everything in group-index order
+// — so a 3-node run is byte-identical to the serial path no matter
+// which peers survived.
+type Distributor struct {
+	// Peers are the remote executors. An empty slice runs everything
+	// locally.
+	Peers []ShardExecutor
+	// OnFallback, when set, observes each peer failure just before its
+	// range is re-run locally (logging, metrics, tests).
+	OnFallback func(peer string, rng ShardRange, err error)
+
+	mu        sync.Mutex
+	fallbacks int
+}
+
+// Fallbacks reports how many peer ranges have been re-run locally since
+// construction.
+func (d *Distributor) Fallbacks() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fallbacks
+}
+
+// Run executes the job's shards across the local node and all peers and
+// returns the merged report. pool bounds local shard concurrency (both
+// for the local range and for fallback re-runs).
+func (d *Distributor) Run(job *ShardJob, pool *Pool) *ulcp.Report {
+	n := len(job.Groups)
+	reports := make([]*ulcp.Report, n)
+	ranges := partitionGroups(job.Groups, 1+len(d.Peers))
+
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for i := 1; i < len(ranges); i++ {
+		rng := ranges[i]
+		if rng.Len() == 0 {
+			continue
+		}
+		ex := d.Peers[i-1]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// A panic on this goroutine would escape the job worker's
+			// recover and kill the whole daemon, so it is re-raised on
+			// the caller after the fan-out drains (mirroring Pool.Each).
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			reps, err := executeShardsSafely(ex, job, rng)
+			if err == nil && len(reps) != rng.Len() {
+				err = fmt.Errorf("pipeline: peer returned %d shard reports for %d groups", len(reps), rng.Len())
+			}
+			if err != nil {
+				d.mu.Lock()
+				d.fallbacks++
+				d.mu.Unlock()
+				if d.OnFallback != nil {
+					d.OnFallback(ex.Name(), rng, err)
+				}
+				// Peer lost: its range runs here. Shards are pure
+				// functions of (trace, group, opts, table), so the
+				// merged report cannot tell the difference.
+				runShardRange(job, rng, reports, nil)
+				return
+			}
+			copy(reports[rng.Start:rng.End], reps)
+		}()
+	}
+	runShardRange(job, ranges[0], reports, pool)
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("pipeline: distributor fallback panic: %v", panicked))
+	}
+	return ulcp.MergeReports(reports...)
+}
+
+// executeShardsSafely converts an executor panic — a peer answering
+// well-formed JSON with poisonous content can trip one in a client —
+// into an error, so a single bad peer response degrades to a local
+// fallback instead of crashing the coordinator process.
+func executeShardsSafely(ex ShardExecutor, job *ShardJob, rng ShardRange) (reps []*ulcp.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			reps, err = nil, fmt.Errorf("pipeline: executor %s panicked: %v", ex.Name(), r)
+		}
+	}()
+	reps, err = ex.ExecuteShards(job, rng)
+	if err == nil {
+		for i, rep := range reps {
+			if rep == nil {
+				return nil, fmt.Errorf("pipeline: executor %s returned a nil report at index %d", ex.Name(), i)
+			}
+		}
+	}
+	return reps, err
+}
+
+// runShardRange executes one range locally, writing each group's report
+// into its slot. A nil pool runs serially (fallback path — the local
+// pool may be busy with the local range).
+func runShardRange(job *ShardJob, rng ShardRange, reports []*ulcp.Report, pool *Pool) {
+	if rng.Len() == 0 {
+		return
+	}
+	run := func(i int) {
+		reports[rng.Start+i] = ulcp.IdentifyShardWithVerdicts(job.Trace, job.Groups[rng.Start+i], job.Opts, job.Table)
+	}
+	if pool == nil {
+		for i := 0; i < rng.Len(); i++ {
+			run(i)
+		}
+		return
+	}
+	pool.Each(rng.Len(), run)
+}
+
+// partitionGroups splits groups into k contiguous ranges with roughly
+// equal estimated cost. The estimate is the squared group size — an
+// upper bound on the cross-thread pairs a shard can classify — so one
+// hot lock does not serialize the whole fan-out behind it. The split is
+// a pure function of the group sizes: every node computing it over the
+// same trace produces the same ranges.
+func partitionGroups(groups [][]*trace.CritSec, k int) []ShardRange {
+	costs := make([]int64, len(groups))
+	var total int64
+	for i, g := range groups {
+		c := int64(len(g))*int64(len(g)) + 1 // +1: even empty-cost groups need an owner
+		costs[i] = c
+		total += c
+	}
+	ranges := make([]ShardRange, k)
+	start := 0
+	remaining := total
+	for c := 0; c < k; c++ {
+		if c == k-1 {
+			ranges[c] = ShardRange{Start: start, End: len(groups)}
+			break
+		}
+		target := remaining / int64(k-c)
+		var acc int64
+		end := start
+		for end < len(groups) && (acc == 0 || acc+costs[end]/2 <= target) {
+			acc += costs[end]
+			end++
+		}
+		ranges[c] = ShardRange{Start: start, End: end}
+		start = end
+		remaining -= acc
+	}
+	return ranges
+}

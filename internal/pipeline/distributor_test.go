@@ -1,0 +1,305 @@
+package pipeline
+
+import (
+	"errors"
+	"maps"
+	"testing"
+
+	"perfplay/internal/sim"
+	"perfplay/internal/trace"
+	"perfplay/internal/ulcp"
+	"perfplay/internal/workload"
+)
+
+// fakeExecutor runs shards in-process, honestly or not.
+type fakeExecutor struct {
+	name  string
+	fail  bool // every call errors
+	calls int  // ranges executed
+}
+
+func (f *fakeExecutor) Name() string { return f.name }
+
+func (f *fakeExecutor) ExecuteShards(job *ShardJob, rng ShardRange) ([]*ulcp.Report, error) {
+	f.calls++
+	if f.fail {
+		return nil, errors.New("peer unreachable")
+	}
+	reps := make([]*ulcp.Report, rng.Len())
+	for i := range reps {
+		reps[i] = ulcp.IdentifyShardWithVerdicts(job.Trace, job.Groups[rng.Start+i], job.Opts, job.Table)
+	}
+	return reps, nil
+}
+
+func recordedJob(t *testing.T, app string) *ShardJob {
+	t.Helper()
+	a := workload.MustGet(app)
+	p := a.Build(workload.Config{Threads: 4, Scale: 0.2, Seed: 7})
+	res := sim.Run(p, sim.Config{Seed: 7})
+	tr := res.Trace
+	css := tr.ExtractCS()
+	table, _ := ulcp.BuildVerdictTable(tr, css, ulcp.Options{})
+	return NewShardJob(tr, ulcp.SortedLockGroups(css), ulcp.Options{}, table)
+}
+
+func reportsEqual(t *testing.T, app string, got, want *ulcp.Report) {
+	t.Helper()
+	if len(got.Pairs) != len(want.Pairs) {
+		t.Fatalf("%s: %d pairs, want %d", app, len(got.Pairs), len(want.Pairs))
+	}
+	for i := range got.Pairs {
+		if got.Pairs[i] != want.Pairs[i] {
+			t.Fatalf("%s: pair %d differs: %+v vs %+v", app, i, got.Pairs[i], want.Pairs[i])
+		}
+	}
+	if len(got.CausalEdges) != len(want.CausalEdges) {
+		t.Fatalf("%s: causal edges differ", app)
+	}
+	for i := range got.CausalEdges {
+		if got.CausalEdges[i] != want.CausalEdges[i] {
+			t.Fatalf("%s: edge %d differs", app, i)
+		}
+	}
+}
+
+// TestDistributorMatchesLocal: 2 honest peers + the local range merge
+// into the same pair stream as a purely local run, for every fixture.
+func TestDistributorMatchesLocal(t *testing.T) {
+	for _, app := range []string{"pbzip2", "mysql", "openldap"} {
+		job := recordedJob(t, app)
+		serial := ulcp.MergeReports(func() []*ulcp.Report {
+			reps := make([]*ulcp.Report, len(job.Groups))
+			for i, g := range job.Groups {
+				reps[i] = ulcp.IdentifyShardWithVerdicts(job.Trace, g, job.Opts, job.Table)
+			}
+			return reps
+		}()...)
+
+		p1 := &fakeExecutor{name: "p1"}
+		p2 := &fakeExecutor{name: "p2"}
+		d := &Distributor{Peers: []ShardExecutor{p1, p2}}
+		got := d.Run(job, NewPool(4))
+
+		reportsEqual(t, app, got, serial)
+		if len(job.Groups) >= 3 && (p1.calls == 0 || p2.calls == 0) {
+			t.Fatalf("%s: fan-out skipped a peer (p1=%d p2=%d calls)", app, p1.calls, p2.calls)
+		}
+		if d.Fallbacks() != 0 {
+			t.Fatalf("%s: unexpected fallbacks: %d", app, d.Fallbacks())
+		}
+	}
+}
+
+// TestDistributorFallsBackOnPeerFailure: a dead peer's range re-runs
+// locally and the merged report is still byte-identical.
+func TestDistributorFallsBackOnPeerFailure(t *testing.T) {
+	job := recordedJob(t, "mysql")
+	serial := ulcp.MergeReports(func() []*ulcp.Report {
+		reps := make([]*ulcp.Report, len(job.Groups))
+		for i, g := range job.Groups {
+			reps[i] = ulcp.IdentifyShardWithVerdicts(job.Trace, g, job.Opts, job.Table)
+		}
+		return reps
+	}()...)
+
+	dead := &fakeExecutor{name: "dead", fail: true}
+	alive := &fakeExecutor{name: "alive"}
+	var fellBack []string
+	d := &Distributor{
+		Peers: []ShardExecutor{dead, alive},
+		OnFallback: func(peer string, rng ShardRange, err error) {
+			fellBack = append(fellBack, peer)
+			if err == nil {
+				t.Error("fallback without an error")
+			}
+		},
+	}
+	got := d.Run(job, NewPool(4))
+	reportsEqual(t, "mysql", got, serial)
+	if d.Fallbacks() != 1 || len(fellBack) != 1 || fellBack[0] != "dead" {
+		t.Fatalf("fallbacks = %d (%v), want exactly the dead peer", d.Fallbacks(), fellBack)
+	}
+
+	// All peers down: everything runs locally, output unchanged.
+	d2 := &Distributor{Peers: []ShardExecutor{
+		&fakeExecutor{name: "d1", fail: true},
+		&fakeExecutor{name: "d2", fail: true},
+	}}
+	got2 := d2.Run(job, NewPool(4))
+	reportsEqual(t, "mysql/all-down", got2, serial)
+	if d2.Fallbacks() != 2 {
+		t.Fatalf("fallbacks = %d, want 2", d2.Fallbacks())
+	}
+}
+
+// TestPartitionGroups: every partition covers all groups exactly once,
+// in order, for a spread of shapes.
+func TestPartitionGroups(t *testing.T) {
+	mk := func(sizes ...int) [][]*trace.CritSec {
+		gs := make([][]*trace.CritSec, len(sizes))
+		for i, n := range sizes {
+			gs[i] = make([]*trace.CritSec, n)
+		}
+		return gs
+	}
+	cases := []struct {
+		groups [][]*trace.CritSec
+		k      int
+	}{
+		{mk(), 3},
+		{mk(5), 3},
+		{mk(1, 1, 1, 1), 2},
+		{mk(100, 1, 1, 1, 1, 1), 3}, // one hot lock must not absorb the rest
+		{mk(2, 3, 4, 5, 6, 7, 8), 4},
+	}
+	for _, tc := range cases {
+		ranges := partitionGroups(tc.groups, tc.k)
+		if len(ranges) != tc.k {
+			t.Fatalf("%d ranges, want %d", len(ranges), tc.k)
+		}
+		next := 0
+		for _, r := range ranges {
+			if r.Start != next || r.End < r.Start {
+				t.Fatalf("ranges not contiguous: %+v", ranges)
+			}
+			next = r.End
+		}
+		if next != len(tc.groups) {
+			t.Fatalf("partition covers %d of %d groups: %+v", next, len(tc.groups), ranges)
+		}
+	}
+	// The hot-lock case: the dominant group must not drag every other
+	// group into its chunk.
+	ranges := partitionGroups(mk(100, 1, 1, 1, 1, 1), 3)
+	if ranges[0].End != 1 {
+		t.Fatalf("hot lock chunk = %+v, want it isolated", ranges[0])
+	}
+}
+
+// TestPipelineDistributedByteIdentical: a full pipeline run with a
+// distributor produces the same report string as the plain run — the
+// whole-job determinism contract the cluster relies on. The result
+// cache is disabled so the second run actually re-executes; the first
+// run warms the verdict-table cache, which is what arms distribution
+// (a fresh-table run classifies locally as a side effect of building
+// the table).
+func TestPipelineDistributedByteIdentical(t *testing.T) {
+	p := New(Options{CacheSize: 0}) // no result cache: the second run must re-execute
+	req := Request{App: "mysql", Threads: 4, Scale: 0.2, Seed: 7, TopK: 5, Schemes: true}
+	plain, err := p.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := &fakeExecutor{name: "p1"}
+	dreq := req
+	dreq.Workers = 4
+	dreq.Distributor = &Distributor{Peers: []ShardExecutor{
+		honest,
+		&fakeExecutor{name: "p2", fail: true},
+	}}
+	dist, err := p.Run(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Report != plain.Report {
+		t.Fatalf("distributed report differs from plain:\nplain:\n%s\ndistributed:\n%s",
+			plain.Report, dist.Report)
+	}
+	if honest.calls == 0 {
+		t.Fatal("cached-table run never reached the peers")
+	}
+	if dreq.Distributor.Fallbacks() != 1 {
+		t.Fatalf("fallbacks = %d, want 1 (the failing peer)", dreq.Distributor.Fallbacks())
+	}
+}
+
+// TestDistributorContainsExecutorPanics: an executor whose response
+// handling panics (a peer can answer well-formed JSON with poisonous
+// content) must degrade to a local fallback, not crash the process.
+func TestDistributorContainsExecutorPanics(t *testing.T) {
+	job := recordedJob(t, "mysql")
+	serial := ulcp.MergeReports(func() []*ulcp.Report {
+		reps := make([]*ulcp.Report, len(job.Groups))
+		for i, g := range job.Groups {
+			reps[i] = ulcp.IdentifyShardWithVerdicts(job.Trace, g, job.Opts, job.Table)
+		}
+		return reps
+	}()...)
+
+	d := &Distributor{Peers: []ShardExecutor{
+		&panicExecutor{name: "poison"},
+		&nilReportExecutor{name: "nuller"},
+	}}
+	got := d.Run(job, NewPool(4))
+	reportsEqual(t, "mysql/panic", got, serial)
+	if d.Fallbacks() != 2 {
+		t.Fatalf("fallbacks = %d, want 2", d.Fallbacks())
+	}
+}
+
+type panicExecutor struct{ name string }
+
+func (p *panicExecutor) Name() string { return p.name }
+func (p *panicExecutor) ExecuteShards(job *ShardJob, rng ShardRange) ([]*ulcp.Report, error) {
+	panic("poisoned peer response")
+}
+
+// nilReportExecutor returns the right count of reports, one of them nil
+// — the shape a version-skewed peer's null JSON element produces.
+type nilReportExecutor struct{ name string }
+
+func (n *nilReportExecutor) Name() string { return n.name }
+func (n *nilReportExecutor) ExecuteShards(job *ShardJob, rng ShardRange) ([]*ulcp.Report, error) {
+	return make([]*ulcp.Report, rng.Len()), nil
+}
+
+// TestTableCacheSkipsReplays: the second job over the same digest —
+// with different reporting flags, so the result cache misses — reuses
+// the cached verdict table and performs zero reversed replays.
+func TestTableCacheSkipsReplays(t *testing.T) {
+	app := workload.MustGet("openldap")
+	res := sim.Run(app.Build(workload.Config{Threads: 4, Scale: 0.2, Seed: 7}), sim.Config{Seed: 7})
+	p := New(Options{CacheSize: 8})
+
+	req := Request{Trace: res.Trace, TraceDigest: "sha256:testfixture", TopK: 5}
+	first, err := p.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first run claims a cache hit")
+	}
+	if p.TableCacheLen() != 1 {
+		t.Fatalf("table cache holds %d entries, want 1", p.TableCacheLen())
+	}
+
+	req2 := req
+	req2.DetectRaces = true // different result-cache key, same table key
+	second, err := p.Run(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHit {
+		t.Fatal("second run must miss the result cache (flags differ)")
+	}
+	if got, want := second.Analysis.Report.ReversedReplays, first.Analysis.Report.ReversedReplays; got != want {
+		t.Fatalf("cached-table run reports %d replays, want %d (table's)", got, want)
+	}
+	// DetectRaces only adds a races line; the classification itself must
+	// be pair-for-pair what the build pass produced. The two runs
+	// extracted separate CritSec values, so compare by ID, not pointer.
+	fw, sw := first.Analysis.Report.Wire(), second.Analysis.Report.Wire()
+	if len(fw.Pairs) != len(sw.Pairs) {
+		t.Fatalf("cached-table run: %d pairs, want %d", len(sw.Pairs), len(fw.Pairs))
+	}
+	for i := range fw.Pairs {
+		if fw.Pairs[i] != sw.Pairs[i] {
+			t.Fatalf("cached-table pair %d differs: %+v vs %+v", i, sw.Pairs[i], fw.Pairs[i])
+		}
+	}
+	if !maps.Equal(second.Analysis.Report.Counts, first.Analysis.Report.Counts) {
+		t.Fatalf("cached-table counts differ: %v vs %v",
+			second.Analysis.Report.Counts, first.Analysis.Report.Counts)
+	}
+}

@@ -17,6 +17,7 @@ package pipeline
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"perfplay/internal/core"
@@ -77,16 +78,22 @@ type Request struct {
 	// Workers is the pool width for the parallel stages; 0 or 1 runs
 	// the serial path. Output bytes do not depend on it.
 	Workers int
+	// Distributor, when set, fans the classification shards out across
+	// its peer nodes (one range stays local; failed peer ranges re-run
+	// locally). Like Workers it is excluded from the cache key: the
+	// determinism contract makes distributed output byte-identical to
+	// the local path.
+	Distributor *Distributor
 	// Schemes additionally replays the recorded trace under all four
 	// schedulers (ORIG/ELSC/SYNC/MEM), in parallel.
 	Schemes bool
 
 	// DetectRaces, MaxRaces, DLS, LocksetCost, VerifyTheorem1 and
-	// Identify mirror core.Config. One deliberate difference from
-	// core.Analyze: classification shards per lock, so
-	// Identify.MaxReversedReplays budgets reversed replays per
-	// contended lock rather than per trace (shard-local budgets are
-	// what make the shards order-independent).
+	// Identify mirror core.Config. Classification builds one shared
+	// verdict table per trace (ulcp.BuildVerdictTable) and runs shards
+	// against it, so Identify.MaxReversedReplays budgets reversed
+	// replays per trace — Identify's semantics — and recurring region
+	// pairs are replayed once instead of once per contended lock.
 	DetectRaces    bool
 	MaxRaces       int
 	DLS            bool
@@ -181,8 +188,22 @@ type Result struct {
 // Pipeline is a long-lived orchestrator with a result cache. The zero
 // value is not usable; construct with New.
 type Pipeline struct {
-	cache *lruCache
+	cache  *lruCache[*Result]
+	tables *tableCache
+
+	// digests memoizes each stored trace's canonical binary digest (the
+	// one the cluster shard protocol references), keyed by the corpus
+	// digest the request arrived with — which may address a different
+	// (JSON) encoding of the same events. With it, steady-state
+	// distributed jobs skip re-serializing and re-hashing the trace
+	// just to name it to peers. Bounded by brute force: the entries are
+	// ~150 bytes, so past digestMemoMax the map is simply reset.
+	mu      sync.Mutex
+	digests map[string]string
 }
+
+// digestMemoMax bounds the canonical-digest memo before it is reset.
+const digestMemoMax = 4096
 
 // Options configures a Pipeline.
 type Options struct {
@@ -193,6 +214,11 @@ type Options struct {
 	// traces; the coldest are evicted beyond it (0 = 256 MiB, negative
 	// disables the byte bound).
 	CacheTraceBytes int64
+	// TableCacheSize bounds the digest-keyed verdict-table cache, which
+	// lets jobs over the same stored trace skip every reversed replay
+	// even when their reporting flags miss the result cache (0 = 64,
+	// negative disables it).
+	TableCacheSize int
 }
 
 // New constructs a Pipeline.
@@ -200,11 +226,42 @@ func New(opts Options) *Pipeline {
 	if opts.CacheTraceBytes == 0 {
 		opts.CacheTraceBytes = 256 << 20
 	}
-	return &Pipeline{cache: newLRU(opts.CacheSize, opts.CacheTraceBytes)}
+	if opts.TableCacheSize == 0 {
+		opts.TableCacheSize = 64
+	}
+	return &Pipeline{
+		cache:   newLRU[*Result](opts.CacheSize, opts.CacheTraceBytes),
+		tables:  newLRU[*ulcp.VerdictTable](opts.TableCacheSize, 0),
+		digests: make(map[string]string),
+	}
+}
+
+// canonicalDigest returns the memoized canonical binary digest for a
+// corpus digest, if known.
+func (p *Pipeline) canonicalDigest(corpusDigest string) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d, ok := p.digests[corpusDigest]
+	return d, ok
+}
+
+func (p *Pipeline) rememberDigest(corpusDigest, canonical string) {
+	if corpusDigest == "" || canonical == "" {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.digests) >= digestMemoMax {
+		p.digests = make(map[string]string)
+	}
+	p.digests[corpusDigest] = canonical
 }
 
 // CacheLen reports how many results the cache currently holds.
 func (p *Pipeline) CacheLen() int { return p.cache.len() }
+
+// TableCacheLen reports how many verdict tables are cached.
+func (p *Pipeline) TableCacheLen() int { return p.tables.len() }
 
 // Run executes the staged pipeline for one request, consulting the
 // cache first for cacheable requests.
@@ -223,7 +280,7 @@ func (p *Pipeline) Run(req Request) (*Result, error) {
 			return &hit, nil
 		}
 	}
-	res, err := run(req)
+	res, err := p.exec(req)
 	if err != nil {
 		return nil, err
 	}
@@ -265,8 +322,24 @@ func Run(req Request) (*Result, error) {
 	return New(Options{}).Run(req)
 }
 
-// run is the staged orchestrator.
-func run(req Request) (*Result, error) {
+// tableKey derives the verdict-table cache key: the fields that define
+// the analyzed trace's content (digest, or the record-stage tuple for
+// workload requests) plus the identify options — and nothing else, so
+// jobs differing only in reporting flags share one table.
+func tableKey(req Request) string {
+	src := req.App
+	if req.TraceDigest != "" {
+		src = req.TraceDigest
+	} else if src == "" {
+		return "" // pointer-identified program or digest-less trace
+	}
+	return fmt.Sprintf("%s|in%d|t%d|s%g|seed%d|id{%d,%t,%d}",
+		src, req.Input, req.Threads, req.Scale, req.Seed,
+		req.Identify.MaxScanPerThread, req.Identify.DisableReversedReplay, req.Identify.MaxReversedReplays)
+}
+
+// exec is the staged orchestrator.
+func (p *Pipeline) exec(req Request) (*Result, error) {
 	pool := NewPool(req.Workers)
 	res := &Result{Request: req}
 	a := &core.Analysis{}
@@ -354,18 +427,67 @@ func run(req Request) (*Result, error) {
 		return nil, err
 	}
 
-	// Stage 3 — Classify: extract critical sections, shard ULCP pair
-	// enumeration per lock (each shard runs its own per-pair reversed
-	// replays), merge shard reports in sorted lock order, and build the
-	// ULCP-free trace.
+	// Stage 3 — Classify: extract critical sections, obtain the shared
+	// reversed-replay verdict table (cached by trace digest, or built by
+	// one identification pass), run the per-lock shards against it —
+	// locally on the pool, or fanned out across peer nodes when a
+	// Distributor is configured — merge shard reports in sorted lock
+	// order, and build the ULCP-free trace. Every path below produces
+	// the same report bytes: shards with the table are pure functions of
+	// (trace, group, options, table), and the table itself is a pure
+	// function of (trace, options).
 	if err := stage("classify", func() error {
 		a.CSs = tr.ExtractCS()
-		groups := ulcp.SortedLockGroups(a.CSs)
-		shards := make([]*ulcp.Report, len(groups))
-		pool.Each(len(groups), func(i int) {
-			shards[i] = ulcp.IdentifyShard(tr, groups[i], req.Identify)
-		})
-		a.Report = ulcp.MergeReports(shards...)
+		var table *ulcp.VerdictTable
+		var buildRep *ulcp.Report
+		key := tableKey(req)
+		if cached, ok := p.tables.get(key); key != "" && ok {
+			table = cached
+		} else {
+			// One full identification pass yields both the table and the
+			// finished report; the replays it spends are the per-trace
+			// total (recurring region pairs pay once, not once per lock).
+			table, buildRep = ulcp.BuildVerdictTable(tr, a.CSs, req.Identify)
+			if key != "" {
+				p.tables.put(key, table, 0)
+			}
+		}
+		switch {
+		case buildRep != nil:
+			// Fresh table: the build pass's report already is the
+			// complete classification — using it beats both a second
+			// local walk and a fan-out that could only reproduce it.
+			// Consequently a cluster distributes nothing for the first
+			// analysis of a trace (the table build is inherently one
+			// local pass); peers engage from the second job on, when
+			// the cached table makes shards replay-free.
+			a.Report = buildRep
+		case req.Distributor != nil && len(req.Distributor.Peers) > 0:
+			// Cached table + cluster: ship the table with each shard
+			// range and merge in group order.
+			groups := ulcp.SortedLockGroups(a.CSs)
+			job := NewShardJob(tr, groups, req.Identify, table)
+			if req.TraceDigest != "" {
+				if d, ok := p.canonicalDigest(req.TraceDigest); ok {
+					job.PresetDigest(d)
+				}
+			}
+			a.Report = req.Distributor.Run(job, pool)
+			if req.TraceDigest != "" {
+				p.rememberDigest(req.TraceDigest, job.CanonicalDigest())
+			}
+			a.Report.ReversedReplays += table.Replays
+		default:
+			// Cached table, single node: shards re-derive the report in
+			// parallel without a single reversed replay.
+			groups := ulcp.SortedLockGroups(a.CSs)
+			shards := make([]*ulcp.Report, len(groups))
+			pool.Each(len(groups), func(i int) {
+				shards[i] = ulcp.IdentifyShardWithVerdicts(tr, groups[i], req.Identify, table)
+			})
+			a.Report = ulcp.MergeReports(shards...)
+			a.Report.ReversedReplays += table.Replays
+		}
 		var err error
 		a.Transformed, err = transform.Apply(tr, a.CSs, a.Report)
 		if err != nil {

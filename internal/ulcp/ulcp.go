@@ -51,22 +51,25 @@ type Pair struct {
 
 // Edge is a RULE-1 causal edge between critical sections (by CS ID).
 type Edge struct {
-	From, To int
+	From int `json:"from"`
+	To   int `json:"to"`
 }
 
-// Options tunes identification.
+// Options tunes identification. The JSON tags are the cluster wire
+// format: a coordinator ships options verbatim with each shard request
+// so every node classifies under identical settings.
 type Options struct {
 	// MaxScanPerThread caps the RULE-1 sequential search ahead of each
 	// critical section within one peer thread. Zero selects 4096. Scans
 	// cut short are tallied in Report.Truncated.
-	MaxScanPerThread int
+	MaxScanPerThread int `json:"max_scan_per_thread,omitempty"`
 	// DisableReversedReplay turns off the benign/TLCP reversed-replay
 	// check; every Algorithm-1 conflict is then reported as TLCP.
-	DisableReversedReplay bool
+	DisableReversedReplay bool `json:"disable_reversed_replay,omitempty"`
 	// MaxReversedReplays caps full-trace reversed replays; beyond it the
 	// memoized per-region verdicts are reused and unseen region pairs
 	// default to TLCP (conservative). Zero selects 128.
-	MaxReversedReplays int
+	MaxReversedReplays int `json:"max_reversed_replays,omitempty"`
 }
 
 func (o Options) withDefaults() Options {
@@ -144,6 +147,9 @@ type identifier struct {
 	rep  *Report
 	// benignMemo caches reversed-replay verdicts per code-region pair.
 	benignMemo map[string]bool
+	// table, when set, is a precomputed cross-shard verdict table
+	// consulted before benignMemo; hits cost no replay.
+	table *VerdictTable
 }
 
 // Identify runs the full identification pass over a recorded trace.
@@ -183,6 +189,32 @@ func IdentifyShard(tr *trace.Trace, lockCSs []*trace.CritSec, opts Options) *Rep
 			Counts: make(map[Category]int),
 		},
 		benignMemo: make(map[string]bool),
+	}
+	id.runLock(lockCSs)
+	return id.rep
+}
+
+// IdentifyShardWithVerdicts is IdentifyShard with a precomputed verdict
+// table (see BuildVerdictTable): conflicting pairs whose region-pair
+// class is in the table reuse its verdict without a replay, so shards
+// sharing one table — across goroutines or across nodes — stop
+// re-paying the O(events) prefix walk for classes that recur under
+// many locks. Classes absent from the table (a table built over
+// different groups) fall back to the shard-local memo and budget. With
+// a table built over the same sorted lock groups and options, shards
+// perform zero replays and the merged classification is a pure
+// function of (trace, groups, options, table).
+func IdentifyShardWithVerdicts(tr *trace.Trace, lockCSs []*trace.CritSec, opts Options, table *VerdictTable) *Report {
+	opts = opts.withDefaults()
+	id := &identifier{
+		tr:   tr,
+		css:  lockCSs,
+		opts: opts,
+		rep: &Report{
+			Counts: make(map[Category]int),
+		},
+		benignMemo: make(map[string]bool),
+		table:      table,
 	}
 	id.runLock(lockCSs)
 	return id.rep
@@ -308,6 +340,11 @@ func (id *identifier) scan(cur *trace.CritSec, peer []*trace.CritSec) {
 // pairs conservatively classify as true contention.
 func (id *identifier) benign(c1, c2 *trace.CritSec) bool {
 	key := regionPairKey(c1, c2)
+	if id.table != nil {
+		if v, ok := id.table.Verdicts[key]; ok {
+			return v
+		}
+	}
 	if v, ok := id.benignMemo[key]; ok {
 		return v
 	}
@@ -320,7 +357,7 @@ func (id *identifier) benign(c1, c2 *trace.CritSec) bool {
 		return false
 	}
 	id.rep.ReversedReplays++
-	v := id.reversedReplayEqual(c1, c2)
+	v := reversedReplayEqual(id.tr, c1, c2)
 	id.benignMemo[key] = v
 	return v
 }
@@ -387,10 +424,10 @@ func conflictSig(c1, c2 *trace.CritSec) string {
 // and identical values observed by every read. Localizing the reversal
 // keeps the check deterministic: a whole-trace reversal would perturb
 // unrelated lock races and misattribute their differences to the pair.
-func (id *identifier) reversedReplayEqual(c1, c2 *trace.CritSec) bool {
-	pre := id.prefixState(c1.AcqEv)
-	fwd := execPairLocal(id.tr, pre, c1, c2)
-	rev := execPairLocal(id.tr, pre, c2, c1)
+func reversedReplayEqual(tr *trace.Trace, c1, c2 *trace.CritSec) bool {
+	pre := prefixState(tr, c1.AcqEv)
+	fwd := execPairLocal(tr, pre, c1, c2)
+	rev := execPairLocal(tr, pre, c2, c1)
 	if len(fwd.reads) != len(rev.reads) {
 		return false
 	}
@@ -412,13 +449,13 @@ func (id *identifier) reversedReplayEqual(c1, c2 *trace.CritSec) bool {
 
 // prefixState applies every recorded write before the given event index to
 // the initial memory image, yielding the state the pair executed against.
-func (id *identifier) prefixState(before int32) map[memmodel.Addr]int64 {
-	mem := make(map[memmodel.Addr]int64, len(id.tr.InitMem)+16)
-	for a, v := range id.tr.InitMem {
+func prefixState(tr *trace.Trace, before int32) map[memmodel.Addr]int64 {
+	mem := make(map[memmodel.Addr]int64, len(tr.InitMem)+16)
+	for a, v := range tr.InitMem {
 		mem[a] = v
 	}
 	for i := int32(0); i < before; i++ {
-		e := &id.tr.Events[i]
+		e := &tr.Events[i]
 		switch e.Kind {
 		case trace.KWrite:
 			mem[e.Addr] = e.Op.Apply(mem[e.Addr], e.Value)
