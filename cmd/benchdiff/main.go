@@ -1,0 +1,169 @@
+// Command benchdiff compares two BENCH_<sha>.json snapshots (the format
+// cmd/benchjson writes and CI archives per push) and exits non-zero
+// when any benchmark regressed beyond a threshold — the regression gate
+// on the repo's benchmark trajectory. Like benchjson it depends only on
+// the standard library so CI can `go run` it cold.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_aaaa.json -new BENCH_bbbb.json \
+//	    [-threshold 25] [-metric ns/op]
+//
+// Benchmarks are matched by (pkg, full name). Ones present on only one
+// side are reported but never fatal — adding or deleting a benchmark is
+// not a regression. Exit codes: 0 within threshold, 1 regression(s), 2
+// usage or input errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Benchmark and Snapshot mirror cmd/benchjson's output schema; the
+// fields irrelevant to diffing are omitted (unknown JSON keys are
+// ignored by encoding/json).
+type Benchmark struct {
+	FullName string             `json:"full_name"`
+	Pkg      string             `json:"pkg"`
+	Metrics  map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is one parsed BENCH_<sha>.json document.
+type Snapshot struct {
+	Commit     string      `json:"commit"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Delta is one matched benchmark's change.
+type Delta struct {
+	Key      string
+	Old, New float64
+	// Pct is the signed relative change in percent; positive means the
+	// metric grew (a regression for cost metrics like ns/op).
+	Pct float64
+}
+
+func key(b Benchmark) string { return b.Pkg + "." + b.FullName }
+
+// diff matches benchmarks across snapshots on the chosen metric and
+// returns the deltas plus the keys present on only one side.
+func diff(oldSnap, newSnap *Snapshot, metric string) (deltas []Delta, onlyOld, onlyNew []string) {
+	oldBy := make(map[string]Benchmark, len(oldSnap.Benchmarks))
+	for _, b := range oldSnap.Benchmarks {
+		oldBy[key(b)] = b
+	}
+	seen := make(map[string]bool, len(newSnap.Benchmarks))
+	for _, nb := range newSnap.Benchmarks {
+		k := key(nb)
+		seen[k] = true
+		ob, ok := oldBy[k]
+		if !ok {
+			onlyNew = append(onlyNew, k)
+			continue
+		}
+		ov, oOK := ob.Metrics[metric]
+		nv, nOK := nb.Metrics[metric]
+		if !oOK || !nOK {
+			continue // metric absent on one side: nothing to compare
+		}
+		d := Delta{Key: k, Old: ov, New: nv}
+		if ov != 0 {
+			d.Pct = (nv - ov) / ov * 100
+		}
+		deltas = append(deltas, d)
+	}
+	for _, b := range oldSnap.Benchmarks {
+		if !seen[key(b)] {
+			onlyOld = append(onlyOld, key(b))
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Pct > deltas[j].Pct })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return deltas, onlyOld, onlyNew
+}
+
+// regressions filters deltas beyond the threshold (percent).
+func regressions(deltas []Delta, threshold float64) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Pct > threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in snapshot", path)
+	}
+	return &s, nil
+}
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "baseline BENCH_<sha>.json")
+		newPath   = flag.String("new", "", "candidate BENCH_<sha>.json")
+		threshold = flag.Float64("threshold", 25, "max allowed increase of the metric, in percent")
+		metric    = flag.String("metric", "ns/op", "metric to compare")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	oldSnap, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newSnap, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	deltas, onlyOld, onlyNew := diff(oldSnap, newSnap, *metric)
+	fmt.Printf("benchdiff: %s → %s (%s, threshold +%g%%)\n",
+		orUnknown(oldSnap.Commit), orUnknown(newSnap.Commit), *metric, *threshold)
+	for _, d := range deltas {
+		fmt.Printf("  %+8.1f%%  %-60s %14.1f → %.1f\n", d.Pct, d.Key, d.Old, d.New)
+	}
+	for _, k := range onlyOld {
+		fmt.Printf("  removed    %s\n", k)
+	}
+	for _, k := range onlyNew {
+		fmt.Printf("  added      %s\n", k)
+	}
+	if len(deltas) == 0 {
+		// Disjoint snapshots compare nothing; failing here would block
+		// renames, but say so loudly.
+		fmt.Println("benchdiff: no comparable benchmarks between snapshots")
+		return
+	}
+	if reg := regressions(deltas, *threshold); len(reg) > 0 {
+		fmt.Printf("benchdiff: %d benchmark(s) regressed beyond +%g%%\n", len(reg), *threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: within threshold")
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "(unknown)"
+	}
+	return s
+}

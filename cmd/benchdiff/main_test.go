@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func snap(benchmarks ...Benchmark) *Snapshot {
+	return &Snapshot{Commit: "test", Benchmarks: benchmarks}
+}
+
+func bm(pkg, name string, nsOp float64) Benchmark {
+	return Benchmark{FullName: name, Pkg: pkg, Metrics: map[string]float64{"ns/op": nsOp}}
+}
+
+func TestDiffMatchesByPkgAndName(t *testing.T) {
+	oldS := snap(
+		bm("a", "BenchmarkX-4", 100),
+		bm("b", "BenchmarkX-4", 100), // same name, different pkg
+		bm("a", "BenchmarkGone-4", 50),
+	)
+	newS := snap(
+		bm("a", "BenchmarkX-4", 110),
+		bm("b", "BenchmarkX-4", 90),
+		bm("a", "BenchmarkNew-4", 1),
+	)
+	deltas, onlyOld, onlyNew := diff(oldS, newS, "ns/op")
+	if len(deltas) != 2 {
+		t.Fatalf("%d deltas, want 2: %+v", len(deltas), deltas)
+	}
+	// Sorted worst-first.
+	if deltas[0].Key != "a.BenchmarkX-4" || deltas[0].Pct != 10 {
+		t.Fatalf("worst delta = %+v", deltas[0])
+	}
+	if deltas[1].Pct != -10 {
+		t.Fatalf("improvement delta = %+v", deltas[1])
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "a.BenchmarkGone-4" {
+		t.Fatalf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "a.BenchmarkNew-4" {
+		t.Fatalf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestRegressionsThreshold(t *testing.T) {
+	deltas, _, _ := diff(
+		snap(bm("p", "BenchmarkA-4", 100), bm("p", "BenchmarkB-4", 100), bm("p", "BenchmarkC-4", 100)),
+		snap(bm("p", "BenchmarkA-4", 126), bm("p", "BenchmarkB-4", 124), bm("p", "BenchmarkC-4", 10)),
+		"ns/op")
+	reg := regressions(deltas, 25)
+	if len(reg) != 1 || reg[0].Key != "p.BenchmarkA-4" {
+		t.Fatalf("regressions = %+v, want only the +26%% one", reg)
+	}
+	// A faster run is never a regression, whatever the threshold.
+	if reg := regressions(deltas, 0); len(reg) != 2 {
+		t.Fatalf("at threshold 0: %+v, want the two slower ones", reg)
+	}
+}
+
+func TestDiffSkipsMissingMetric(t *testing.T) {
+	oldS := snap(Benchmark{FullName: "BenchmarkX-4", Pkg: "p", Metrics: map[string]float64{"B/op": 7}})
+	newS := snap(bm("p", "BenchmarkX-4", 5))
+	deltas, _, _ := diff(oldS, newS, "ns/op")
+	if len(deltas) != 0 {
+		t.Fatalf("compared across a missing metric: %+v", deltas)
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	deltas, _, _ := diff(snap(bm("p", "BenchmarkX-4", 0)), snap(bm("p", "BenchmarkX-4", 50)), "ns/op")
+	if len(deltas) != 1 || deltas[0].Pct != 0 {
+		t.Fatalf("zero baseline must not divide: %+v", deltas)
+	}
+}
+
+func TestLoadRejectsEmptyAndMalformed(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"commit":"x","benchmarks":[]}`), 0o644)
+	if _, err := load(empty); err == nil {
+		t.Fatal("empty snapshot must not load")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{nope`), 0o644)
+	if _, err := load(bad); err == nil {
+		t.Fatal("malformed snapshot must not load")
+	}
+	if _, err := load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file must not load")
+	}
+}

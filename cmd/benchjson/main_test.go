@@ -75,6 +75,12 @@ func TestParseBenchLineShapes(t *testing.T) {
 		"Benchmark output from a log line",
 		"BenchmarkNoMetrics-4\t1",
 		"BenchmarkOdd-4\t1\t5",
+		// Value columns that fail to parse as numbers must reject the
+		// line, not silently record garbage metrics.
+		"BenchmarkBadValue-4\t1\tfast ns/op",
+		"BenchmarkBadSecond-4\t1\t5 ns/op\toops B/op",
+		// A non-numeric iteration count is a log line, not a result.
+		"BenchmarkBadIters-4\tmany\t5 ns/op",
 	} {
 		if _, ok := parseBenchLine(line, ""); ok {
 			t.Fatalf("line %q parsed as a benchmark", line)
@@ -83,5 +89,28 @@ func TestParseBenchLineShapes(t *testing.T) {
 	b, ok := parseBenchLine("BenchmarkPlain\t100\t5 ns/op", "p")
 	if !ok || b.Procs != 0 || b.Name != "Plain" || b.Iterations != 100 {
 		t.Fatalf("plain line: %+v ok=%t", b, ok)
+	}
+}
+
+// TestParseTotallyEmptyInput: zero bytes of input (a bench run that
+// crashed before printing anything) is an error, distinct from the
+// PASS-but-no-benchmarks case TestParseRejectsEmptyAndFailed covers.
+func TestParseTotallyEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("")); err == nil {
+		t.Fatal("empty input produced a snapshot")
+	}
+}
+
+// TestParseSkipsUnparsableAmongGood: one mangled line (a b.Log that
+// happens to start with "Benchmark") must not poison the surrounding
+// real results.
+func TestParseSkipsUnparsableAmongGood(t *testing.T) {
+	in := "pkg: p\nBenchmarkGood-4\t2\t10 ns/op\nBenchmarkBad-4\t1\tNaN%% ns/op garbage\nBenchmarkAlso-4\t3\t20 ns/op\n"
+	snap, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want the 2 well-formed ones: %+v", len(snap.Benchmarks), snap.Benchmarks)
 	}
 }

@@ -4,29 +4,22 @@
 // internal/pipeline orchestrator on a bounded job queue, and serves the
 // ranked reports back as JSON.
 //
-// Endpoints:
+// The full HTTP API reference — every route, request/response schema,
+// error code and curl example — lives in docs/API.md (kept in sync with
+// the registered mux by CI via the -print-routes flag). In brief:
 //
-//	POST /analyze         submit a job; JSON spec {"app": "mysql", "threads": 4,
-//	                      "scale": 0.5, "seed": 42, "schemes": true}, a stored-
-//	                      trace reference {"trace": "sha256:...", "schemes": true},
-//	                      or a raw trace body (binary or JSON encoding, options
-//	                      as ?schemes=true&races=true&top=5); returns {id}
-//	POST /shards          execute classification shards [start,end) of a stored
-//	                      trace's sorted lock groups with a shipped verdict
-//	                      table (the cluster worker protocol; see README
-//	                      "Cluster mode")
-//	GET  /jobs/{id}       job status plus, once done, the JSON report and
-//	                      per-stage timings; ?wait=10s long-polls until the
-//	                      job changes state or the wait expires
-//	GET  /healthz         liveness, job counts, queue/cache/corpus occupancy,
-//	                      cluster role and shard-fallback count
-//	POST /traces          store a trace in the content-addressed corpus;
-//	                      dedupes by SHA-256 (201 new, 200 already present);
-//	                      ?pin=true exempts it from LRU eviction
-//	GET  /traces          list stored traces and their metadata
-//	GET  /traces/{digest} download a stored trace blob
-//	DELETE /traces/{digest} evict a stored trace
-//	PATCH /traces/{digest}?pin=true|false  flip LRU-eviction exemption
+//	POST   /analyze           submit a job (workload spec, stored-trace
+//	                          reference, or raw trace upload)
+//	GET    /jobs/{id}         job status/report; ?wait= long-polls
+//	POST   /jobs/claim        a peer claims a whole queued job (work stealing)
+//	POST   /jobs/{id}/result  the thief reports the finished job back
+//	GET    /steal             stealable-backlog probe
+//	POST   /shards            execute classification shard ranges (cluster)
+//	GET    /healthz           liveness, occupancy, cluster gossip
+//	POST   /traces            store a trace in the content-addressed corpus
+//	GET    /traces[/{digest}] list / download stored traces
+//	DELETE /traces/{digest}   evict a stored trace
+//	PATCH  /traces/{digest}   pin or unpin a stored trace
 //
 // Usage:
 //
@@ -35,36 +28,57 @@
 //	          [-corpus perfplay-corpus] [-corpus-max-bytes 1073741824]
 //	          [-role standalone|worker|coordinator]
 //	          [-peers http://h1:8080,http://h2:8080] [-shard-timeout 120s]
+//	          [-advertise http://me:8080] [-steal-interval 1s]
+//	          [-steal-lease 2m] [-print-routes]
 //
-// Cluster mode: start workers with -role=worker (a corpus is required —
-// shard requests reference traces by digest), then a coordinator with
-// -peers listing them. Every analyze job's classification shards fan
-// out across the peers and merge deterministically; dead peers fall
-// back to local execution. See README "Cluster mode".
+// Cluster mode: give every node the same -corpus-backed setup and point
+// each at its peers with -peers. Each node then both fans its jobs'
+// classification shards out across the peers (pull-based range
+// work-stealing; dead peers fall back to local execution) and runs a
+// whole-job stealer: when idle it claims entire queued jobs from the
+// busiest peer, executes them locally (fetching the trace blob by
+// content digest when needed), and reports the results back — so the
+// cluster is a symmetric pool, not a star. -role remains as an
+// observability label. See docs/ARCHITECTURE.md for the topology and
+// README "Cluster mode" for a quickstart.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os"
 	"strings"
 )
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		workers      = flag.Int("workers", 2, "concurrent analysis jobs")
-		plWorkers    = flag.Int("pipeline-workers", 4, "worker-pool width inside each job")
-		queueDepth   = flag.Int("queue", 64, "pending-job queue depth (further submits get 503)")
-		cacheSize    = flag.Int("cache", 128, "LRU result cache capacity")
-		maxJobs      = flag.Int("max-jobs", 1024, "finished jobs retained before eviction")
-		corpusDir    = flag.String("corpus", "perfplay-corpus", "trace corpus directory (same layout as perfplay -corpus; empty disables /traces)")
-		corpusBytes  = flag.Int64("corpus-max-bytes", 0, "corpus byte budget; LRU-evicts unpinned traces beyond it (0 = 1 GiB)")
-		role         = flag.String("role", "", "cluster role: standalone, worker, or coordinator (default standalone; coordinator when -peers is set)")
-		peers        = flag.String("peers", "", "comma-separated peer base URLs to fan classification shards out to (implies -role=coordinator)")
-		shardTimeout = flag.Duration("shard-timeout", 0, "per-peer shard call timeout (0 = 120s)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		workers       = flag.Int("workers", 2, "concurrent analysis jobs")
+		plWorkers     = flag.Int("pipeline-workers", 4, "worker-pool width inside each job")
+		queueDepth    = flag.Int("queue", 64, "pending-job queue depth (further submits get 503)")
+		cacheSize     = flag.Int("cache", 128, "LRU result cache capacity")
+		maxJobs       = flag.Int("max-jobs", 1024, "finished jobs retained before eviction")
+		corpusDir     = flag.String("corpus", "perfplay-corpus", "trace corpus directory (same layout as perfplay -corpus; empty disables /traces)")
+		corpusBytes   = flag.Int64("corpus-max-bytes", 0, "corpus byte budget; LRU-evicts unpinned traces beyond it (0 = 1 GiB)")
+		role          = flag.String("role", "", "cluster role label: standalone, worker, or coordinator (default standalone; coordinator when -peers is set)")
+		peers         = flag.String("peers", "", "comma-separated peer base URLs for shard fan-out and whole-job stealing")
+		shardTimeout  = flag.Duration("shard-timeout", 0, "per-peer shard call timeout (0 = 120s)")
+		advertise     = flag.String("advertise", "", "base URL peers should see this node as (default http://<addr>)")
+		stealInterval = flag.Duration("steal-interval", 0, "idle poll cadence of the whole-job stealer (0 = 1s; negative disables stealing)")
+		stealLease    = flag.Duration("steal-lease", 0, "how long a thief may hold a claimed job before it re-queues locally (0 = 2m)")
+		printRoutes   = flag.Bool("print-routes", false, "print the registered HTTP routes, one per line, and exit")
 	)
 	flag.Parse()
+
+	if *printRoutes {
+		for _, p := range routePatterns() {
+			fmt.Println(p)
+		}
+		return
+	}
 
 	var peerList []string
 	for _, p := range strings.Split(*peers, ",") {
@@ -80,11 +94,8 @@ func main() {
 	if *role == roleCoordinator && len(peerList) == 0 {
 		log.Fatal("perfplayd: -role=coordinator requires -peers")
 	}
-	if len(peerList) > 0 && (*role == roleWorker || *role == roleStandalone) {
-		// Peers make this daemon distribute; letting it also claim to be
-		// a worker/standalone would give operators contradictory signals
-		// (healthz role vs observed fan-out).
-		log.Fatalf("perfplayd: -peers implies -role=coordinator, not %q", *role)
+	if len(peerList) > 0 && *corpusDir == "" {
+		log.Fatal("perfplayd: -peers requires a -corpus (cluster transfers reference traces by digest)")
 	}
 	if *role == roleWorker && *corpusDir == "" {
 		log.Fatal("perfplayd: -role=worker requires a -corpus (shard requests reference traces by digest)")
@@ -101,18 +112,43 @@ func main() {
 		Role:            *role,
 		Peers:           peerList,
 		ShardTimeout:    *shardTimeout,
+		StealInterval:   *stealInterval,
+		StealLease:      *stealLease,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv.Start()
+	srv.StartStealer(strings.TrimRight(selfURL(*advertise, *addr), "/"))
 	cluster := ""
 	if len(peerList) > 0 {
-		cluster = " as coordinator of " + strings.Join(peerList, ", ")
+		cluster = " in a pool with " + strings.Join(peerList, ", ")
 	} else if srv.cfg.Role != roleStandalone {
 		cluster = " as " + srv.cfg.Role
 	}
 	log.Printf("perfplayd listening on %s (%d job workers × %d pipeline workers, queue %d)%s",
 		*addr, *workers, *plWorkers, *queueDepth, cluster)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+// selfURL derives the node's advertised base URL. A bare ":8080"-style
+// listen address has no host, and advertising "http://:8080" would make
+// every stolen_by/lease diagnostic unattributable — substitute the
+// machine's hostname so operators can tell nodes apart.
+func selfURL(advertise, addr string) string {
+	if advertise != "" {
+		return advertise
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "http://" + addr
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		if h, err := os.Hostname(); err == nil && h != "" {
+			host = h
+		} else {
+			host = "localhost"
+		}
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }

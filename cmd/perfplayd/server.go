@@ -8,6 +8,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -15,6 +16,7 @@ import (
 
 	"perfplay/internal/corpus"
 	"perfplay/internal/pipeline"
+	"perfplay/internal/scheduler"
 	"perfplay/internal/trace"
 	"perfplay/internal/workload"
 )
@@ -69,6 +71,16 @@ type Config struct {
 	// back locally (0 = Workers, the same parallelism the job path
 	// allows; negative disables the bound).
 	MaxShardRequests int
+	// StealLease bounds how long a peer that claimed a whole job
+	// (POST /jobs/claim) may hold it before reporting a result; past
+	// the lease the job is re-enqueued locally at the front of the
+	// queue, so a crashed thief costs one lease of latency, never the
+	// job (0 = 2 min).
+	StealLease time.Duration
+	// StealInterval is the idle-poll cadence of this node's own
+	// stealer loop, started by StartStealer (0 = 1s; negative disables
+	// stealing even when peers are configured).
+	StealInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +114,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxShardRequests == 0 {
 		c.MaxShardRequests = c.Workers
 	}
+	if c.StealLease == 0 {
+		c.StealLease = 2 * time.Minute
+	}
+	if c.StealInterval == 0 {
+		c.StealInterval = time.Second
+	}
 	if c.Role == "" {
 		c.Role = roleStandalone
 		if len(c.Peers) > 0 {
@@ -129,20 +147,13 @@ type job struct {
 	Finished  time.Time `json:"finished,omitzero"`
 	Error     string    `json:"error,omitempty"`
 
-	App            string            `json:"app,omitempty"`
-	TraceDigest    string            `json:"trace_digest,omitempty"`
-	Threads        int               `json:"threads,omitempty"`
-	Seed           int64             `json:"seed,omitempty"`
-	CritSecs       int               `json:"critical_sections,omitempty"`
-	ULCPs          int               `json:"ulcps,omitempty"`
-	DegradationPct float64           `json:"degradation_pct,omitempty"`
-	Schemes        map[string]string `json:"schemes,omitempty"`
-	CacheHit       bool              `json:"cache_hit,omitempty"`
-	Report         string            `json:"report,omitempty"`
-	// Timings are the pipeline's per-stage wall clocks. A cache-hit job
-	// reports the timings of the run that originally computed the
-	// result — the hit itself did no stage work.
-	Timings []stageTiming `json:"timings,omitempty"`
+	TraceDigest string `json:"trace_digest,omitempty"`
+	Seed        int64  `json:"seed,omitempty"`
+	// StolenBy is the peer currently holding (or that completed) this
+	// job's steal lease — empty for jobs that ran locally.
+	StolenBy string `json:"stolen_by,omitempty"`
+
+	jobSummary
 
 	req pipeline.Request
 	// traceBytes is the uploaded body size (an estimate of the parsed
@@ -153,6 +164,55 @@ type job struct {
 	// GET /jobs/{id}?wait=... long-polls wake on state change rather
 	// than spinning. Guarded by Server.mu.
 	changed chan struct{}
+}
+
+// jobSummary is everything a finished analysis reports — the fields a
+// thief computes remotely and ships back verbatim (POST
+// /jobs/{id}/result), and a local worker fills via summarize. Keeping
+// them one struct is what guarantees a stolen job's JSON is
+// field-for-field what a local run would have produced.
+type jobSummary struct {
+	App            string            `json:"app,omitempty"`
+	Threads        int               `json:"threads,omitempty"`
+	CritSecs       int               `json:"critical_sections,omitempty"`
+	ULCPs          int               `json:"ulcps,omitempty"`
+	DegradationPct float64           `json:"degradation_pct,omitempty"`
+	Schemes        map[string]string `json:"schemes,omitempty"`
+	CacheHit       bool              `json:"cache_hit,omitempty"`
+	Report         string            `json:"report,omitempty"`
+	// Timings are the pipeline's per-stage wall clocks. A cache-hit job
+	// reports the timings of the run that originally computed the
+	// result — the hit itself did no stage work.
+	Timings []stageTiming `json:"timings,omitempty"`
+}
+
+// summarize distills a pipeline result into the job's retained summary.
+func summarize(res *pipeline.Result) jobSummary {
+	a := res.Analysis
+	s := jobSummary{
+		App:      a.App,
+		CritSecs: len(a.CSs),
+		ULCPs:    a.Report.NumULCPs(),
+		CacheHit: res.CacheHit,
+		Report:   res.Report,
+	}
+	if a.Recorded != nil {
+		s.Threads = a.Recorded.Trace.NumThreads
+	} else {
+		s.Threads = len(a.OrigReplay.PerThreadCPU)
+	}
+	s.DegradationPct = a.Debug.NormalizedDegradation() * 100
+	s.Timings = make([]stageTiming, len(res.Timings))
+	for i, st := range res.Timings {
+		s.Timings[i] = stageTiming{Stage: st.Stage, WallNS: st.Wall.Nanoseconds(), Wall: st.Wall.String()}
+	}
+	if len(res.Schemes) > 0 {
+		s.Schemes = make(map[string]string, len(res.Schemes))
+		for _, sr := range res.Schemes {
+			s.Schemes[sr.Sched.String()] = sr.Result.Total.String()
+		}
+	}
+	return s
 }
 
 // stageTiming is one pipeline stage's wall clock in the job JSON.
@@ -183,14 +243,18 @@ type analyzeSpec struct {
 	Races   bool    `json:"races"`
 }
 
-// Server is the perfplayd HTTP front end: a bounded job queue drained
-// by a fixed set of workers, each running the concurrent pipeline.
+// Server is the perfplayd HTTP front end: a bounded *stealable* job
+// queue drained by a fixed set of workers, each running the concurrent
+// pipeline. Idle peers may claim whole queued jobs over HTTP and run
+// them remotely (see internal/scheduler); the server's own stealer loop
+// does the same against its peers.
 type Server struct {
 	cfg    Config
 	pl     *pipeline.Pipeline
 	corpus *corpus.Store         // nil when Config.CorpusDir is empty
 	dist   *pipeline.Distributor // nil unless Config.Peers is non-empty
-	queue  chan *job
+	queue  *scheduler.Queue
+	gossip *scheduler.Gossip
 	// shardSem admission-controls POST /shards (see MaxShardRequests);
 	// nil disables the bound.
 	shardSem chan struct{}
@@ -206,8 +270,11 @@ type Server struct {
 	seq              int64
 	queuedTraceBytes int64 // upload bytes awaiting a worker
 	inflightBytes    int64 // upload bytes being buffered/parsed in handlers
+	running          int   // jobs executing right now (local + stolen)
+	stealer          *scheduler.Stealer
 
 	wg      sync.WaitGroup
+	stop    chan struct{} // closed on Close; stops reaper and stealer
 	started bool
 	closed  bool
 }
@@ -218,9 +285,11 @@ func NewServer(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:         cfg,
 		pl:          pipeline.New(pipeline.Options{CacheSize: cfg.CacheSize}),
-		queue:       make(chan *job, cfg.QueueDepth),
+		queue:       scheduler.NewQueue(cfg.QueueDepth),
+		gossip:      scheduler.NewGossip(),
 		jobs:        make(map[string]*job),
 		shardTraces: newShardTraceCache(shardTraceCacheCap),
+		stop:        make(chan struct{}),
 	}
 	if cfg.MaxShardRequests > 0 {
 		s.shardSem = make(chan struct{}, cfg.MaxShardRequests)
@@ -248,7 +317,7 @@ func NewServer(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Start launches the executor goroutines.
+// Start launches the executor goroutines and the steal-lease reaper.
 func (s *Server) Start() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -256,15 +325,53 @@ func (s *Server) Start() {
 		return
 	}
 	s.started = true
-	s.wg.Add(s.cfg.Workers)
+	s.wg.Add(s.cfg.Workers + 1)
 	for i := 0; i < s.cfg.Workers; i++ {
 		go s.worker()
 	}
+	go s.reaper()
 }
 
-// Close stops accepting jobs and waits for in-flight ones. Submissions
-// racing with Close get a 503 rather than a send on a closed channel —
-// enqueue and close both happen under the mutex.
+// StartStealer launches this node's thief loop against Config.Peers.
+// self is the base URL peers can reach this node at (victim-side
+// diagnostics only). A no-op without peers or with a negative
+// StealInterval. Separate from Start because the advertised URL is
+// often only known after the listener binds (httptest, ephemeral
+// ports).
+func (s *Server) StartStealer(self string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stealer != nil || s.closed || len(s.cfg.Peers) == 0 || s.cfg.StealInterval < 0 {
+		return
+	}
+	s.stealer = &scheduler.Stealer{
+		Self:     self,
+		Peers:    s.cfg.Peers,
+		Interval: s.cfg.StealInterval,
+		Idle:     s.idle,
+		Execute:  s.executeStolen,
+		Gossip:   s.gossip,
+		Client:   &http.Client{Timeout: s.cfg.ShardTimeout},
+	}
+	st := s.stealer
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		st.Run(s.stop)
+	}()
+}
+
+// idle reports whether this node has spare capacity for stolen work:
+// nothing waiting locally and at least one worker unoccupied.
+func (s *Server) idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queue.Len() == 0 && s.running < s.cfg.Workers
+}
+
+// Close stops accepting jobs and waits for in-flight ones (including
+// the reaper and stealer loops). Submissions racing with Close get a
+// 503 — enqueue checks the closed flag under the mutex.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -272,15 +379,57 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	close(s.queue)
+	close(s.stop)
+	s.queue.Close()
 	s.mu.Unlock()
 	s.wg.Wait()
 }
 
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
-		s.runJob(j)
+	for {
+		qj, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.runJob(qj.Payload.(*job))
+	}
+}
+
+// reaper re-enqueues jobs whose steal lease expired — the thief crashed
+// or lost its network — so they run locally instead of being lost.
+func (s *Server) reaper() {
+	defer s.wg.Done()
+	interval := min(s.cfg.StealLease/4, time.Second)
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-ticker.C:
+			expired := s.queue.TakeExpired(now)
+			if len(expired) == 0 {
+				continue
+			}
+			// Reset each job's visible state BEFORE Requeue makes it
+			// poppable again — a worker could otherwise pop and even
+			// finish the job (result-cache hit) and then have its
+			// terminal status clobbered back to "queued" here.
+			s.mu.Lock()
+			for _, qj := range expired {
+				j := qj.Payload.(*job)
+				log.Printf("perfplayd: steal lease for %s expired (thief %s); re-queued locally", j.ID, j.StolenBy)
+				j.StolenBy = ""
+				j.Status = statusQueued
+				j.notifyLocked()
+			}
+			s.mu.Unlock()
+			s.queue.Requeue(expired)
+		}
 	}
 }
 
@@ -289,6 +438,7 @@ func (s *Server) runJob(j *job) {
 	j.Status = statusRunning
 	j.notifyLocked()
 	s.queuedTraceBytes -= j.traceBytes // the upload has left the queue
+	s.running++
 	s.mu.Unlock()
 
 	res, err := func() (res *pipeline.Result, err error) {
@@ -302,6 +452,7 @@ func (s *Server) runJob(j *job) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.running--
 	j.Finished = time.Now()
 	j.req = pipeline.Request{} // release any uploaded trace
 	if err != nil {
@@ -309,28 +460,7 @@ func (s *Server) runJob(j *job) {
 		j.Error = err.Error()
 	} else {
 		j.Status = statusDone
-		a := res.Analysis
-		j.App = a.App
-		if a.Recorded != nil {
-			j.Threads = a.Recorded.Trace.NumThreads
-		} else {
-			j.Threads = len(a.OrigReplay.PerThreadCPU)
-		}
-		j.CritSecs = len(a.CSs)
-		j.ULCPs = a.Report.NumULCPs()
-		j.DegradationPct = a.Debug.NormalizedDegradation() * 100
-		j.CacheHit = res.CacheHit
-		j.Report = res.Report
-		j.Timings = make([]stageTiming, len(res.Timings))
-		for i, st := range res.Timings {
-			j.Timings[i] = stageTiming{Stage: st.Stage, WallNS: st.Wall.Nanoseconds(), Wall: st.Wall.String()}
-		}
-		if len(res.Schemes) > 0 {
-			j.Schemes = make(map[string]string, len(res.Schemes))
-			for _, sr := range res.Schemes {
-				j.Schemes[sr.Sched.String()] = sr.Result.Total.String()
-			}
-		}
+		j.jobSummary = summarize(res)
 	}
 	j.notifyLocked()
 	s.order = append(s.order, j.ID)
@@ -345,19 +475,51 @@ func (s *Server) evictLocked() {
 	}
 }
 
+// route pairs a mux pattern with its handler. The daemon's whole HTTP
+// surface lives in this one table so the served mux, the -print-routes
+// flag, and the docs/API.md drift check in CI can never disagree.
+type route struct {
+	pattern string
+	handler http.HandlerFunc
+}
+
+func (s *Server) routes() []route {
+	return []route{
+		{"POST /analyze", s.handleAnalyze},
+		{"POST /shards", s.handleShards},
+		{"GET /steal", s.handleSteal},
+		{"POST /jobs/claim", s.handleClaim},
+		{"POST /jobs/{id}/result", s.handleJobResult},
+		{"GET /jobs/{id}", s.handleJob},
+		{"GET /healthz", s.handleHealthz},
+		{"POST /traces", s.handleTraceUpload},
+		{"GET /traces", s.handleTraceList},
+		{"GET /traces/{digest}", s.handleTraceGet},
+		{"DELETE /traces/{digest}", s.handleTraceDelete},
+		{"PATCH /traces/{digest}", s.handleTracePin},
+	}
+}
+
 // Handler returns the daemon's HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /analyze", s.handleAnalyze)
-	mux.HandleFunc("POST /shards", s.handleShards)
-	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("POST /traces", s.handleTraceUpload)
-	mux.HandleFunc("GET /traces", s.handleTraceList)
-	mux.HandleFunc("GET /traces/{digest}", s.handleTraceGet)
-	mux.HandleFunc("DELETE /traces/{digest}", s.handleTraceDelete)
-	mux.HandleFunc("PATCH /traces/{digest}", s.handleTracePin)
+	for _, r := range s.routes() {
+		mux.HandleFunc(r.pattern, r.handler)
+	}
 	return mux
+}
+
+// routePatterns lists every registered route pattern, sorted — the
+// source of truth behind `perfplayd -print-routes`.
+func routePatterns() []string {
+	var s Server
+	rs := s.routes()
+	patterns := make([]string, len(rs))
+	for i, r := range rs {
+		patterns[i] = r.pattern
+	}
+	sort.Strings(patterns)
+	return patterns
 }
 
 // reserveInflight reserves n upload bytes against MaxQueuedTraceBytes
@@ -551,7 +713,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
-	if len(s.queue) == cap(s.queue) {
+	if s.queue.Len() >= s.queue.Cap() {
 		httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.QueueDepth)
 		return
 	}
@@ -717,12 +879,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		changed:     make(chan struct{}),
 	}
 	s.jobs[j.ID] = j
-	var enqueued bool
-	select { // non-blocking, so holding the mutex across it is fine
-	case s.queue <- j:
-		enqueued = true
+	// Push is non-blocking (the queue is bounded), so holding the mutex
+	// across it is fine.
+	enqueued := s.queue.Push(&scheduler.Job{ID: j.ID, Spec: specFor(req), Payload: j})
+	if enqueued {
 		s.queuedTraceBytes += uploadBytes
-	default:
+	} else {
 		delete(s.jobs, j.ID)
 	}
 	s.mu.Unlock()
@@ -793,6 +955,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		counts[j.Status]++
 	}
 	queuedBytes := s.queuedTraceBytes
+	running := s.running
+	stealer := s.stealer
 	s.mu.Unlock()
 	var corpusTraces int
 	var corpusBytes int64
@@ -804,13 +968,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.dist != nil {
 		fallbacks = s.dist.Fallbacks()
 	}
+	// The steal section gossips this node's own depth alongside its
+	// last-known view of every peer's, so one healthz poll anywhere in
+	// the cluster shows where the backlog lives.
+	steal := map[string]any{
+		"enabled":   stealer != nil,
+		"stealable": s.queue.Stealable(),
+		"claimed":   s.queue.ClaimedCount(),
+	}
+	if stealer != nil {
+		steal["stats"] = stealer.Stats()
+	}
+	if peers := s.gossip.Snapshot(); len(peers) > 0 {
+		steal["peer_queues"] = peers
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":                 true,
 		"role":               s.cfg.Role,
 		"jobs":               counts,
 		"queue_depth":        s.cfg.QueueDepth,
-		"queue_len":          len(s.queue),
+		"queue_len":          s.queue.Len(),
 		"queued_trace_bytes": queuedBytes,
+		"running":            running,
 		"cached":             s.pl.CacheLen(),
 		"cached_tables":      s.pl.TableCacheLen(),
 		"workers":            s.cfg.Workers,
@@ -820,6 +999,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"corpus_bytes":       corpusBytes,
 		"peers":              len(s.cfg.Peers),
 		"shard_fallbacks":    fallbacks,
+		"steal":              steal,
 	})
 }
 

@@ -1,0 +1,278 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"perfplay/internal/corpus"
+	"perfplay/internal/pipeline"
+	"perfplay/internal/scheduler"
+	"perfplay/internal/trace"
+	"perfplay/internal/workload"
+)
+
+// This file is the daemon half of the whole-job work-stealing protocol
+// (the policy lives in internal/scheduler):
+//
+//	GET  /steal             victim advertises its stealable backlog
+//	POST /jobs/claim        thief takes the newest stealable job, on a lease
+//	POST /jobs/{id}/result  thief reports the finished summary back
+//
+// A stolen job's trace ships content-addressed: the claim carries only
+// the corpus digest, and the thief fetches the blob from the victim
+// (GET /traces/{digest}, hash-verified) only when its own corpus misses
+// it — the same 404-style lazy transfer the shard protocol uses, in the
+// pull direction.
+
+// specFor derives the wire-stealable description of a request. Uploaded
+// traces held only in this process's memory yield a zero (unstealable)
+// spec; workload specs and corpus-backed digest jobs ship whole.
+func specFor(req pipeline.Request) scheduler.Spec {
+	switch {
+	case req.App != "":
+		return scheduler.Spec{
+			App:     req.App,
+			Threads: req.Threads,
+			Input:   int(req.Input),
+			Scale:   req.Scale,
+			Seed:    req.Seed,
+			TopK:    req.TopK,
+			Schemes: req.Schemes,
+			Races:   req.DetectRaces,
+		}
+	case req.TraceDigest != "" && req.TraceLoader != nil:
+		// Only corpus-backed jobs are stealable by digest: the victim
+		// must be able to serve the blob to the thief.
+		return scheduler.Spec{
+			TraceDigest: req.TraceDigest,
+			TopK:        req.TopK,
+			Schemes:     req.Schemes,
+			Races:       req.DetectRaces,
+		}
+	default:
+		return scheduler.Spec{}
+	}
+}
+
+// errStolenTraceUnavailable marks failures to *obtain* a stolen job's
+// trace — transport or storage trouble on the thief, not a property of
+// the job. These must never settle the job as failed on the victim
+// (which may well hold the trace and run it fine); the thief abandons
+// the steal and the victim's lease requeues the job.
+var errStolenTraceUnavailable = errors.New("stolen trace unavailable")
+
+// requestFor is specFor's inverse on the thief: the pipeline request
+// that reproduces the victim's job byte-for-byte. Digest specs resolve
+// their trace from the local corpus, else a hash-verified fetch from
+// the victim — performed eagerly, both so the request can carry the
+// trace's size (the result cache weighs trace-backed entries against
+// its byte budget) and so an unfetchable blob aborts the steal before
+// anything is reported.
+func (s *Server) requestFor(victim string, spec scheduler.Spec) (pipeline.Request, error) {
+	req := pipeline.Request{
+		TopK:        spec.TopK,
+		Schemes:     spec.Schemes,
+		DetectRaces: spec.Races,
+		Workers:     s.cfg.PipelineWorkers,
+		Distributor: s.dist,
+	}
+	if spec.App != "" {
+		if _, ok := workload.Get(spec.App); !ok {
+			return pipeline.Request{}, fmt.Errorf("unknown workload %q", spec.App)
+		}
+		req.App = spec.App
+		req.Threads = spec.Threads
+		req.Input = workload.InputSize(spec.Input)
+		req.Scale = spec.Scale
+		req.Seed = spec.Seed
+		return req, nil
+	}
+	digest := spec.TraceDigest
+	req.TraceDigest = digest
+	if s.corpus != nil {
+		// Touch, not Stat: a stolen job referencing a locally stored
+		// trace counts as use for LRU purposes, exactly like the
+		// victim's own digest path.
+		if meta, err := s.corpus.Touch(digest); err == nil {
+			req.TraceBytes = meta.Size
+			req.TraceLoader = func() (*trace.Trace, error) {
+				tr, _, err := s.corpus.Load(digest)
+				if err != nil {
+					return nil, fmt.Errorf("%w: %v", errStolenTraceUnavailable, err)
+				}
+				return tr, nil
+			}
+			return req, nil
+		} else if !errors.Is(err, corpus.ErrNotFound) {
+			return pipeline.Request{}, fmt.Errorf("%w: %v", errStolenTraceUnavailable, err)
+		}
+	}
+	remote := &corpus.Remote{Base: victim, Client: &http.Client{Timeout: s.cfg.ShardTimeout}}
+	data, err := remote.Fetch(digest)
+	if err != nil {
+		return pipeline.Request{}, fmt.Errorf("%w: fetch from %s: %v", errStolenTraceUnavailable, victim, err)
+	}
+	if s.corpus != nil {
+		// Best-effort local cache: the next steal of this trace is free.
+		if _, _, err := s.corpus.Put(data, false); err != nil {
+			log.Printf("perfplayd: could not cache stolen trace %s locally: %v", digest, err)
+		}
+	}
+	req.TraceBytes = int64(len(data))
+	req.TraceLoader = func() (*trace.Trace, error) { return trace.ReadAny(bytes.NewReader(data)) }
+	return req, nil
+}
+
+// stealResult is the body of POST /jobs/{id}/result: the thief's
+// identity, either an analysis error or the finished summary, exactly
+// as a local run would have recorded it.
+type stealResult struct {
+	Thief   string     `json:"thief"`
+	Error   string     `json:"error,omitempty"`
+	Summary jobSummary `json:"summary"`
+}
+
+// executeStolen is the thief side of one steal: run the job on the
+// local pipeline and report the outcome to the victim. Analysis errors
+// are reported as job failures (they are deterministic — the job would
+// fail on the victim too). Trace-availability and report-delivery
+// failures instead return an error WITHOUT settling the job: the
+// victim's lease requeues it there, where it can still succeed.
+func (s *Server) executeStolen(victim string, sj scheduler.StolenJob) error {
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+	}()
+
+	result := stealResult{Thief: s.stealer.Self}
+	req, err := s.requestFor(victim, sj.Spec)
+	if err == nil {
+		var res *pipeline.Result
+		res, err = func() (res *pipeline.Result, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("analysis panicked: %v", r)
+				}
+			}()
+			return s.pl.Run(req)
+		}()
+		if err == nil {
+			result.Summary = summarize(res)
+		}
+	}
+	if err != nil {
+		if errors.Is(err, errStolenTraceUnavailable) {
+			return err // abandon: the lease recovers the job on the victim
+		}
+		result.Error = err.Error()
+	}
+
+	body, merr := json.Marshal(&result)
+	if merr != nil {
+		return merr
+	}
+	resp, perr := s.stealer.Client.Post(victim+"/jobs/"+sj.ID+"/result", "application/json", bytes.NewReader(body))
+	if perr != nil {
+		return fmt.Errorf("report stolen job %s to %s: %w", sj.ID, victim, perr)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// 409: the lease expired and the victim re-owns the job; our
+		// result is stale and must be discarded, which is exactly what
+		// returning an error does.
+		return corpus.RemoteError("report stolen job "+sj.ID+" to "+victim, resp)
+	}
+	return nil
+}
+
+// handleSteal (GET /steal) is the probe half of the steal protocol: a
+// cheap, mutation-free advertisement of how much of this node's backlog
+// a thief could take.
+func (s *Server) handleSteal(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, scheduler.PeerStatus{
+		QueueLen:  s.queue.Len(),
+		Stealable: s.queue.Stealable(),
+		Seen:      time.Now(),
+	})
+}
+
+// handleClaim (POST /jobs/claim) hands the newest stealable queued job
+// to a thief under a lease. 204 means nothing is stealable. The job
+// becomes "running" from its client's point of view — work is underway,
+// just elsewhere; if the thief vanishes, the reaper flips it back to
+// "queued".
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Thief string `json:"thief"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad claim body: %v", err)
+		return
+	}
+	if body.Thief == "" {
+		body.Thief = r.RemoteAddr
+	}
+	qj, deadline, ok := s.queue.Claim(body.Thief, s.cfg.StealLease)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	j := qj.Payload.(*job)
+	s.mu.Lock()
+	j.Status = statusRunning
+	j.StolenBy = body.Thief
+	j.notifyLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, scheduler.StolenJob{
+		ID:      qj.ID,
+		Spec:    qj.Spec,
+		LeaseMS: time.Until(deadline).Milliseconds(),
+	})
+}
+
+// handleJobResult (POST /jobs/{id}/result) settles a stolen job with
+// the thief's outcome. A job that is no longer on lease — the lease
+// expired and the reaper re-queued it — answers 409 and the late result
+// is discarded; determinism makes that safe (the local re-run produces
+// the identical summary).
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var result stealResult
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxTraceBytes)).Decode(&result); err != nil {
+		httpError(w, http.StatusBadRequest, "bad result body: %v", err)
+		return
+	}
+	qj, ok := s.queue.Complete(id)
+	if !ok {
+		httpError(w, http.StatusConflict, "job %s is not on lease (expired, settled, or never claimed)", id)
+		return
+	}
+	j := qj.Payload.(*job)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.Finished = time.Now()
+	j.req = pipeline.Request{} // release any retained request state
+	if result.Thief != "" {
+		j.StolenBy = result.Thief
+	}
+	if result.Error != "" {
+		j.Status = statusFailed
+		j.Error = result.Error
+	} else {
+		j.Status = statusDone
+		j.jobSummary = result.Summary
+	}
+	j.notifyLocked()
+	s.order = append(s.order, j.ID)
+	s.evictLocked()
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": j.Status})
+}

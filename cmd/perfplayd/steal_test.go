@@ -1,0 +1,403 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"perfplay/internal/pipeline"
+	"perfplay/internal/scheduler"
+)
+
+// saturatedVictim builds a daemon whose workers never start — the
+// deterministic stand-in for a node too overloaded to reach its own
+// queue — so everything it accepts stays stealable until someone claims
+// it. The reaper can be armed later via Start.
+func saturatedVictim(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.CorpusDir == "" {
+		cfg.CorpusDir = t.TempDir()
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// thiefServer builds a started daemon whose stealer polls the given
+// victims at test cadence.
+func thiefServer(t *testing.T, victims ...string) (*Server, *httptest.Server) {
+	t.Helper()
+	s, ts := testServer(t, Config{Peers: victims, StealInterval: 5 * time.Millisecond})
+	s.StartStealer(ts.URL)
+	return s, ts
+}
+
+// TestWholeJobStealCompletesOnIdlePeer is the headline acceptance test:
+// a workload job submitted to saturated node A completes on idle node B
+// via a whole-job steal, byte-identical to the committed golden (and
+// therefore to a serial single-node run), while A's client keeps
+// polling A and never learns the job moved — except through the
+// stolen_by field.
+func TestWholeJobStealCompletesOnIdlePeer(t *testing.T) {
+	_, victim := saturatedVictim(t, Config{})
+	thiefSrv, thief := thiefServer(t, victim.URL)
+
+	resp := postJSON(t, victim.URL+"/analyze", goldenSpecs[0].spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	sub := decode[map[string]string](t, resp)
+	j := waitDone(t, victim.URL, sub["id"])
+	if j["status"] != statusDone {
+		t.Fatalf("stolen job failed: %v", j["error"])
+	}
+	if report, want := j["report"].(string), goldenReport(t, goldenSpecs[0].name); report != want {
+		t.Fatalf("stolen report differs from golden:\nwant:\n%s\ngot:\n%s", want, report)
+	}
+	if j["stolen_by"] != thief.URL {
+		t.Fatalf("stolen_by = %v, want %s", j["stolen_by"], thief.URL)
+	}
+	if stats := thiefSrv.stealer.Stats(); stats.Claims != 1 || stats.Failures != 0 {
+		t.Fatalf("thief stats = %+v", stats)
+	}
+
+	// The thief's healthz gossips the victim's queue depth.
+	hz, err := http.Get(thief.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := decode[map[string]any](t, hz)
+	steal, _ := h["steal"].(map[string]any)
+	if steal == nil || steal["enabled"] != true {
+		t.Fatalf("thief healthz steal section = %v", steal)
+	}
+	if _, ok := steal["peer_queues"].(map[string]any)[victim.URL]; !ok {
+		t.Fatalf("thief gossip missing the victim: %v", steal["peer_queues"])
+	}
+}
+
+// TestWholeJobStealTraceDigest: a stored-trace job steals too — the
+// thief pulls the blob from the victim's corpus by content digest
+// (hash-verified), caches it locally, and produces the identical
+// report a local run of the same digest yields.
+func TestWholeJobStealTraceDigest(t *testing.T) {
+	victimSrv, victim := saturatedVictim(t, Config{})
+	payload := recordedPayload(t, 3)
+	meta, _, err := victimSrv.corpus.Put(payload, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The reference output: the same digest job run on an ordinary
+	// standalone daemon holding the same blob.
+	refSrv, ref := testServer(t, Config{})
+	if _, _, err := refSrv.corpus.Put(payload, false); err != nil {
+		t.Fatal(err)
+	}
+	spec := `{"trace":"` + meta.Digest + `","schemes":true}`
+	want := runJobReport(t, ref.URL, spec)
+
+	thiefSrv, _ := thiefServer(t, victim.URL)
+	resp := postJSON(t, victim.URL+"/analyze", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	sub := decode[map[string]string](t, resp)
+	j := waitDone(t, victim.URL, sub["id"])
+	if j["status"] != statusDone {
+		t.Fatalf("stolen digest job failed: %v", j["error"])
+	}
+	if j["report"] != want {
+		t.Fatalf("stolen digest report differs:\nwant:\n%s\ngot:\n%s", want, j["report"])
+	}
+	// The thief's corpus now holds the victim's blob (content pull).
+	if _, err := thiefSrv.corpus.Stat(meta.Digest); err != nil {
+		t.Fatalf("thief corpus missing the stolen trace: %v", err)
+	}
+}
+
+// TestThiefCrashLeaseExpiry: a thief that claims a job and vanishes
+// costs one lease, not the job — the reaper re-queues it, a local
+// worker completes it with golden-identical output, and the thief's
+// eventual late result is rejected with 409.
+func TestThiefCrashLeaseExpiry(t *testing.T) {
+	srv, ts := saturatedVictim(t, Config{StealLease: 50 * time.Millisecond})
+
+	resp := postJSON(t, ts.URL+"/analyze", goldenSpecs[0].spec)
+	sub := decode[map[string]string](t, resp)
+
+	// A "thief" claims the job... and crashes (never reports).
+	claim := postJSON(t, ts.URL+"/jobs/claim", `{"thief":"http://doomed:1"}`)
+	if claim.StatusCode != http.StatusOK {
+		t.Fatalf("claim: status %d", claim.StatusCode)
+	}
+	stolen := decode[scheduler.StolenJob](t, claim)
+	if stolen.ID != sub["id"] || stolen.Spec.App != "pbzip2" {
+		t.Fatalf("claimed %+v, want job %s", stolen, sub["id"])
+	}
+	// The client now sees the job running elsewhere.
+	st, err := http.Get(ts.URL + "/jobs/" + sub["id"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid := decode[map[string]any](t, st); mid["status"] != statusRunning || mid["stolen_by"] != "http://doomed:1" {
+		t.Fatalf("mid-steal job = %v", mid)
+	}
+
+	time.Sleep(100 * time.Millisecond) // let the lease lapse
+	srv.Start()                        // arms the reaper and the local workers
+
+	j := waitDone(t, ts.URL, sub["id"])
+	if j["status"] != statusDone {
+		t.Fatalf("job lost after thief crash: %v", j["error"])
+	}
+	if report, want := j["report"].(string), goldenReport(t, goldenSpecs[0].name); report != want {
+		t.Fatalf("post-expiry local report differs from golden:\nwant:\n%s\ngot:\n%s", want, report)
+	}
+	if j["stolen_by"] != nil {
+		t.Fatalf("stolen_by = %v after local recovery, want empty", j["stolen_by"])
+	}
+
+	// The crashed thief limps back with a stale result: rejected, and
+	// the settled job is untouched.
+	late := postJSON(t, ts.URL+"/jobs/"+sub["id"]+"/result",
+		`{"thief":"http://doomed:1","summary":{"report":"stale"}}`)
+	defer late.Body.Close()
+	if late.StatusCode != http.StatusConflict {
+		t.Fatalf("late result: status %d, want 409", late.StatusCode)
+	}
+	if j2 := decode[map[string]any](t, mustGet(t, ts.URL+"/jobs/"+sub["id"])); j2["report"] != j["report"] {
+		t.Fatal("late result overwrote the settled job")
+	}
+}
+
+// abortResults wraps a victim handler so POST /jobs/{id}/result severs
+// the connection — the victim "crashes" at the worst moment, after the
+// thief did the work but before the result lands.
+type abortResults struct {
+	inner http.Handler
+}
+
+func (a *abortResults) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/result") {
+		panic(http.ErrAbortHandler)
+	}
+	a.inner.ServeHTTP(w, r)
+}
+
+// TestVictimCrashMidSteal: the victim dies between claim and result.
+// The thief must count a failure, stay healthy, and keep serving its
+// own jobs; the stolen result is simply dropped (the victim's lease
+// would have recovered the job had the victim lived).
+func TestVictimCrashMidSteal(t *testing.T) {
+	victimSrv, err := NewServer(Config{CorpusDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := httptest.NewServer(&abortResults{inner: victimSrv.Handler()})
+	t.Cleanup(func() {
+		victim.Close()
+		victimSrv.Close()
+	})
+
+	thiefSrv, thief := thiefServer(t, victim.URL)
+	resp := postJSON(t, victim.URL+"/analyze", goldenSpecs[0].spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for thiefSrv.stealer.Stats().Failures == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("thief never recorded the failed result report")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The thief is unharmed: its own jobs still run to completion.
+	if report, want := runJobReport(t, thief.URL, goldenSpecs[0].spec), goldenReport(t, goldenSpecs[0].name); report != want {
+		t.Fatalf("thief report after victim crash differs from golden:\nwant:\n%s\ngot:\n%s", want, report)
+	}
+}
+
+// TestClaimEndpointEdges pins the protocol's edges: empty queue → 204,
+// malformed body → 400, an unstealable (in-memory upload) job is never
+// offered, and a result for an unclaimed job → 409.
+func TestClaimEndpointEdges(t *testing.T) {
+	srv, ts := saturatedVictim(t, Config{})
+
+	resp := postJSON(t, ts.URL+"/jobs/claim", `{"thief":"http://x"}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("empty-queue claim: status %d, want 204", resp.StatusCode)
+	}
+
+	resp = postJSON(t, ts.URL+"/jobs/claim", `{nope`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed claim: status %d, want 400", resp.StatusCode)
+	}
+
+	// A raw trace upload lives only in victim memory: not stealable.
+	up, err := http.Post(ts.URL+"/analyze", "application/octet-stream", bytes.NewReader(recordedPayload(t, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	up.Body.Close()
+	if up.StatusCode != http.StatusAccepted {
+		t.Fatalf("upload submit: status %d", up.StatusCode)
+	}
+	if n := srv.queue.Stealable(); n != 0 {
+		t.Fatalf("%d upload jobs advertised as stealable", n)
+	}
+	resp = postJSON(t, ts.URL+"/jobs/claim", `{"thief":"http://x"}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("claim with only an upload queued: status %d, want 204", resp.StatusCode)
+	}
+
+	resp = postJSON(t, ts.URL+"/jobs/job-999/result", `{"thief":"x","summary":{}}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result for unclaimed job: status %d, want 409", resp.StatusCode)
+	}
+
+	// GET /steal is a cheap truthful probe.
+	probe := decode[scheduler.PeerStatus](t, mustGet(t, ts.URL+"/steal"))
+	if probe.QueueLen != 1 || probe.Stealable != 0 {
+		t.Fatalf("probe = %+v, want 1 queued / 0 stealable", probe)
+	}
+}
+
+// slowShards wraps a worker handler so each POST /shards stalls — the
+// induced load skew for the range-migration test.
+type slowShards struct {
+	inner http.Handler
+	delay time.Duration
+}
+
+func (s *slowShards) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && r.URL.Path == "/shards" {
+		time.Sleep(s.delay)
+	}
+	s.inner.ServeHTTP(w, r)
+}
+
+// TestShardRangeMigratesUnderSkew is the mid-classify work-stealing
+// acceptance test at the HTTP layer: with one worker slowed to a crawl,
+// the shard ranges a static cost split would have parked behind it
+// drain through the fast worker and the local pool instead — and the
+// merged report still matches the committed golden byte-for-byte.
+func TestShardRangeMigratesUnderSkew(t *testing.T) {
+	_, fast := clusterServer(t, Config{Role: roleWorker})
+
+	slowSrv, err := NewServer(Config{Role: roleWorker, CorpusDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := httptest.NewServer(&slowShards{inner: slowSrv.Handler(), delay: 400 * time.Millisecond})
+	t.Cleanup(func() {
+		slow.Close()
+		slowSrv.Close()
+	})
+	slowSrv.Start()
+
+	coordSrv, coord := clusterServer(t, Config{Peers: []string{fast.URL, slow.URL}})
+	runJobReport(t, coord.URL, goldenSpecs[1].warmup) // arm distribution (cached verdict table)
+	report := runJobReport(t, coord.URL, goldenSpecs[1].spec)
+	if want := goldenReport(t, goldenSpecs[1].name); report != want {
+		t.Fatalf("skewed-cluster report differs from golden:\nwant:\n%s\ngot:\n%s", want, report)
+	}
+	if coordSrv.dist.Fallbacks() != 0 {
+		t.Fatalf("slow-but-healthy worker caused %d fallbacks", coordSrv.dist.Fallbacks())
+	}
+	a := coordSrv.dist.Assignments()
+	if a[slow.URL] == 0 {
+		t.Fatalf("slow worker never engaged: %v", a)
+	}
+	if a[fast.URL]+a["local"] <= a[slow.URL] {
+		t.Fatalf("no migration under skew: %v", a)
+	}
+}
+
+// TestStolenTraceFetchFailureAbandons: a thief that cannot obtain the
+// stolen job's trace must abandon the steal (so the victim's lease
+// recovers the job) rather than settle it as failed — and for a trace
+// the thief does hold, the request must carry the blob size so the
+// result cache can weigh the retained trace.
+func TestStolenTraceFetchFailureAbandons(t *testing.T) {
+	srv, _ := testServer(t, Config{})
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	spec := scheduler.Spec{TraceDigest: "sha256:" + strings.Repeat("ab", 32)}
+	_, err := srv.requestFor(deadURL, spec)
+	if err == nil || !strings.Contains(err.Error(), "stolen trace unavailable") {
+		t.Fatalf("unreachable victim: err = %v, want errStolenTraceUnavailable", err)
+	}
+
+	payload := recordedPayload(t, 9)
+	meta, _, perr := srv.corpus.Put(payload, false)
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	req, err := srv.requestFor(deadURL, scheduler.Spec{TraceDigest: meta.Digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.TraceBytes != meta.Size {
+		t.Fatalf("TraceBytes = %d, want the blob size %d (cache weight)", req.TraceBytes, meta.Size)
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestSpecRoundTrip pins the wire spec against the request builder: a
+// stolen workload job's thief-side request reproduces the victim's
+// pipeline cache key, which is the determinism contract's foundation.
+func TestSpecRoundTrip(t *testing.T) {
+	srv, err := NewServer(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var spec analyzeSpec
+	if err := json.Unmarshal([]byte(goldenSpecs[1].spec), &spec); err != nil {
+		t.Fatal(err)
+	}
+	victimReq := pipeline.Request{
+		App: spec.App, Threads: spec.Threads,
+		Scale: spec.Scale, Seed: spec.Seed, TopK: spec.Top,
+		Schemes: spec.Schemes, DetectRaces: spec.Races,
+	}
+	wire := specFor(victimReq)
+	if !wire.Stealable() {
+		t.Fatal("workload spec not stealable")
+	}
+	thiefReq, err := srv.requestFor("http://victim", wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := thiefReq.CacheKey(), victimReq.CacheKey(); got != want {
+		t.Fatalf("thief cache key %q != victim %q", got, want)
+	}
+}

@@ -124,23 +124,36 @@ type ShardExecutor interface {
 	ExecuteShards(job *ShardJob, rng ShardRange) ([]*ulcp.Report, error)
 }
 
+// LocalExecutor is the name under which the distributor's own node
+// appears in assignment stats and fallback diagnostics.
+const LocalExecutor = "local"
+
 // Distributor is the pipeline's scheduling policy for fanning
-// classification shards out across nodes: it splits a job's sorted lock
-// groups into per-node contiguous ranges balanced by estimated pair
-// cost, executes them concurrently (one range stays local), retries any
-// failed peer range locally, and merges everything in group-index order
-// — so a 3-node run is byte-identical to the serial path no matter
-// which peers survived.
+// classification shards out across nodes. Scheduling is pull-based
+// work-stealing over a RangeLedger: the local pool and every peer
+// repeatedly claim the next cost-sized chunk of sorted lock groups
+// until the ledger drains, so a slow or overloaded peer keeps only the
+// chunk it is holding while the rest of "its" share migrates to faster
+// executors mid-classify. A failed chunk is re-run locally and its
+// executor stops pulling. Reports land in per-group index slots and
+// merge in group order — so a 3-node run is byte-identical to the
+// serial path no matter which peers survived or how chunks migrated.
 type Distributor struct {
 	// Peers are the remote executors. An empty slice runs everything
 	// locally.
 	Peers []ShardExecutor
+	// ChunkFactor tunes ledger chunk sizing: ~ChunkFactor chunks per
+	// executor on a uniform drain (0 = the ledger default). Larger
+	// values migrate load at finer grain but ship the verdict table
+	// more often.
+	ChunkFactor int
 	// OnFallback, when set, observes each peer failure just before its
 	// range is re-run locally (logging, metrics, tests).
 	OnFallback func(peer string, rng ShardRange, err error)
 
 	mu        sync.Mutex
 	fallbacks int
+	assigned  map[string]int
 }
 
 // Fallbacks reports how many peer ranges have been re-run locally since
@@ -151,27 +164,52 @@ func (d *Distributor) Fallbacks() int {
 	return d.fallbacks
 }
 
+// Assignments reports how many groups each executor has computed since
+// construction, keyed by executor name (LocalExecutor for this node,
+// including fallback re-runs). It is how tests — and operators reading
+// logs — observe load-skew migration.
+func (d *Distributor) Assignments() map[string]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]int, len(d.assigned))
+	for k, v := range d.assigned {
+		out[k] = v
+	}
+	return out
+}
+
+func (d *Distributor) recordAssigned(name string, groups int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.assigned == nil {
+		d.assigned = make(map[string]int)
+	}
+	d.assigned[name] += groups
+}
+
 // Run executes the job's shards across the local node and all peers and
 // returns the merged report. pool bounds local shard concurrency (both
-// for the local range and for fallback re-runs).
+// for locally claimed chunks and for fallback re-runs).
 func (d *Distributor) Run(job *ShardJob, pool *Pool) *ulcp.Report {
 	n := len(job.Groups)
 	reports := make([]*ulcp.Report, n)
-	ranges := partitionGroups(job.Groups, 1+len(d.Peers))
+	ledger := NewRangeLedger(groupCosts(job.Groups), 1+len(d.Peers), d.ChunkFactor)
 
 	var (
 		wg       sync.WaitGroup
 		panicMu  sync.Mutex
 		panicked any
 	)
-	for i := 1; i < len(ranges); i++ {
-		rng := ranges[i]
-		if rng.Len() == 0 {
-			continue
+	for _, ex := range d.Peers {
+		// Claim each peer's first chunk before the local drain starts,
+		// so every peer engages even on jobs small enough for the local
+		// pool to finish in the time a goroutine takes to get scheduled.
+		first, ok := ledger.Next()
+		if !ok {
+			break
 		}
-		ex := d.Peers[i-1]
 		wg.Add(1)
-		go func() {
+		go func(ex ShardExecutor, rng ShardRange) {
 			defer wg.Done()
 			// A panic on this goroutine would escape the job worker's
 			// recover and kill the whole daemon, so it is re-raised on
@@ -185,27 +223,44 @@ func (d *Distributor) Run(job *ShardJob, pool *Pool) *ulcp.Report {
 					panicMu.Unlock()
 				}
 			}()
-			reps, err := executeShardsSafely(ex, job, rng)
-			if err == nil && len(reps) != rng.Len() {
-				err = fmt.Errorf("pipeline: peer returned %d shard reports for %d groups", len(reps), rng.Len())
-			}
-			if err != nil {
-				d.mu.Lock()
-				d.fallbacks++
-				d.mu.Unlock()
-				if d.OnFallback != nil {
-					d.OnFallback(ex.Name(), rng, err)
+			for {
+				reps, err := executeShardsSafely(ex, job, rng)
+				if err == nil && len(reps) != rng.Len() {
+					err = fmt.Errorf("pipeline: peer returned %d shard reports for %d groups", len(reps), rng.Len())
 				}
-				// Peer lost: its range runs here. Shards are pure
-				// functions of (trace, group, opts, table), so the
-				// merged report cannot tell the difference.
-				runShardRange(job, rng, reports, nil)
-				return
+				if err != nil {
+					d.mu.Lock()
+					d.fallbacks++
+					d.mu.Unlock()
+					if d.OnFallback != nil {
+						d.OnFallback(ex.Name(), rng, err)
+					}
+					// Peer lost: its chunk runs here, and the peer pulls
+					// no further chunks — the rest of the ledger drains
+					// through the healthy executors. Shards are pure
+					// functions of (trace, group, opts, table), so the
+					// merged report cannot tell the difference.
+					runShardRange(job, rng, reports, nil)
+					d.recordAssigned(LocalExecutor, rng.Len())
+					return
+				}
+				copy(reports[rng.Start:rng.End], reps)
+				d.recordAssigned(ex.Name(), rng.Len())
+				var ok bool
+				if rng, ok = ledger.Next(); !ok {
+					return
+				}
 			}
-			copy(reports[rng.Start:rng.End], reps)
-		}()
+		}(ex, first)
 	}
-	runShardRange(job, ranges[0], reports, pool)
+	for {
+		rng, ok := ledger.Next()
+		if !ok {
+			break
+		}
+		runShardRange(job, rng, reports, pool)
+		d.recordAssigned(LocalExecutor, rng.Len())
+	}
 	wg.Wait()
 	if panicked != nil {
 		panic(fmt.Sprintf("pipeline: distributor fallback panic: %v", panicked))
@@ -251,40 +306,4 @@ func runShardRange(job *ShardJob, rng ShardRange, reports []*ulcp.Report, pool *
 		return
 	}
 	pool.Each(rng.Len(), run)
-}
-
-// partitionGroups splits groups into k contiguous ranges with roughly
-// equal estimated cost. The estimate is the squared group size — an
-// upper bound on the cross-thread pairs a shard can classify — so one
-// hot lock does not serialize the whole fan-out behind it. The split is
-// a pure function of the group sizes: every node computing it over the
-// same trace produces the same ranges.
-func partitionGroups(groups [][]*trace.CritSec, k int) []ShardRange {
-	costs := make([]int64, len(groups))
-	var total int64
-	for i, g := range groups {
-		c := int64(len(g))*int64(len(g)) + 1 // +1: even empty-cost groups need an owner
-		costs[i] = c
-		total += c
-	}
-	ranges := make([]ShardRange, k)
-	start := 0
-	remaining := total
-	for c := 0; c < k; c++ {
-		if c == k-1 {
-			ranges[c] = ShardRange{Start: start, End: len(groups)}
-			break
-		}
-		target := remaining / int64(k-c)
-		var acc int64
-		end := start
-		for end < len(groups) && (acc == 0 || acc+costs[end]/2 <= target) {
-			acc += costs[end]
-			end++
-		}
-		ranges[c] = ShardRange{Start: start, End: end}
-		start = end
-		remaining -= acc
-	}
-	return ranges
 }

@@ -3,10 +3,11 @@ package pipeline
 import (
 	"errors"
 	"maps"
+	"sync"
 	"testing"
+	"time"
 
 	"perfplay/internal/sim"
-	"perfplay/internal/trace"
 	"perfplay/internal/ulcp"
 	"perfplay/internal/workload"
 )
@@ -133,47 +134,96 @@ func TestDistributorFallsBackOnPeerFailure(t *testing.T) {
 	}
 }
 
-// TestPartitionGroups: every partition covers all groups exactly once,
-// in order, for a spread of shapes.
-func TestPartitionGroups(t *testing.T) {
-	mk := func(sizes ...int) [][]*trace.CritSec {
-		gs := make([][]*trace.CritSec, len(sizes))
-		for i, n := range sizes {
-			gs[i] = make([]*trace.CritSec, n)
-		}
-		return gs
+// gatedExecutor blocks inside each ExecuteShards call until released —
+// the deterministic stand-in for an overloaded peer.
+type gatedExecutor struct {
+	name    string
+	entered chan ShardRange // receives each range as the call begins
+	release chan struct{}   // closed to let the calls finish
+
+	mu     sync.Mutex
+	ranges []ShardRange
+}
+
+func (g *gatedExecutor) Name() string { return g.name }
+
+func (g *gatedExecutor) ExecuteShards(job *ShardJob, rng ShardRange) ([]*ulcp.Report, error) {
+	g.entered <- rng
+	<-g.release
+	g.mu.Lock()
+	g.ranges = append(g.ranges, rng)
+	g.mu.Unlock()
+	reps := make([]*ulcp.Report, rng.Len())
+	for i := range reps {
+		reps[i] = ulcp.IdentifyShardWithVerdicts(job.Trace, job.Groups[rng.Start+i], job.Opts, job.Table)
 	}
-	cases := []struct {
-		groups [][]*trace.CritSec
-		k      int
-	}{
-		{mk(), 3},
-		{mk(5), 3},
-		{mk(1, 1, 1, 1), 2},
-		{mk(100, 1, 1, 1, 1, 1), 3}, // one hot lock must not absorb the rest
-		{mk(2, 3, 4, 5, 6, 7, 8), 4},
+	return reps, nil
+}
+
+// TestDistributorMigratesRangesUnderSkew is the work-stealing contract:
+// with one peer wedged mid-chunk, the chunks a static cost split would
+// have assigned to it drain through the healthy executors instead, and
+// once the wedged peer finishes its single chunk the merged report is
+// still byte-identical to serial.
+func TestDistributorMigratesRangesUnderSkew(t *testing.T) {
+	job := recordedJob(t, "mysql")
+	if len(job.Groups) < 4 {
+		t.Fatalf("fixture too small for a skew test: %d groups", len(job.Groups))
 	}
-	for _, tc := range cases {
-		ranges := partitionGroups(tc.groups, tc.k)
-		if len(ranges) != tc.k {
-			t.Fatalf("%d ranges, want %d", len(ranges), tc.k)
+	serial := ulcp.MergeReports(func() []*ulcp.Report {
+		reps := make([]*ulcp.Report, len(job.Groups))
+		for i, g := range job.Groups {
+			reps[i] = ulcp.IdentifyShardWithVerdicts(job.Trace, g, job.Opts, job.Table)
 		}
-		next := 0
-		for _, r := range ranges {
-			if r.Start != next || r.End < r.Start {
-				t.Fatalf("ranges not contiguous: %+v", ranges)
-			}
-			next = r.End
+		return reps
+	}()...)
+
+	slow := &gatedExecutor{
+		name:    "slow",
+		entered: make(chan ShardRange, 16),
+		release: make(chan struct{}),
+	}
+	fast := &fakeExecutor{name: "fast"}
+	d := &Distributor{Peers: []ShardExecutor{slow, fast}}
+
+	type runResult struct{ rep *ulcp.Report }
+	done := make(chan runResult)
+	go func() { done <- runResult{d.Run(job, NewPool(2))} }()
+
+	// The slow peer is now holding its first chunk. Everything else
+	// must drain without it: wait for the run to need only that chunk.
+	first := <-slow.entered
+	deadline := time.After(10 * time.Second)
+	for {
+		if d.Fallbacks() > 0 {
+			t.Fatal("healthy-but-slow peer triggered a fallback")
 		}
-		if next != len(tc.groups) {
-			t.Fatalf("partition covers %d of %d groups: %+v", next, len(tc.groups), ranges)
+		a := d.Assignments()
+		if a["fast"]+a[LocalExecutor] == len(job.Groups)-first.Len() {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("rest of the ledger never drained around the wedged peer: %v", a)
+		case <-time.After(time.Millisecond):
 		}
 	}
-	// The hot-lock case: the dominant group must not drag every other
-	// group into its chunk.
-	ranges := partitionGroups(mk(100, 1, 1, 1, 1, 1), 3)
-	if ranges[0].End != 1 {
-		t.Fatalf("hot lock chunk = %+v, want it isolated", ranges[0])
+	close(slow.release) // un-wedge; the run can now finish
+
+	res := <-done
+	reportsEqual(t, "mysql/skew", res.rep, serial)
+	a := d.Assignments()
+	if got := a["slow"]; got != first.Len() {
+		t.Fatalf("slow peer computed %d groups, want exactly its first chunk (%d)", got, first.Len())
+	}
+	// A static 3-way cost split would hand the slow peer ~1/3 of the
+	// groups; under skew it must end up with strictly less — the rest
+	// migrated mid-classify.
+	if a["slow"]*3 >= len(job.Groups) {
+		t.Fatalf("no migration: slow kept %d of %d groups", a["slow"], len(job.Groups))
+	}
+	if total := a["slow"] + a["fast"] + a[LocalExecutor]; total != len(job.Groups) {
+		t.Fatalf("assignments cover %d of %d groups: %v", total, len(job.Groups), a)
 	}
 }
 

@@ -1,0 +1,101 @@
+package pipeline
+
+import (
+	"sync"
+
+	"perfplay/internal/trace"
+)
+
+// RangeLedger is the steal-aware successor to static cost partitioning:
+// a shared frontier over the sorted lock groups from which every
+// executor — the local pool and each peer — *pulls* contiguous chunks
+// until nothing is left. A slow or overloaded executor simply stops
+// pulling, and the groups a static split would have stranded behind it
+// migrate to whoever is still hungry; a failed executor forfeits only
+// the chunk it held.
+//
+// Chunks follow guided self-scheduling: each pull takes roughly
+// remaining/(factor·executors) of the outstanding estimated cost, so
+// early chunks are large (amortizing per-chunk HTTP overhead — each
+// peer chunk ships the verdict table) and late chunks are small (the
+// tail balances to within one small chunk of perfectly even).
+//
+// Determinism is unaffected by any of this: chunks are ranges of group
+// indices, every group's report lands in its own index slot, and the
+// merge reads the slots in group order — so WHO computed a group can
+// never change WHAT the merged report says.
+type RangeLedger struct {
+	mu        sync.Mutex
+	costs     []int64
+	next      int   // first unclaimed group index
+	remaining int64 // summed cost of groups[next:]
+	divisor   int64 // factor · executors, the quantum denominator
+}
+
+// defaultChunkFactor is how many chunks per executor a perfectly
+// uniform drain would produce; >1 is what creates the migration slack.
+const defaultChunkFactor = 3
+
+// NewRangeLedger builds a ledger over per-group costs for the given
+// executor count. factor <= 0 selects the default.
+func NewRangeLedger(costs []int64, executors, factor int) *RangeLedger {
+	if factor <= 0 {
+		factor = defaultChunkFactor
+	}
+	if executors < 1 {
+		executors = 1
+	}
+	var total int64
+	for _, c := range costs {
+		total += c
+	}
+	return &RangeLedger{
+		costs:     costs,
+		remaining: total,
+		divisor:   int64(factor) * int64(executors),
+	}
+}
+
+// Next claims the next chunk of the frontier for the caller. ok=false
+// means the ledger is drained. Every returned range is non-empty,
+// contiguous with its predecessor, and disjoint from every other
+// returned range; the union over all calls is exactly [0, len(costs)).
+func (l *RangeLedger) Next() (ShardRange, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.next >= len(l.costs) {
+		return ShardRange{}, false
+	}
+	target := l.remaining / l.divisor
+	var acc int64
+	end := l.next
+	// Always take at least one group; stop once the chunk would
+	// meaningfully overshoot the quantum (the half-cost slack keeps a
+	// single hot lock from dragging its neighbors into its chunk).
+	for end < len(l.costs) && (acc == 0 || acc+l.costs[end]/2 <= target) {
+		acc += l.costs[end]
+		end++
+	}
+	rng := ShardRange{Start: l.next, End: end}
+	l.next = end
+	l.remaining -= acc
+	return rng, true
+}
+
+// Remaining counts unclaimed groups (observability and tests).
+func (l *RangeLedger) Remaining() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.costs) - l.next
+}
+
+// groupCosts estimates each lock group's classification cost as the
+// squared group size — an upper bound on the cross-thread pairs a shard
+// can enumerate — plus one so even empty groups cost a pull.
+func groupCosts(groups [][]*trace.CritSec) []int64 {
+	costs := make([]int64, len(groups))
+	for i, g := range groups {
+		costs[i] = int64(len(g))*int64(len(g)) + 1
+	}
+	return costs
+}

@@ -1,0 +1,144 @@
+package pipeline
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"perfplay/internal/trace"
+	"perfplay/internal/ulcp"
+)
+
+func mkGroups(sizes ...int) [][]*trace.CritSec {
+	gs := make([][]*trace.CritSec, len(sizes))
+	for i, n := range sizes {
+		gs[i] = make([]*trace.CritSec, n)
+	}
+	return gs
+}
+
+// TestRangeLedgerCoversExactlyOnce: for a spread of cost shapes and
+// executor counts, draining the ledger yields contiguous, non-empty,
+// non-overlapping ranges whose union is exactly [0, n).
+func TestRangeLedgerCoversExactlyOnce(t *testing.T) {
+	cases := []struct {
+		name      string
+		groups    [][]*trace.CritSec
+		executors int
+		factor    int
+	}{
+		{"empty", mkGroups(), 3, 0},
+		{"single", mkGroups(5), 3, 0},
+		{"uniform", mkGroups(1, 1, 1, 1), 2, 0},
+		{"hot-head", mkGroups(100, 1, 1, 1, 1, 1), 3, 0},
+		{"hot-tail", mkGroups(1, 1, 1, 1, 1, 100), 3, 0},
+		{"ramp", mkGroups(2, 3, 4, 5, 6, 7, 8), 4, 0},
+		{"one-executor", mkGroups(3, 3, 3, 3), 1, 0},
+		{"fine-grain", mkGroups(4, 4, 4, 4, 4, 4, 4, 4), 2, 8},
+		{"wide", mkGroups(1, 2, 1, 2, 1, 2, 1, 2, 1, 2, 1, 2), 5, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := NewRangeLedger(groupCosts(tc.groups), tc.executors, tc.factor)
+			next := 0
+			for {
+				rng, ok := l.Next()
+				if !ok {
+					break
+				}
+				if rng.Len() <= 0 {
+					t.Fatalf("empty chunk %+v", rng)
+				}
+				if rng.Start != next {
+					t.Fatalf("chunk %+v not contiguous with frontier %d", rng, next)
+				}
+				next = rng.End
+			}
+			if next != len(tc.groups) {
+				t.Fatalf("ledger drained %d of %d groups", next, len(tc.groups))
+			}
+			if l.Remaining() != 0 {
+				t.Fatalf("Remaining() = %d after drain", l.Remaining())
+			}
+			// A drained ledger stays drained.
+			if _, ok := l.Next(); ok {
+				t.Fatal("Next() produced a chunk after the drain")
+			}
+		})
+	}
+}
+
+// TestRangeLedgerIsolatesHotGroups: the dominant group must not drag
+// its neighbors into one giant chunk — that would serialize the drain
+// behind whoever pulled it.
+func TestRangeLedgerIsolatesHotGroups(t *testing.T) {
+	l := NewRangeLedger(groupCosts(mkGroups(100, 1, 1, 1, 1, 1)), 3, 0)
+	first, ok := l.Next()
+	if !ok || first.Len() != 1 {
+		t.Fatalf("hot-lock chunk = %+v, want it isolated to one group", first)
+	}
+}
+
+// TestRangeLedgerMergeDeterminism is the steal-range ledger's merge
+// contract, table-driven over real fixtures: however many executors
+// pull chunks, in whatever interleaving, slot-indexed reports merged in
+// group order equal the serial pass pair-for-pair.
+func TestRangeLedgerMergeDeterminism(t *testing.T) {
+	cases := []struct {
+		app       string
+		executors int
+		factor    int
+	}{
+		{"pbzip2", 2, 0},
+		{"pbzip2", 5, 4},
+		{"mysql", 2, 0},
+		{"mysql", 3, 0},
+		{"mysql", 8, 2},
+		{"openldap", 3, 0},
+		{"openldap", 4, 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.app, func(t *testing.T) {
+			job := recordedJob(t, tc.app)
+			serial := ulcp.MergeReports(func() []*ulcp.Report {
+				reps := make([]*ulcp.Report, len(job.Groups))
+				for i, g := range job.Groups {
+					reps[i] = ulcp.IdentifyShardWithVerdicts(job.Trace, g, job.Opts, job.Table)
+				}
+				return reps
+			}()...)
+
+			// Simulated cluster: executors race for chunks with random
+			// per-chunk delays, so chunk→executor placement differs run
+			// to run — the merge must not care.
+			ledger := NewRangeLedger(groupCosts(job.Groups), tc.executors, tc.factor)
+			reports := make([]*ulcp.Report, len(job.Groups))
+			var wg sync.WaitGroup
+			for e := 0; e < tc.executors; e++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for {
+						chunk, ok := ledger.Next()
+						if !ok {
+							return
+						}
+						if rng.Intn(2) == 0 {
+							// Jitter placement between runs.
+							for i := 0; i < rng.Intn(1000); i++ {
+								_ = i
+							}
+						}
+						for i := chunk.Start; i < chunk.End; i++ {
+							reports[i] = ulcp.IdentifyShardWithVerdicts(job.Trace, job.Groups[i], job.Opts, job.Table)
+						}
+					}
+				}(int64(e))
+			}
+			wg.Wait()
+			merged := ulcp.MergeReports(reports...)
+			reportsEqual(t, tc.app, merged, serial)
+		})
+	}
+}

@@ -1,0 +1,201 @@
+package scheduler
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Queue is the stealable bounded job queue. The owner's workers Pop
+// from the front (FIFO); thieves Claim from the back — the job that
+// would otherwise wait longest — so stealing reduces tail latency
+// first. Claimed jobs leave the queue but stay tracked under a lease:
+// Complete settles them, and TakeExpired + Requeue recover the ones
+// whose thief went silent, at the front, so a crashed thief costs one
+// lease of latency rather than a second full wait through the backlog.
+//
+// All methods are safe for concurrent use. The queue never spawns
+// goroutines: the owner drives expiry (a reaper calling TakeExpired
+// then Requeue) and shutdown (Close).
+type Queue struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	capacity int
+	jobs     []*Job
+	claims   map[string]*claim
+	closed   bool
+}
+
+// claim is one outstanding steal: the job, who took it, and when the
+// victim stops waiting for them.
+type claim struct {
+	job      *Job
+	thief    string
+	deadline time.Time
+}
+
+// NewQueue returns an empty queue admitting at most capacity queued
+// jobs (claimed jobs do not count against it).
+func NewQueue(capacity int) *Queue {
+	q := &Queue{capacity: capacity, claims: make(map[string]*claim)}
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends a job, reporting false when the queue is full or closed.
+func (q *Queue) Push(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.jobs) >= q.capacity {
+		return false
+	}
+	q.jobs = append(q.jobs, j)
+	q.notEmpty.Signal()
+	return true
+}
+
+// Pop blocks until a job is available (returning the oldest) or the
+// queue is closed and drained (returning ok=false). Worker goroutines
+// loop on it.
+func (q *Queue) Pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.jobs) == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if len(q.jobs) == 0 {
+		return nil, false
+	}
+	j := q.jobs[0]
+	q.jobs = q.jobs[1:]
+	return j, true
+}
+
+// Claim removes the newest stealable job for a thief and leases it to
+// them until now+lease. ok=false means nothing is stealable. The thief
+// string is recorded for diagnostics and surfaced by Claimant.
+func (q *Queue) Claim(thief string, lease time.Duration) (*Job, time.Time, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, time.Time{}, false
+	}
+	for i := len(q.jobs) - 1; i >= 0; i-- {
+		j := q.jobs[i]
+		if !j.Spec.Stealable() {
+			continue
+		}
+		q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
+		deadline := time.Now().Add(lease)
+		q.claims[j.ID] = &claim{job: j, thief: thief, deadline: deadline}
+		return j, deadline, true
+	}
+	return nil, time.Time{}, false
+}
+
+// Complete settles a claimed job — the thief reported a result — and
+// returns it. ok=false means the job is no longer claimed (the lease
+// expired and the job was re-enqueued, or it was never claimed); the
+// caller must then discard the late result.
+func (q *Queue) Complete(id string) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	c, ok := q.claims[id]
+	if !ok {
+		return nil, false
+	}
+	delete(q.claims, id)
+	return c.job, true
+}
+
+// Claimant reports who holds a job's lease, if anyone.
+func (q *Queue) Claimant(id string) (string, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	c, ok := q.claims[id]
+	if !ok {
+		return "", false
+	}
+	return c.thief, true
+}
+
+// TakeExpired removes every claim whose lease passed and returns their
+// jobs, oldest deadline first. The jobs are NOT yet back in the queue:
+// until the owner hands them to Requeue they are invisible to Pop and
+// Claim, which gives the owner a window to reset each job's visible
+// state without racing a worker that would otherwise pop the job the
+// instant it reappeared.
+func (q *Queue) TakeExpired(now time.Time) []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	var expired []*claim
+	for id, c := range q.claims {
+		if now.After(c.deadline) {
+			expired = append(expired, c)
+			delete(q.claims, id)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i].deadline.Before(expired[j].deadline) })
+	jobs := make([]*Job, len(expired))
+	for i, c := range expired {
+		jobs[i] = c.job
+	}
+	return jobs
+}
+
+// Requeue prepends jobs at the front of the queue — they already
+// waited once — and wakes blocked Pops. It bypasses the admission cap:
+// these jobs were admitted once, and dropping them on a full queue
+// would turn a thief crash into job loss.
+func (q *Queue) Requeue(jobs []*Job) {
+	if len(jobs) == 0 {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.jobs = append(append(make([]*Job, 0, len(jobs)+len(q.jobs)), jobs...), q.jobs...)
+	q.notEmpty.Broadcast()
+}
+
+// Len counts queued (unclaimed) jobs.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
+// Cap is the queue's admission bound.
+func (q *Queue) Cap() int { return q.capacity }
+
+// Stealable counts queued jobs a thief could claim right now.
+func (q *Queue) Stealable() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, j := range q.jobs {
+		if j.Spec.Stealable() {
+			n++
+		}
+	}
+	return n
+}
+
+// ClaimedCount counts outstanding leases.
+func (q *Queue) ClaimedCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.claims)
+}
+
+// Close stops admission and wakes every blocked Pop; queued jobs still
+// drain. Jobs out on a lease are abandoned — the process is shutting
+// down and their clients are about to lose the jobs map anyway.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.notEmpty.Broadcast()
+}

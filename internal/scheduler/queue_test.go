@@ -1,0 +1,217 @@
+package scheduler
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func stealableJob(id string) *Job {
+	return &Job{ID: id, Spec: Spec{App: "mysql", Threads: 4, Seed: 7}}
+}
+
+func localJob(id string) *Job { return &Job{ID: id} }
+
+func TestQueueFIFOAndBound(t *testing.T) {
+	q := NewQueue(2)
+	if !q.Push(stealableJob("a")) || !q.Push(stealableJob("b")) {
+		t.Fatal("push within capacity failed")
+	}
+	if q.Push(stealableJob("c")) {
+		t.Fatal("push beyond capacity admitted")
+	}
+	if q.Len() != 2 || q.Cap() != 2 {
+		t.Fatalf("len=%d cap=%d", q.Len(), q.Cap())
+	}
+	j, ok := q.Pop()
+	if !ok || j.ID != "a" {
+		t.Fatalf("pop = %v, want a", j)
+	}
+	if j, _ := q.Pop(); j.ID != "b" {
+		t.Fatalf("pop = %v, want b", j)
+	}
+}
+
+func TestQueueClaimTakesNewestStealable(t *testing.T) {
+	q := NewQueue(8)
+	q.Push(stealableJob("old"))
+	q.Push(stealableJob("new"))
+	q.Push(localJob("upload")) // newest, but not stealable
+
+	j, deadline, ok := q.Claim("http://thief", time.Minute)
+	if !ok || j.ID != "new" {
+		t.Fatalf("claim = %v, want the newest stealable job", j)
+	}
+	if time.Until(deadline) <= 0 {
+		t.Fatal("lease deadline not in the future")
+	}
+	if thief, ok := q.Claimant("new"); !ok || thief != "http://thief" {
+		t.Fatalf("claimant = %q, %t", thief, ok)
+	}
+	if q.Len() != 2 || q.Stealable() != 1 || q.ClaimedCount() != 1 {
+		t.Fatalf("len=%d stealable=%d claimed=%d", q.Len(), q.Stealable(), q.ClaimedCount())
+	}
+
+	// The remaining stealable job goes next; then nothing is left even
+	// though the unstealable upload job still waits for a local worker.
+	if j, _, ok := q.Claim("t2", time.Minute); !ok || j.ID != "old" {
+		t.Fatalf("second claim = %v", j)
+	}
+	if _, _, ok := q.Claim("t3", time.Minute); ok {
+		t.Fatal("claimed an unstealable job")
+	}
+	if j, _ := q.Pop(); j.ID != "upload" {
+		t.Fatalf("pop = %v, want the upload job", j)
+	}
+}
+
+func TestQueueCompleteSettlesOnce(t *testing.T) {
+	q := NewQueue(4)
+	q.Push(stealableJob("a"))
+	q.Claim("thief", time.Minute)
+	if j, ok := q.Complete("a"); !ok || j.ID != "a" {
+		t.Fatalf("complete = %v, %t", j, ok)
+	}
+	if _, ok := q.Complete("a"); ok {
+		t.Fatal("double completion accepted")
+	}
+	if _, ok := q.Complete("never-claimed"); ok {
+		t.Fatal("completing an unclaimed job accepted")
+	}
+}
+
+func TestQueueExpiredClaimRequeuesAtFront(t *testing.T) {
+	q := NewQueue(4)
+	q.Push(stealableJob("stolen"))
+	q.Push(stealableJob("waiting"))
+	if _, _, ok := q.Claim("thief", 10*time.Millisecond); !ok {
+		t.Fatal("claim failed")
+	}
+	if exp := q.TakeExpired(time.Now()); len(exp) != 0 {
+		t.Fatalf("expired %d claims before the lease passed", len(exp))
+	}
+	exp := q.TakeExpired(time.Now().Add(time.Second))
+	if len(exp) != 1 || exp[0].ID != "waiting" {
+		t.Fatalf("expired = %v, want the claimed job", exp)
+	}
+	// Between TakeExpired and Requeue the job is in limbo: not
+	// claimable, not poppable — the owner's window to reset its state.
+	if _, ok := q.Complete("waiting"); ok {
+		t.Fatal("taken claim still completable")
+	}
+	if _, _, ok := q.Claim("t2", time.Minute); !ok {
+		t.Fatal("claim should find the other job")
+	}
+	q.Requeue(exp)
+	// Claim took the newest ("waiting"); after expiry it must come back
+	// at the FRONT — it already waited once.
+	if j, _ := q.Pop(); j.ID != "waiting" {
+		t.Fatalf("pop after requeue = %v, want the requeued job first", j)
+	}
+	// A late Complete for the expired claim must be rejected: the job
+	// re-ran (or will re-run) locally.
+	if _, ok := q.Complete("waiting"); ok {
+		t.Fatal("late completion of an expired claim accepted")
+	}
+}
+
+// TestQueueTakeExpiredOldestFirst: multiple expiries in one sweep come
+// back oldest deadline first, so the longest-abandoned job re-runs
+// soonest.
+func TestQueueTakeExpiredOldestFirst(t *testing.T) {
+	q := NewQueue(8)
+	q.Push(stealableJob("a"))
+	q.Push(stealableJob("b"))
+	q.Push(stealableJob("c"))
+	q.Claim("t1", 30*time.Millisecond) // takes c, latest deadline... claimed first
+	q.Claim("t2", 10*time.Millisecond) // takes b
+	q.Claim("t3", 20*time.Millisecond) // takes a
+	exp := q.TakeExpired(time.Now().Add(time.Second))
+	if len(exp) != 3 {
+		t.Fatalf("expired %d, want 3", len(exp))
+	}
+	if exp[0].ID != "b" || exp[1].ID != "a" || exp[2].ID != "c" {
+		t.Fatalf("expiry order = %s,%s,%s; want oldest deadline first (b,a,c)",
+			exp[0].ID, exp[1].ID, exp[2].ID)
+	}
+}
+
+// TestQueueRequeueOverridesCapacity: a full queue still re-admits its
+// own expired claims — dropping them would turn a thief crash into job
+// loss.
+func TestQueueRequeueOverridesCapacity(t *testing.T) {
+	q := NewQueue(1)
+	q.Push(stealableJob("a"))
+	q.Claim("thief", 0)
+	q.Push(stealableJob("b")) // fills the queue again
+	exp := q.TakeExpired(time.Now().Add(time.Second))
+	if len(exp) != 1 {
+		t.Fatalf("expired %d, want 1", len(exp))
+	}
+	q.Requeue(exp)
+	if q.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (requeue bypasses the admission cap)", q.Len())
+	}
+}
+
+func TestQueuePopBlocksUntilPushOrClose(t *testing.T) {
+	q := NewQueue(4)
+	got := make(chan *Job, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		j, ok := q.Pop()
+		if !ok {
+			t.Error("pop returned !ok with a job pending")
+		}
+		got <- j
+	}()
+	time.Sleep(10 * time.Millisecond) // let the popper block
+	q.Push(stealableJob("a"))
+	select {
+	case j := <-got:
+		if j.ID != "a" {
+			t.Fatalf("pop = %v", j)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop never woke")
+	}
+	wg.Wait()
+
+	// Close wakes blocked poppers with ok=false once drained.
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("pop returned ok after close on an empty queue")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close never woke the popper")
+	}
+	if q.Push(stealableJob("x")) {
+		t.Fatal("push after close admitted")
+	}
+	if _, _, ok := q.Claim("t", time.Minute); ok {
+		t.Fatal("claim after close succeeded")
+	}
+}
+
+// TestQueueDrainsAfterClose: jobs queued before Close still pop.
+func TestQueueDrainsAfterClose(t *testing.T) {
+	q := NewQueue(4)
+	q.Push(stealableJob("a"))
+	q.Close()
+	if j, ok := q.Pop(); !ok || j.ID != "a" {
+		t.Fatalf("pop after close = %v, %t", j, ok)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on closed empty queue returned ok")
+	}
+}

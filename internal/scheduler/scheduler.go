@@ -1,0 +1,99 @@
+// Package scheduler is the cluster-level job scheduler behind
+// perfplayd's work-stealing pool. It turns the daemon's bounded
+// pending-job queue into a *stealable* queue: any idle peer can claim a
+// whole queued job over HTTP (POST /jobs/claim), execute it on its own
+// pipeline, and report the finished summary back to the victim — so a
+// job submitted to node A completes on an idle node B while A's clients
+// keep polling A, and the cluster behaves as a symmetric pool instead
+// of a star with one coordinator.
+//
+// The package has three pieces:
+//
+//   - Queue: a bounded FIFO whose owner pops from the front while
+//     thieves claim from the back, with lease-based crash recovery — a
+//     claimed job whose thief never reports is re-enqueued at the front
+//     when its lease expires, so a thief crash costs latency, never the
+//     job.
+//   - Stealer: the thief-side loop. While its node is idle it probes
+//     peers for queue depth (GET /steal), claims from the deepest
+//     backlog, and hands each stolen job to an executor callback.
+//   - Gossip: the stealer's last-known view of every peer's queue
+//     depth, surfaced through the daemon's /healthz for operators.
+//
+// Jobs are shipped as a Spec — a content-addressed description (a
+// workload spec, or a trace digest the thief fetches from the victim's
+// corpus) — never as serialized in-memory state, which is what makes a
+// steal safe to retry and byte-identical to a local run: the thief's
+// pipeline re-derives everything from the same content the victim held.
+package scheduler
+
+import "time"
+
+// Spec is the wire-shippable description of one whole analysis job —
+// everything a thief needs to reproduce the job's output bit-for-bit on
+// its own pipeline. Exactly one of App or TraceDigest identifies the
+// input: a registered workload name, or the content digest of a trace
+// stored in the victim's corpus (the thief fetches the blob by digest
+// when its own corpus misses it, verifying the hash on arrival).
+//
+// Jobs whose input is neither — an uploaded trace held only in victim
+// memory — have a zero Spec and are not stealable.
+type Spec struct {
+	// App names a registered workload (mutually exclusive with
+	// TraceDigest).
+	App string `json:"app,omitempty"`
+	// TraceDigest is the corpus content address ("sha256:...") of the
+	// job's trace. The victim serving the claim is always a valid
+	// source for the blob (GET /traces/{digest}).
+	TraceDigest string `json:"trace,omitempty"`
+	// Threads, Input, Scale and Seed parameterize workload recording;
+	// they are inert for trace jobs but ship anyway so the thief's
+	// cache keys match the victim's.
+	Threads int     `json:"threads,omitempty"`
+	Input   int     `json:"input,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+	// TopK, Schemes and Races are the reporting options.
+	TopK    int  `json:"top,omitempty"`
+	Schemes bool `json:"schemes,omitempty"`
+	Races   bool `json:"races,omitempty"`
+}
+
+// Stealable reports whether the spec describes a job a peer could
+// reproduce — i.e. whether its input is content-addressed rather than
+// held in the owner's memory.
+func (s Spec) Stealable() bool { return s.App != "" || s.TraceDigest != "" }
+
+// Job is one unit of queued work: a stable ID, the wire spec (zero for
+// local-only jobs), and an opaque owner-side payload (the daemon keeps
+// its *job record there).
+type Job struct {
+	ID      string
+	Spec    Spec
+	Payload any
+}
+
+// StolenJob is what a successful claim hands the thief: the victim's
+// job ID (the thief reports the result back under it) and the spec to
+// execute.
+type StolenJob struct {
+	ID   string `json:"id"`
+	Spec Spec   `json:"spec"`
+	// LeaseMS is the victim's lease in milliseconds: the thief must
+	// report a result within it or the victim re-runs the job itself.
+	LeaseMS int64 `json:"lease_ms"`
+}
+
+// PeerStatus is one gossip entry: a peer's queue depth as last observed
+// by this node's stealer.
+type PeerStatus struct {
+	// QueueLen counts the peer's queued (unclaimed) jobs.
+	QueueLen int `json:"queue_len"`
+	// Stealable counts how many of those a thief could claim.
+	Stealable int `json:"stealable"`
+	// Seen is when this observation was made.
+	Seen time.Time `json:"seen"`
+	// Err is the probe failure, if the last probe failed (the counts
+	// are then stale).
+	Err string `json:"err,omitempty"`
+}

@@ -1,0 +1,235 @@
+package scheduler
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Gossip is a node's last-known view of its peers' queue depths,
+// updated by the stealer's probes and served through /healthz so an
+// operator (or another scheduler) can see where the cluster's backlog
+// lives without touching every node.
+type Gossip struct {
+	mu    sync.Mutex
+	peers map[string]PeerStatus
+}
+
+// NewGossip returns an empty view.
+func NewGossip() *Gossip { return &Gossip{peers: make(map[string]PeerStatus)} }
+
+// Record stores one successful probe observation.
+func (g *Gossip) Record(peer string, queueLen, stealable int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.peers[peer] = PeerStatus{QueueLen: queueLen, Stealable: stealable, Seen: time.Now()}
+}
+
+// RecordErr marks a peer's last probe as failed, keeping the previous
+// counts visible but flagged stale.
+func (g *Gossip) RecordErr(peer string, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.peers[peer]
+	st.Err = err.Error()
+	st.Seen = time.Now()
+	g.peers[peer] = st
+}
+
+// Snapshot copies the current view.
+func (g *Gossip) Snapshot() map[string]PeerStatus {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]PeerStatus, len(g.peers))
+	for k, v := range g.peers {
+		out[k] = v
+	}
+	return out
+}
+
+// StealerStats counts the thief side's lifetime activity.
+type StealerStats struct {
+	// Probes counts GET /steal rounds (one per peer per idle tick).
+	Probes int `json:"probes"`
+	// Claims counts successful POST /jobs/claim responses.
+	Claims int `json:"claims"`
+	// Executed counts stolen jobs whose executor callback returned,
+	// success or not.
+	Executed int `json:"executed"`
+	// Failures counts executor callbacks that returned an error —
+	// typically a result report that could not reach the victim (a
+	// victim crash mid-steal); the victim's lease recovers the job.
+	Failures int `json:"failures"`
+}
+
+// Stealer is the thief-side loop: while its node is idle it probes
+// peers for stealable work, claims a whole job from the deepest
+// backlog, and executes it through the Execute callback. One job is
+// stolen and executed at a time — a stealer exists to soak up idle
+// capacity, not to re-create the victim's backlog locally.
+type Stealer struct {
+	// Self is this node's advertised base URL, sent with each claim so
+	// victims can attribute leases in their diagnostics.
+	Self string
+	// Peers are victim base URLs ("http://host:8080").
+	Peers []string
+	// Interval is the idle poll cadence (0 = 1s).
+	Interval time.Duration
+	// Idle reports whether this node currently has spare capacity; the
+	// loop only probes when it does.
+	Idle func() bool
+	// Execute runs one stolen job end to end — analyze and report the
+	// result back to the victim. An error counts as a failure; the
+	// victim's lease makes it safe to just drop the job.
+	Execute func(victim string, job StolenJob) error
+	// Gossip, when set, receives every probe observation.
+	Gossip *Gossip
+	// Client overrides http.DefaultClient for probes and claims.
+	Client *http.Client
+
+	mu    sync.Mutex
+	stats StealerStats
+}
+
+// Stats returns a copy of the lifetime counters.
+func (s *Stealer) Stats() StealerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Stealer) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return http.DefaultClient
+}
+
+// Run loops until stop closes. Call it on its own goroutine.
+func (s *Stealer) Run(stop <-chan struct{}) {
+	interval := s.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		// Steal greedily while idle work keeps succeeding, so a long
+		// victim backlog drains at execution speed, not poll cadence.
+		for s.Idle != nil && s.Idle() {
+			if !s.stealOnce(stop) {
+				break
+			}
+		}
+	}
+}
+
+// stealOnce probes every peer, claims from the deepest stealable
+// backlog, and executes the claim. It reports whether a job was
+// actually stolen (the caller's cue to immediately try again).
+func (s *Stealer) stealOnce(stop <-chan struct{}) bool {
+	type depth struct {
+		peer      string
+		stealable int
+		queueLen  int
+	}
+	var depths []depth
+	for _, peer := range s.Peers {
+		select {
+		case <-stop:
+			return false
+		default:
+		}
+		st, err := s.probe(peer)
+		s.mu.Lock()
+		s.stats.Probes++
+		s.mu.Unlock()
+		if err != nil {
+			if s.Gossip != nil {
+				s.Gossip.RecordErr(peer, err)
+			}
+			continue
+		}
+		if s.Gossip != nil {
+			s.Gossip.Record(peer, st.QueueLen, st.Stealable)
+		}
+		if st.Stealable > 0 {
+			depths = append(depths, depth{peer: peer, stealable: st.Stealable, queueLen: st.QueueLen})
+		}
+	}
+	// Deepest backlog first; ties break on peer order for determinism.
+	sort.SliceStable(depths, func(i, j int) bool { return depths[i].stealable > depths[j].stealable })
+	for _, d := range depths {
+		job, ok, err := s.claim(d.peer)
+		if err != nil || !ok {
+			continue // someone beat us to it, or the peer went away
+		}
+		s.mu.Lock()
+		s.stats.Claims++
+		s.mu.Unlock()
+		err = s.Execute(d.peer, job)
+		s.mu.Lock()
+		s.stats.Executed++
+		if err != nil {
+			s.stats.Failures++
+		}
+		s.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// probe asks one peer what is stealable (GET /steal).
+func (s *Stealer) probe(peer string) (PeerStatus, error) {
+	resp, err := s.client().Get(peer + "/steal")
+	if err != nil {
+		return PeerStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return PeerStatus{}, fmt.Errorf("probe %s: status %d", peer, resp.StatusCode)
+	}
+	var st PeerStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return PeerStatus{}, fmt.Errorf("probe %s: %w", peer, err)
+	}
+	return st, nil
+}
+
+// claim attempts to take one whole job from a peer (POST /jobs/claim).
+// ok=false with a nil error means the peer had nothing stealable left.
+func (s *Stealer) claim(peer string) (StolenJob, bool, error) {
+	body, _ := json.Marshal(map[string]string{"thief": s.Self})
+	resp, err := s.client().Post(peer+"/jobs/claim", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return StolenJob{}, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNoContent:
+		return StolenJob{}, false, nil
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return StolenJob{}, false, fmt.Errorf("claim from %s: status %d", peer, resp.StatusCode)
+	}
+	var job StolenJob
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return StolenJob{}, false, fmt.Errorf("claim from %s: %w", peer, err)
+	}
+	if job.ID == "" || !job.Spec.Stealable() {
+		return StolenJob{}, false, fmt.Errorf("claim from %s: unusable job %+v", peer, job)
+	}
+	return job, true, nil
+}

@@ -1,0 +1,193 @@
+package scheduler
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeVictim serves the victim half of the steal protocol from a Queue.
+func fakeVictim(t *testing.T, q *Queue) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /steal", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(PeerStatus{QueueLen: q.Len(), Stealable: q.Stealable()})
+	})
+	mux.HandleFunc("POST /jobs/claim", func(w http.ResponseWriter, r *http.Request) {
+		j, deadline, ok := q.Claim("test-thief", time.Minute)
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		json.NewEncoder(w).Encode(StolenJob{ID: j.ID, Spec: j.Spec, LeaseMS: time.Until(deadline).Milliseconds()})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestStealerDrainsDeepestPeer(t *testing.T) {
+	shallow := NewQueue(8)
+	shallow.Push(stealableJob("s1"))
+	deep := NewQueue(8)
+	for _, id := range []string{"d1", "d2", "d3"} {
+		deep.Push(stealableJob(id))
+	}
+	tsShallow, tsDeep := fakeVictim(t, shallow), fakeVictim(t, deep)
+
+	var mu sync.Mutex
+	var order []string
+	idle := true
+	done := make(chan struct{})
+	st := &Stealer{
+		Self:     "http://self",
+		Peers:    []string{tsShallow.URL, tsDeep.URL},
+		Interval: 5 * time.Millisecond,
+		Gossip:   NewGossip(),
+		Idle: func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return idle
+		},
+		Execute: func(victim string, job StolenJob) error {
+			mu.Lock()
+			defer mu.Unlock()
+			order = append(order, job.ID)
+			if len(order) == 4 {
+				idle = false
+				close(done)
+			}
+			return nil
+		},
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go st.Run(stop)
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("stealer stalled; stole %v", order)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// The deeper backlog must be hit first; claims take the newest job.
+	if order[0] != "d3" {
+		t.Fatalf("first steal = %q, want d3 (deepest peer, newest job)", order[0])
+	}
+	if shallow.Stealable() != 0 || deep.Stealable() != 0 {
+		t.Fatalf("backlogs not drained: shallow=%d deep=%d", shallow.Stealable(), deep.Stealable())
+	}
+	stats := st.Stats()
+	if stats.Claims != 4 || stats.Executed != 4 || stats.Failures != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Gossip observed both peers.
+	snap := st.Gossip.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("gossip tracks %d peers, want 2", len(snap))
+	}
+}
+
+func TestStealerRespectsIdle(t *testing.T) {
+	q := NewQueue(8)
+	q.Push(stealableJob("a"))
+	ts := fakeVictim(t, q)
+	st := &Stealer{
+		Self:     "http://self",
+		Peers:    []string{ts.URL},
+		Interval: 5 * time.Millisecond,
+		Idle:     func() bool { return false },
+		Execute: func(string, StolenJob) error {
+			t.Error("executed a steal while not idle")
+			return nil
+		},
+	}
+	stop := make(chan struct{})
+	go st.Run(stop)
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	if q.Stealable() != 1 {
+		t.Fatal("busy node stole anyway")
+	}
+}
+
+// TestStealerSurvivesDeadPeer: an unreachable peer is recorded in
+// gossip as an error and skipped; live peers still get drained.
+func TestStealerSurvivesDeadPeer(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	q := NewQueue(8)
+	q.Push(stealableJob("a"))
+	ts := fakeVictim(t, q)
+
+	done := make(chan struct{})
+	var once sync.Once
+	st := &Stealer{
+		Self:     "http://self",
+		Peers:    []string{deadURL, ts.URL},
+		Interval: 5 * time.Millisecond,
+		Gossip:   NewGossip(),
+		Idle:     func() bool { return true },
+		Execute: func(victim string, job StolenJob) error {
+			once.Do(func() { close(done) })
+			return nil
+		},
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go st.Run(stop)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("live peer never drained past the dead one")
+	}
+	if st.Gossip.Snapshot()[deadURL].Err == "" {
+		t.Fatal("dead peer's probe failure not recorded in gossip")
+	}
+}
+
+// TestStealerCountsReportFailures: an Execute error (e.g. the victim
+// died before the result could be reported) is a counted failure, not a
+// wedge — the loop keeps going.
+func TestStealerCountsReportFailures(t *testing.T) {
+	q := NewQueue(8)
+	q.Push(stealableJob("a"))
+	q.Push(stealableJob("b"))
+	ts := fakeVictim(t, q)
+
+	drained := make(chan struct{})
+	var calls int
+	var mu sync.Mutex
+	st := &Stealer{
+		Self:     "http://self",
+		Peers:    []string{ts.URL},
+		Interval: 5 * time.Millisecond,
+		Idle:     func() bool { return true },
+		Execute: func(victim string, job StolenJob) error {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			if calls == 2 {
+				close(drained)
+			}
+			return &json.SyntaxError{} // any error: "victim unreachable"
+		},
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go st.Run(stop)
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stealer wedged after a failed report")
+	}
+	stats := st.Stats()
+	if stats.Failures != 2 || stats.Executed != 2 {
+		t.Fatalf("stats = %+v, want 2 executed / 2 failures", stats)
+	}
+}
