@@ -7,12 +7,15 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchtime=1x -run='^$' ./... | \
+//	go test -bench=. -benchtime=1x -count=3 -run='^$' ./... | \
 //	  benchjson -commit "$GITHUB_SHA" -out "BENCH_${GITHUB_SHA::12}.json"
 //
-// The tool exits non-zero when the input contains no benchmark lines
-// (or any package failed), so a CI job cannot silently upload an empty
-// snapshot.
+// Repeated runs of the same benchmark (`-count=N`) are merged into one
+// entry per benchmark carrying the per-metric *median*, which is what
+// lets cmd/benchdiff gate CI at a tight threshold on noisy single-shot
+// timings. The tool exits non-zero when the input contains no benchmark
+// lines (or any package failed), so a CI job cannot silently upload an
+// empty snapshot.
 package main
 
 import (
@@ -23,12 +26,14 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 )
 
-// Benchmark is one parsed benchmark result line.
+// Benchmark is one parsed benchmark result line — or, for `-count=N`
+// runs, the per-metric median of N such lines.
 type Benchmark struct {
 	// Name is the benchmark's bare name (no "Benchmark" prefix, no
 	// -GOMAXPROCS suffix); FullName preserves the raw first column.
@@ -36,11 +41,14 @@ type Benchmark struct {
 	FullName string `json:"full_name"`
 	Pkg      string `json:"pkg,omitempty"`
 	Procs    int    `json:"procs,omitempty"`
-	// Iterations is b.N for the run.
+	// Iterations is b.N for the run (the median b.N for merged runs).
 	Iterations int64 `json:"iterations"`
 	// Metrics maps unit → value for every "<value> <unit>" pair on the
 	// line (ns/op, B/op, allocs/op, and anything b.ReportMetric added).
 	Metrics map[string]float64 `json:"metrics"`
+	// Runs counts how many result lines were merged into this entry
+	// (absent for a single run).
+	Runs int `json:"runs,omitempty"`
 }
 
 // Snapshot is the BENCH_<sha>.json document.
@@ -90,7 +98,71 @@ func parse(r io.Reader) (*Snapshot, error) {
 	if len(snap.Benchmarks) == 0 {
 		return nil, fmt.Errorf("no benchmark result lines found (ran with -bench and -benchtime?)")
 	}
+	snap.Benchmarks = aggregate(snap.Benchmarks)
 	return snap, nil
+}
+
+// aggregate collapses repeated runs of the same benchmark — `go test
+// -count=N` emits one result line per run — into one entry per
+// (pkg, full name) whose metrics are per-metric medians. The median
+// (not the mean) is what lets a CI gate run tight thresholds on noisy
+// -benchtime=1x data: one cold-cache outlier run shifts the mean but
+// not the middle. Single-run input passes through untouched, so the
+// output schema only changes (gains "runs") when -count was used.
+func aggregate(benchmarks []Benchmark) []Benchmark {
+	byKey := make(map[string][]Benchmark)
+	var order []string
+	for _, b := range benchmarks {
+		k := b.Pkg + "." + b.FullName
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], b)
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, k := range order {
+		runs := byKey[k]
+		if len(runs) == 1 {
+			out = append(out, runs[0])
+			continue
+		}
+		agg := runs[0]
+		agg.Runs = len(runs)
+		agg.Metrics = make(map[string]float64)
+		names := make(map[string]bool)
+		for _, r := range runs {
+			for name := range r.Metrics {
+				names[name] = true
+			}
+		}
+		for name := range names {
+			var vals []float64
+			for _, r := range runs {
+				if v, ok := r.Metrics[name]; ok {
+					vals = append(vals, v)
+				}
+			}
+			agg.Metrics[name] = median(vals)
+		}
+		iters := make([]float64, len(runs))
+		for i, r := range runs {
+			iters[i] = float64(r.Iterations)
+		}
+		agg.Iterations = int64(median(iters))
+		out = append(out, agg)
+	}
+	return out
+}
+
+// median returns the middle of the values (which it sorts in place);
+// even counts average the two middle values.
+func median(vals []float64) float64 {
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
 }
 
 // parseBenchLine parses one "BenchmarkX-4  10  123 ns/op  456 B/op"

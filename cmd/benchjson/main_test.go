@@ -114,3 +114,84 @@ func TestParseSkipsUnparsableAmongGood(t *testing.T) {
 		t.Fatalf("parsed %d benchmarks, want the 2 well-formed ones: %+v", len(snap.Benchmarks), snap.Benchmarks)
 	}
 }
+
+// TestMedianMath pins the aggregation primitive for odd and even run
+// counts (even counts average the two middle values).
+func TestMedianMath(t *testing.T) {
+	cases := []struct {
+		vals []float64
+		want float64
+	}{
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 2},           // odd: middle of the sorted values
+		{[]float64{4, 1, 3, 2}, 2.5},      // even: mean of the two middles
+		{[]float64{10, 10, 1000, 10}, 10}, // one outlier cannot move it
+		{[]float64{2, 1}, 1.5},
+	}
+	for _, tc := range cases {
+		if got := median(append([]float64(nil), tc.vals...)); got != tc.want {
+			t.Fatalf("median(%v) = %v, want %v", tc.vals, got, tc.want)
+		}
+	}
+}
+
+// TestParseCountAware: `-count=3` output collapses to one entry per
+// benchmark with per-metric medians, while single-run benchmarks in the
+// same stream pass through unchanged (no "runs" field).
+func TestParseCountAware(t *testing.T) {
+	in := "pkg: p\n" +
+		"BenchmarkHot-4\t1\t100 ns/op\t50 B/op\n" +
+		"BenchmarkHot-4\t1\t900 ns/op\t70 B/op\n" + // cold-cache outlier
+		"BenchmarkHot-4\t1\t120 ns/op\t60 B/op\n" +
+		"BenchmarkOnce-4\t2\t7 ns/op\n"
+	snap, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("aggregated to %d benchmarks, want 2: %+v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	hot := snap.Benchmarks[0]
+	if hot.Runs != 3 || hot.Metrics["ns/op"] != 120 || hot.Metrics["B/op"] != 60 {
+		t.Fatalf("hot = %+v (median must shrug off the 900ns outlier)", hot)
+	}
+	once := snap.Benchmarks[1]
+	if once.Runs != 0 || once.Metrics["ns/op"] != 7 || once.Iterations != 2 {
+		t.Fatalf("once = %+v (single runs must pass through untouched)", once)
+	}
+}
+
+// TestParseCountAwareEvenRuns: an even run count averages the two
+// middle values per metric, and the median b.N lands in Iterations.
+func TestParseCountAwareEvenRuns(t *testing.T) {
+	in := "pkg: p\n" +
+		"BenchmarkE-4\t1\t10 ns/op\n" +
+		"BenchmarkE-4\t3\t20 ns/op\n" +
+		"BenchmarkE-4\t5\t30 ns/op\n" +
+		"BenchmarkE-4\t7\t40 ns/op\n"
+	snap, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 1 {
+		t.Fatalf("got %d benchmarks, want 1", len(snap.Benchmarks))
+	}
+	e := snap.Benchmarks[0]
+	if e.Runs != 4 || e.Metrics["ns/op"] != 25 || e.Iterations != 4 {
+		t.Fatalf("even-run aggregate = %+v, want runs=4 ns/op=25 iterations=4", e)
+	}
+}
+
+// TestParseCountAwareDistinctPackages: the same benchmark name in two
+// packages must never merge — the key is (pkg, full name), exactly like
+// benchdiff's matching.
+func TestParseCountAwareDistinctPackages(t *testing.T) {
+	in := "pkg: a\nBenchmarkX-4\t1\t10 ns/op\npkg: b\nBenchmarkX-4\t1\t30 ns/op\n"
+	snap, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 2 || snap.Benchmarks[0].Runs != 0 || snap.Benchmarks[1].Runs != 0 {
+		t.Fatalf("cross-package merge: %+v", snap.Benchmarks)
+	}
+}

@@ -9,6 +9,7 @@
 //	perfplay -app mysql -threads 2 [-scale 0.5] [-top 5] [-workers 8]
 //	         [-trace out.trace] [-json] [-races] [-schemes] [-save-trace]
 //	perfplay -trace-digest sha256:... [-corpus dir]
+//	perfplay -daemon http://host:8080 -app mysql | -trace-digest sha256:...
 //	perfplay -list
 //
 // With -trace the recorded execution is also written to disk in the
@@ -16,13 +17,18 @@
 // -replay. With -save-trace it is stored in the local content-addressed
 // corpus (-corpus, the same on-disk layout perfplayd serves), and
 // -trace-digest re-analyzes a stored trace by its sha256 digest without
-// re-recording.
+// re-recording. With -daemon the job is submitted to a perfplayd node
+// instead of running locally — following any 503 Retry-Peer admission
+// redirect to an idler cluster node — and the daemon's (byte-identical)
+// report is printed.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
@@ -65,6 +71,7 @@ func main() {
 		digestIn  = flag.String("trace-digest", "", "analyze a stored trace from the corpus by sha256 digest instead of recording")
 		le        = flag.Bool("le", false, "also run the speculative lock elision baseline on the recording")
 		verifyT1  = flag.Bool("verify", false, "run the Theorem 1 correctness check on the transformation")
+		daemon    = flag.String("daemon", "", "submit the job to a perfplayd daemon at this base URL instead of analyzing locally (follows 503 Retry-Peer admission redirects)")
 	)
 	flag.Parse()
 
@@ -78,6 +85,41 @@ func main() {
 
 	if *replayIn != "" {
 		if err := replayFile(*replayIn, *scheduler); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *daemon != "" {
+		// Daemon mode ships the job description, not the work: a
+		// workload spec or a stored-trace digest the daemon resolves
+		// from its own corpus. The accepting node may differ from the
+		// submitted one under steal-aware admission. Flags the daemon
+		// spec cannot express are rejected rather than silently dropped
+		// — a user asking for -verify must not get an unverified run
+		// that exits 0.
+		switch {
+		case *le, *verifyT1, *timeline:
+			fatal(fmt.Errorf("-le, -verify and -timeline run local-only analyses; drop them or drop -daemon"))
+		case *traceOut != "", *jsonOut, *saveTrace:
+			fatal(fmt.Errorf("-trace/-json/-save-trace write local recordings; the daemon records remotely"))
+		case *runs > 1, *caseNum != 0:
+			fatal(fmt.Errorf("-runs and -case are not supported with -daemon"))
+		}
+		spec := map[string]any{"top": *top, "schemes": *schemes, "races": *races}
+		switch {
+		case *digestIn != "":
+			spec["trace"] = *digestIn
+		case *appName != "":
+			spec["app"] = *appName
+			spec["threads"] = *threads
+			spec["input"] = *input
+			spec["scale"] = *scale
+			spec["seed"] = *seed
+		default:
+			fatal(fmt.Errorf("-daemon requires -app or -trace-digest"))
+		}
+		if err := runOnDaemon(*daemon, spec); err != nil {
 			fatal(err)
 		}
 		return
@@ -212,6 +254,62 @@ func main() {
 	if *saveTrace {
 		if err := saveToCorpus(*corpusDir, analysis.Recorded.Trace); err != nil {
 			fatal(err)
+		}
+	}
+}
+
+// runOnDaemon submits one job to a perfplayd daemon (following
+// Retry-Peer admission redirects via corpus.Remote) and long-polls the
+// accepting node until the job settles, printing its report — which the
+// determinism contract guarantees is byte-identical to what a local run
+// of the same description would print.
+func runOnDaemon(base string, spec map[string]any) error {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	remote := &corpus.Remote{Base: strings.TrimRight(base, "/")}
+	id, accepted, err := remote.SubmitAnalyze(body)
+	if err != nil {
+		return err
+	}
+	if accepted != strings.TrimRight(base, "/") {
+		fmt.Fprintf(os.Stderr, "perfplay: redirected to %s (submitted node was full)\n", accepted)
+	}
+	for {
+		resp, err := http.Get(accepted + "/jobs/" + id + "?wait=30s")
+		if err != nil {
+			return err
+		}
+		var j struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+			Report string `json:"report"`
+		}
+		derr := json.NewDecoder(resp.Body).Decode(&j)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			// E.g. 404 after the finished job aged out of -max-jobs;
+			// answers immediately (no ?wait parking), so looping on it
+			// would be a hot request storm, not patience.
+			msg := j.Error
+			if msg == "" {
+				msg = resp.Status
+			}
+			return fmt.Errorf("poll %s/jobs/%s: %s", accepted, id, msg)
+		}
+		if derr != nil {
+			return fmt.Errorf("poll %s/jobs/%s: %w", accepted, id, derr)
+		}
+		switch j.Status {
+		case "done":
+			fmt.Print(j.Report)
+			return nil
+		case "failed":
+			return fmt.Errorf("daemon job %s failed: %s", id, j.Error)
+		case "queued", "running":
+		default:
+			return fmt.Errorf("poll %s/jobs/%s: unknown status %q", accepted, id, j.Status)
 		}
 	}
 }

@@ -1,0 +1,343 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"perfplay/internal/pipeline"
+	"perfplay/internal/scheduler"
+)
+
+// This file is the daemon half of cluster-shared result caching and
+// steal-aware admission:
+//
+//	GET /cache/results/{key}  export one cached analysis result (wire form)
+//	GET /cache/tables/{key}   export one cached verdict table
+//	503 + Retry-Peer          a full queue redirects submitters to the
+//	                          idlest peer instead of turning them away
+//
+// Before executing a cache-missed job whose trace is content-addressed,
+// the job runner probes peers for the finished result by cache key —
+// gossip-ordered (peers hinting the key first, then the idlest), with
+// bounded fan-out and a short timeout. A hit imports the wire report
+// and settles the job with zero replays; the determinism contract
+// (byte-identical reports regardless of where work lands) is what makes
+// serving a peer's bytes indistinguishable from running locally. Every
+// failure on this path degrades to local execution, never to an error.
+
+// cacheHintKeys bounds the recent result-cache keys gossiped in each
+// GET /steal response (the cache-population hints).
+const cacheHintKeys = 32
+
+// cacheStats counts this node's cluster-cache and admission traffic.
+type cacheStats struct {
+	// probes / remoteHits count result-cache probes to peers.
+	probes, remoteHits atomic.Int64
+	// tableProbes / tableImports count verdict-table probes and the
+	// tables actually adopted.
+	tableProbes, tableImports atomic.Int64
+	// servedResults / servedTables count exports to probing peers.
+	servedResults, servedTables atomic.Int64
+	// admissionRedirects counts queue-full 503s that carried a
+	// Retry-Peer header.
+	admissionRedirects atomic.Int64
+}
+
+func (c *cacheStats) snapshot() map[string]int64 {
+	return map[string]int64{
+		"probes":              c.probes.Load(),
+		"remote_hits":         c.remoteHits.Load(),
+		"table_probes":        c.tableProbes.Load(),
+		"table_imports":       c.tableImports.Load(),
+		"served_results":      c.servedResults.Load(),
+		"served_tables":       c.servedTables.Load(),
+		"admission_redirects": c.admissionRedirects.Load(),
+	}
+}
+
+// handleCacheResult (GET /cache/results/{key}) exports one cached
+// result in wire form, rendered at ?top= (0 = 5). The key is the
+// path-escaped pipeline cache key; a miss is 404 — the prober's cue to
+// try the next peer or run locally, never an error.
+func (s *Server) handleCacheResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	top, _ := strconv.Atoi(r.URL.Query().Get("top"))
+	wr, ok := s.pl.Export(key, top)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no cached result for key %q", key)
+		return
+	}
+	s.cacheStats.servedResults.Add(1)
+	writeJSON(w, http.StatusOK, wr)
+}
+
+// handleCacheTable (GET /cache/tables/{key}) exports one cached verdict
+// table — the replay-heavy half of classification — so a peer missing
+// both caches can still run its job with zero reversed replays. The
+// response echoes the key for importer-side validation.
+func (s *Server) handleCacheTable(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	wt, ok := s.pl.ExportTable(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no cached verdict table for key %q", key)
+		return
+	}
+	s.cacheStats.servedTables.Add(1)
+	writeJSON(w, http.StatusOK, wt)
+}
+
+// cacheProbeOrder ranks peers for one cache probe: peers whose
+// gossiped hints satisfy the matcher first, then known-healthy peers
+// by queue depth (idlest first — most likely to answer fast), then
+// peers the gossip has never seen or whose last probe failed, in
+// config order; bounded to CacheProbeFanout entries. Failed-probe
+// peers rank with the unseen, not the healthy — their counts are
+// stale, and a dead peer sorted ahead of a live cache holder would
+// burn a probe timeout on the job-execution hot path (or squeeze the
+// holder out of the fan-out altogether).
+func (s *Server) cacheProbeOrder(hinted func(scheduler.PeerStatus) bool) []string {
+	snap := s.gossip.Snapshot()
+	peers := append([]string(nil), s.cfg.Peers...)
+	sort.SliceStable(peers, func(i, j int) bool {
+		si, iok := snap[peers[i]]
+		sj, jok := snap[peers[j]]
+		hi := iok && si.Err == "" && hinted(si)
+		hj := jok && sj.Err == "" && hinted(sj)
+		if hi != hj {
+			return hi
+		}
+		ki := iok && si.Err == ""
+		kj := jok && sj.Err == ""
+		if ki != kj {
+			return ki
+		}
+		return ki && si.QueueLen < sj.QueueLen
+	})
+	if n := s.cfg.CacheProbeFanout; n > 0 && len(peers) > n {
+		peers = peers[:n]
+	}
+	return peers
+}
+
+// probePeerCaches asks peers for a finished result matching the
+// request's cache key. Only digest-keyed (content-addressed) requests
+// probe: their keys name trace bytes both sides can verify, and only
+// those jobs are expensive enough to be worth a network round trip.
+// ok=false — local miss everywhere — is the normal path, not a failure.
+func (s *Server) probePeerCaches(req pipeline.Request) (*pipeline.WireResult, string, bool) {
+	if len(s.cfg.Peers) == 0 || req.TraceDigest == "" {
+		return nil, "", false
+	}
+	key, ok := s.pl.CacheKeyFor(req)
+	if !ok || s.pl.HasResult(key) {
+		return nil, "", false
+	}
+	for _, peer := range s.cacheProbeOrder(func(st scheduler.PeerStatus) bool { return st.HintsKey(key) }) {
+		s.cacheStats.probes.Add(1)
+		wr, err := s.fetchWireResult(peer, key, req.TopK)
+		if err != nil {
+			continue // miss, dead peer, or garbage: the local run is always correct
+		}
+		s.cacheStats.remoteHits.Add(1)
+		return wr, peer, true
+	}
+	return nil, "", false
+}
+
+// fetchWireResult fetches and validates one peer's cached result.
+func (s *Server) fetchWireResult(peer, key string, topK int) (*pipeline.WireResult, error) {
+	resp, err := s.cacheClient.Get(peer + "/cache/results/" + url.PathEscape(key) + "?top=" + strconv.Itoa(topK))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("cache probe %s: status %d", peer, resp.StatusCode)
+	}
+	var wr pipeline.WireResult
+	if err := json.NewDecoder(io.LimitReader(resp.Body, s.cfg.MaxTraceBytes)).Decode(&wr); err != nil {
+		return nil, fmt.Errorf("cache probe %s: %w", peer, err)
+	}
+	if err := wr.Validate(key, topK); err != nil {
+		return nil, err
+	}
+	return &wr, nil
+}
+
+// probePeerTables tries to import the job's verdict table from a peer
+// when the result probe missed — the local run then classifies with
+// zero reversed replays. Best-effort by design: every failure just
+// means the local run pays its own replays. Probes are hint-matched by
+// trace *digest*, not by the table key: gossiped hints are result-
+// cache keys, and a peer hinting any result for this trace — whatever
+// reporting flags its job used — ran the identify pass that built this
+// very table.
+func (s *Server) probePeerTables(req pipeline.Request) {
+	if len(s.cfg.Peers) == 0 || req.TraceDigest == "" {
+		return
+	}
+	key, ok := s.pl.TableKeyFor(req)
+	if !ok || s.pl.HasTable(key) {
+		return
+	}
+	digest := req.TraceDigest
+	for _, peer := range s.cacheProbeOrder(func(st scheduler.PeerStatus) bool { return st.HintsDigest(digest) }) {
+		s.cacheStats.tableProbes.Add(1)
+		if s.fetchTable(peer, key) {
+			return
+		}
+	}
+}
+
+func (s *Server) fetchTable(peer, key string) bool {
+	resp, err := s.cacheClient.Get(peer + "/cache/tables/" + url.PathEscape(key))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return false
+	}
+	var wt pipeline.WireTable
+	if err := json.NewDecoder(io.LimitReader(resp.Body, s.cfg.MaxTraceBytes)).Decode(&wt); err != nil {
+		return false
+	}
+	if wt.Validate(key) != nil || !s.pl.ImportTable(key, wt.Table) {
+		return false
+	}
+	s.cacheStats.tableImports.Add(1)
+	return true
+}
+
+// summaryFromWire settles a job from a peer's cached result: the same
+// fields a local summarize would fill, with the ULCP count re-tallied
+// from the wire pairs (the one artifact shipped structurally, exercising
+// the same wire round-trip the shard protocol trusts).
+func summaryFromWire(wr *pipeline.WireResult) jobSummary {
+	sum := jobSummary{
+		App:            wr.App,
+		Threads:        wr.Threads,
+		CritSecs:       wr.CritSecs,
+		ULCPs:          wr.Ulcp.NumULCPs(),
+		DegradationPct: wr.DegradationPct,
+		CacheHit:       true,
+		Report:         wr.Report,
+	}
+	if len(wr.Schemes) > 0 {
+		sum.Schemes = make(map[string]string, len(wr.Schemes))
+		for _, sc := range wr.Schemes {
+			sum.Schemes[sc.Sched] = sc.Total
+		}
+	}
+	sum.Timings = make([]stageTiming, len(wr.Timings))
+	for i, st := range wr.Timings {
+		sum.Timings[i] = stageTiming{Stage: st.Stage, WallNS: st.Wall.Nanoseconds(), Wall: st.Wall.String()}
+	}
+	return sum
+}
+
+// rejectQueueFull answers a submit that found the queue full. With a
+// peer known (or probed) to have queue headroom, the 503 carries a
+// Retry-Peer header naming it — steal-aware admission: the node cannot
+// take the job, but the cluster can, and the redirected submit lands
+// where a thief would have dragged the job anyway.
+func (s *Server) rejectQueueFull(w http.ResponseWriter) {
+	if peer, ok := s.idlestPeer(); ok {
+		w.Header().Set("Retry-Peer", peer)
+		s.cacheStats.admissionRedirects.Add(1)
+		httpError(w, http.StatusServiceUnavailable,
+			"job queue full (%d pending); retry at %s", s.cfg.QueueDepth, peer)
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.QueueDepth)
+}
+
+// idlestPeer picks the admission redirect target: the healthy peer with
+// the shortest known queue that is not itself full. The gossip view is
+// consulted first (the stealer refreshes it every tick, busy or not).
+// When it yields no candidate AND no peer looks healthy in it — no
+// stealer, nothing probed yet, or every entry is a stale failure — a
+// bounded synchronous probe round stands in, so one bad round (or a
+// disabled stealer) cannot suppress redirects forever. Healthy-but-full
+// gossip entries do NOT trigger the fallback: that is an honest "no
+// room", and probing every peer on every overloaded submit would turn
+// an overload into a probe storm. ok=false means no peer is known to
+// have room — redirecting a submitter into another full queue would
+// just bounce them around the cluster.
+func (s *Server) idlestPeer() (string, bool) {
+	if len(s.cfg.Peers) == 0 {
+		return "", false
+	}
+	var best string
+	bestLen, found := 0, false
+	consider := func(peer string, st scheduler.PeerStatus) {
+		if st.Err != "" {
+			return
+		}
+		if st.QueueCap > 0 && st.QueueLen >= st.QueueCap {
+			return // full too; not a valid redirect target
+		}
+		if !found || st.QueueLen < bestLen {
+			best, bestLen, found = peer, st.QueueLen, true
+		}
+	}
+	snap := s.gossip.Snapshot()
+	healthy := false
+	for _, peer := range s.cfg.Peers {
+		if st, ok := snap[peer]; ok {
+			if st.Err == "" {
+				healthy = true
+			}
+			consider(peer, st)
+		}
+	}
+	if !found && !healthy && s.admissionProbeAllowed() {
+		peers := s.cfg.Peers
+		if n := s.cfg.CacheProbeFanout; n > 0 && len(peers) > n {
+			peers = peers[:n]
+		}
+		for _, peer := range peers {
+			st, err := scheduler.Probe(s.cacheClient, peer)
+			if err != nil {
+				s.gossip.RecordErr(peer, err)
+				continue
+			}
+			s.gossip.Record(peer, st)
+			consider(peer, st)
+		}
+	}
+	return best, found
+}
+
+// admissionProbeAllowed rate-limits the admission path's synchronous
+// fallback probing to one round per steal interval. The fallback
+// blocks its handler for up to fanout × CacheProbeTimeout, and it runs
+// exactly when the node is overloaded — without this bound, a submit
+// storm against a full queue with unreachable peers would tie up a
+// handler goroutine per rejection re-probing the same dead peers.
+func (s *Server) admissionProbeAllowed() bool {
+	// A non-positive StealInterval means "stealing disabled", not
+	// "probe without bound" — clamp to a floor so the rate limit holds
+	// exactly when the stealer is not around to refresh gossip.
+	interval := s.cfg.StealInterval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	if now.Sub(s.lastAdmissionProbe) < interval {
+		return false
+	}
+	s.lastAdmissionProbe = now
+	return true
+}

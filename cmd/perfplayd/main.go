@@ -9,12 +9,15 @@
 // the registered mux by CI via the -print-routes flag). In brief:
 //
 //	POST   /analyze           submit a job (workload spec, stored-trace
-//	                          reference, or raw trace upload)
+//	                          reference, or raw trace upload); a full
+//	                          queue 503s with a Retry-Peer redirect
 //	GET    /jobs/{id}         job status/report; ?wait= long-polls
 //	POST   /jobs/claim        a peer claims a whole queued job (work stealing)
 //	POST   /jobs/{id}/result  the thief reports the finished job back
-//	GET    /steal             stealable-backlog probe
+//	GET    /steal             stealable-backlog + cache-hint probe
 //	POST   /shards            execute classification shard ranges (cluster)
+//	GET    /cache/results/{key}  export a cached analysis result (wire form)
+//	GET    /cache/tables/{key}   export a cached verdict table
 //	GET    /healthz           liveness, occupancy, cluster gossip
 //	POST   /traces            store a trace in the content-addressed corpus
 //	GET    /traces[/{digest}] list / download stored traces
@@ -29,7 +32,8 @@
 //	          [-role standalone|worker|coordinator]
 //	          [-peers http://h1:8080,http://h2:8080] [-shard-timeout 120s]
 //	          [-advertise http://me:8080] [-steal-interval 1s]
-//	          [-steal-lease 2m] [-print-routes]
+//	          [-steal-lease 2m] [-cache-probe-timeout 2s]
+//	          [-cache-probe-fanout 3] [-print-routes]
 //
 // Cluster mode: give every node the same -corpus-backed setup and point
 // each at its peers with -peers. Each node then both fans its jobs'
@@ -38,7 +42,12 @@
 // whole-job stealer: when idle it claims entire queued jobs from the
 // busiest peer, executes them locally (fetching the trace blob by
 // content digest when needed), and reports the results back — so the
-// cluster is a symmetric pool, not a star. -role remains as an
+// cluster is a symmetric pool, not a star. Cached analysis results are
+// a cluster resource too: before executing a cache-missed job over a
+// stored trace, a node probes its peers' result caches by content-
+// addressed key (gossip-ordered, bounded fan-out) and a hit settles the
+// job with zero replays; a full node's 503 redirects submitters to the
+// idlest peer via the Retry-Peer header. -role remains as an
 // observability label. See docs/ARCHITECTURE.md for the topology and
 // README "Cluster mode" for a quickstart.
 package main
@@ -69,6 +78,8 @@ func main() {
 		advertise     = flag.String("advertise", "", "base URL peers should see this node as (default http://<addr>)")
 		stealInterval = flag.Duration("steal-interval", 0, "idle poll cadence of the whole-job stealer (0 = 1s; negative disables stealing)")
 		stealLease    = flag.Duration("steal-lease", 0, "how long a thief may hold a claimed job before it re-queues locally (0 = 2m)")
+		probeTimeout  = flag.Duration("cache-probe-timeout", 0, "per-peer cluster-cache probe timeout (0 = 2s)")
+		probeFanout   = flag.Int("cache-probe-fanout", 0, "max peers probed per cache-missed job (0 = 3)")
 		printRoutes   = flag.Bool("print-routes", false, "print the registered HTTP routes, one per line, and exit")
 	)
 	flag.Parse()
@@ -102,18 +113,20 @@ func main() {
 	}
 
 	srv, err := NewServer(Config{
-		Workers:         *workers,
-		PipelineWorkers: *plWorkers,
-		QueueDepth:      *queueDepth,
-		CacheSize:       *cacheSize,
-		MaxJobs:         *maxJobs,
-		CorpusDir:       *corpusDir,
-		CorpusMaxBytes:  *corpusBytes,
-		Role:            *role,
-		Peers:           peerList,
-		ShardTimeout:    *shardTimeout,
-		StealInterval:   *stealInterval,
-		StealLease:      *stealLease,
+		Workers:           *workers,
+		PipelineWorkers:   *plWorkers,
+		QueueDepth:        *queueDepth,
+		CacheSize:         *cacheSize,
+		MaxJobs:           *maxJobs,
+		CorpusDir:         *corpusDir,
+		CorpusMaxBytes:    *corpusBytes,
+		Role:              *role,
+		Peers:             peerList,
+		ShardTimeout:      *shardTimeout,
+		StealInterval:     *stealInterval,
+		StealLease:        *stealLease,
+		CacheProbeTimeout: *probeTimeout,
+		CacheProbeFanout:  *probeFanout,
 	})
 	if err != nil {
 		log.Fatal(err)

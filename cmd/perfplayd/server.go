@@ -81,6 +81,16 @@ type Config struct {
 	// stealer loop, started by StartStealer (0 = 1s; negative disables
 	// stealing even when peers are configured).
 	StealInterval time.Duration
+	// CacheProbeTimeout bounds each cluster-cache probe (GET
+	// /cache/results/{key}, GET /cache/tables/{key}) and each
+	// on-demand admission probe. Short by design: a probe saves a
+	// whole replay pipeline when it hits, but must cost almost nothing
+	// when the peer is dead (0 = 2s).
+	CacheProbeTimeout time.Duration
+	// CacheProbeFanout bounds how many peers one cache-missed job
+	// probes before running locally (0 = 3; it also caps the
+	// admission path's on-demand probe round).
+	CacheProbeFanout int
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +130,12 @@ func (c Config) withDefaults() Config {
 	if c.StealInterval == 0 {
 		c.StealInterval = time.Second
 	}
+	if c.CacheProbeTimeout == 0 {
+		c.CacheProbeTimeout = 2 * time.Second
+	}
+	if c.CacheProbeFanout == 0 {
+		c.CacheProbeFanout = 3
+	}
 	if c.Role == "" {
 		c.Role = roleStandalone
 		if len(c.Peers) > 0 {
@@ -152,6 +168,10 @@ type job struct {
 	// StolenBy is the peer currently holding (or that completed) this
 	// job's steal lease — empty for jobs that ran locally.
 	StolenBy string `json:"stolen_by,omitempty"`
+	// CachePeer is the peer whose cluster cache settled this job (a
+	// remote result-cache hit: zero local replays) — empty for jobs
+	// computed locally or stolen.
+	CachePeer string `json:"cache_peer,omitempty"`
 
 	jobSummary
 
@@ -191,15 +211,11 @@ func summarize(res *pipeline.Result) jobSummary {
 	a := res.Analysis
 	s := jobSummary{
 		App:      a.App,
+		Threads:  a.Threads(),
 		CritSecs: len(a.CSs),
 		ULCPs:    a.Report.NumULCPs(),
 		CacheHit: res.CacheHit,
 		Report:   res.Report,
-	}
-	if a.Recorded != nil {
-		s.Threads = a.Recorded.Trace.NumThreads
-	} else {
-		s.Threads = len(a.OrigReplay.PerThreadCPU)
 	}
 	s.DegradationPct = a.Debug.NormalizedDegradation() * 100
 	s.Timings = make([]stageTiming, len(res.Timings))
@@ -263,6 +279,11 @@ type Server struct {
 	// worker serving many ranges of the same stored trace parses it
 	// once, not once per request.
 	shardTraces *shardTraceCache
+	// cacheClient issues cluster-cache and admission probes under the
+	// short CacheProbeTimeout.
+	cacheClient *http.Client
+	// cacheStats counts cluster-cache traffic (see cache.go).
+	cacheStats cacheStats
 
 	mu               sync.Mutex
 	jobs             map[string]*job
@@ -272,6 +293,9 @@ type Server struct {
 	inflightBytes    int64 // upload bytes being buffered/parsed in handlers
 	running          int   // jobs executing right now (local + stolen)
 	stealer          *scheduler.Stealer
+	// lastAdmissionProbe rate-limits idlestPeer's synchronous fallback
+	// probe round (see admissionProbeAllowed).
+	lastAdmissionProbe time.Time
 
 	wg      sync.WaitGroup
 	stop    chan struct{} // closed on Close; stops reaper and stealer
@@ -289,6 +313,7 @@ func NewServer(cfg Config) (*Server, error) {
 		gossip:      scheduler.NewGossip(),
 		jobs:        make(map[string]*job),
 		shardTraces: newShardTraceCache(shardTraceCacheCap),
+		cacheClient: &http.Client{Timeout: cfg.CacheProbeTimeout},
 		stop:        make(chan struct{}),
 	}
 	if cfg.MaxShardRequests > 0 {
@@ -441,14 +466,7 @@ func (s *Server) runJob(j *job) {
 	s.running++
 	s.mu.Unlock()
 
-	res, err := func() (res *pipeline.Result, err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("analysis panicked: %v", r)
-			}
-		}()
-		return s.pl.Run(j.req)
-	}()
+	sum, cachePeer, err := s.executeJob(j.req)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -460,11 +478,42 @@ func (s *Server) runJob(j *job) {
 		j.Error = err.Error()
 	} else {
 		j.Status = statusDone
-		j.jobSummary = summarize(res)
+		j.jobSummary = sum
+		j.CachePeer = cachePeer
 	}
 	j.notifyLocked()
 	s.order = append(s.order, j.ID)
 	s.evictLocked()
+}
+
+// executeJob produces one job's summary: settled from a peer's cluster
+// cache when the local cache misses but a peer's hits (zero replays,
+// zero parses — the wire report ships finished bytes), else by running
+// the pipeline locally — after best-effort importing the job's verdict
+// table from a peer, so even the local run can skip every reversed
+// replay. A job the local result cache can already answer probes no
+// one: the run below settles instantly without consulting the table
+// cache, so even an evicted table would be wasted network I/O. The
+// returned peer is non-empty only for remote cache hits.
+func (s *Server) executeJob(req pipeline.Request) (jobSummary, string, error) {
+	if key, ok := s.pl.CacheKeyFor(req); !ok || !s.pl.HasResult(key) {
+		if wr, peer, ok := s.probePeerCaches(req); ok {
+			return summaryFromWire(wr), peer, nil
+		}
+		s.probePeerTables(req)
+	}
+	res, err := func() (res *pipeline.Result, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("analysis panicked: %v", r)
+			}
+		}()
+		return s.pl.Run(req)
+	}()
+	if err != nil {
+		return jobSummary{}, "", err
+	}
+	return summarize(res), "", nil
 }
 
 // evictLocked drops the oldest finished jobs beyond MaxJobs.
@@ -491,6 +540,8 @@ func (s *Server) routes() []route {
 		{"POST /jobs/claim", s.handleClaim},
 		{"POST /jobs/{id}/result", s.handleJobResult},
 		{"GET /jobs/{id}", s.handleJob},
+		{"GET /cache/results/{key}", s.handleCacheResult},
+		{"GET /cache/tables/{key}", s.handleCacheTable},
 		{"GET /healthz", s.handleHealthz},
 		{"POST /traces", s.handleTraceUpload},
 		{"GET /traces", s.handleTraceList},
@@ -714,7 +765,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.queue.Len() >= s.queue.Cap() {
-		httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.QueueDepth)
+		s.rejectQueueFull(w)
 		return
 	}
 
@@ -889,7 +940,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !enqueued {
-		httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.QueueDepth)
+		s.rejectQueueFull(w)
 		return
 	}
 	w.Header().Set("Location", "/jobs/"+j.ID)
@@ -982,6 +1033,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if peers := s.gossip.Snapshot(); len(peers) > 0 {
 		steal["peer_queues"] = peers
 	}
+	// The cache section merges the pipeline's own hit accounting with
+	// the cluster exchange counters: how often this node's caches
+	// answered (locally and to peers) versus how often a peer's did.
+	cache := map[string]any{
+		"pipeline": s.pl.Stats(),
+		"cluster":  s.cacheStats.snapshot(),
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":                 true,
 		"role":               s.cfg.Role,
@@ -992,6 +1050,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"running":            running,
 		"cached":             s.pl.CacheLen(),
 		"cached_tables":      s.pl.TableCacheLen(),
+		"cache":              cache,
 		"workers":            s.cfg.Workers,
 		"pool_workers":       s.cfg.PipelineWorkers,
 		"corpus_enabled":     s.corpus != nil,

@@ -156,17 +156,14 @@ func (s *Server) executeStolen(victim string, sj scheduler.StolenJob) error {
 	result := stealResult{Thief: s.stealer.Self}
 	req, err := s.requestFor(victim, sj.Spec)
 	if err == nil {
-		var res *pipeline.Result
-		res, err = func() (res *pipeline.Result, err error) {
-			defer func() {
-				if r := recover(); r != nil {
-					err = fmt.Errorf("analysis panicked: %v", r)
-				}
-			}()
-			return s.pl.Run(req)
-		}()
+		// executeJob, not a bare pipeline run: a stolen digest job
+		// deserves the same peer-cache probe as a local one — a third
+		// node (or the victim itself) may hold the finished result,
+		// and a steal must not re-pay a pipeline the cluster already ran.
+		var sum jobSummary
+		sum, _, err = s.executeJob(req)
 		if err == nil {
-			result.Summary = summarize(res)
+			result.Summary = sum
 		}
 	}
 	if err != nil {
@@ -196,11 +193,15 @@ func (s *Server) executeStolen(victim string, sj scheduler.StolenJob) error {
 
 // handleSteal (GET /steal) is the probe half of the steal protocol: a
 // cheap, mutation-free advertisement of how much of this node's backlog
-// a thief could take.
+// a thief could take, plus the admission headroom (queue cap) and the
+// node's hottest result-cache keys — the cache-population hints that
+// let peers aim their cluster-cache probes at the likely holder.
 func (s *Server) handleSteal(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, scheduler.PeerStatus{
 		QueueLen:  s.queue.Len(),
+		QueueCap:  s.queue.Cap(),
 		Stealable: s.queue.Stealable(),
+		CacheKeys: s.pl.RecentResultKeys(cacheHintKeys),
 		Seen:      time.Now(),
 	})
 }

@@ -136,7 +136,7 @@ func AnalyzeTrace(tr *trace.Trace, cfg Config) (*Analysis, error) {
 // the programmer.
 func (a *Analysis) Summary(topK int) string {
 	d := a.Debug
-	s := fmt.Sprintf("PerfPlay analysis of %s (%d threads)\n", a.App, threadsOf(a))
+	s := fmt.Sprintf("PerfPlay analysis of %s (%d threads)\n", a.App, a.Threads())
 	s += fmt.Sprintf(" dynamic locks: %d  critical sections: %d\n",
 		dynamicLocks(a), len(a.CSs))
 	s += fmt.Sprintf(" ULCPs: %d (null-lock %d, read-read %d, disjoint-write %d, benign %d), TLCPs: %d\n",
@@ -147,7 +147,7 @@ func (a *Analysis) Summary(topK int) string {
 	s += fmt.Sprintf(" replayed: original %v, ULCP-free %v  => degradation %.2f%%\n",
 		d.Tut, d.Tuft, d.NormalizedDegradation()*100)
 	s += fmt.Sprintf(" resource waste: %v (%.2f%%/thread)\n",
-		d.Trw, d.CPUWastePerThread(threadsOf(a))*100)
+		d.Trw, d.CPUWastePerThread(a.Threads())*100)
 	if len(a.Races) > 0 {
 		s += fmt.Sprintf(" data races reported in transformed trace: %d\n", len(a.Races))
 	}
@@ -160,7 +160,11 @@ func (a *Analysis) Summary(topK int) string {
 	return s
 }
 
-func threadsOf(a *Analysis) int {
+// Threads is the analyzed execution's thread count: the recording's
+// when this analysis recorded, else the replay's view for loaded
+// traces. The single source every summary — local, daemon, or wire —
+// derives the number from.
+func (a *Analysis) Threads() int {
 	if a.Recorded != nil {
 		return a.Recorded.Trace.NumThreads
 	}

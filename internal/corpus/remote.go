@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 )
 
 // Remote is a client for another node's corpus — the /traces endpoints
@@ -56,6 +57,56 @@ func RemoteError(op string, resp *http.Response) error {
 		return fmt.Errorf("%w: %s: %s", ErrInvalid, op, msg)
 	default:
 		return fmt.Errorf("corpus: %s: %s", op, msg)
+	}
+}
+
+// maxSubmitRedirects bounds how many steal-aware admission redirects
+// one SubmitAnalyze will follow. Combined with the visited set it makes
+// a cluster of mutually-full nodes answer a bounded chain of 503s
+// instead of bouncing the client forever.
+const maxSubmitRedirects = 3
+
+// SubmitAnalyze submits one analysis job — a perfplayd JSON spec: a
+// workload description or a {"trace": "sha256:..."} stored-trace
+// reference — to the peer's POST /analyze, following steal-aware
+// admission redirects: a node whose queue is full answers 503 with a
+// Retry-Peer header naming its idlest peer, and the submit retries
+// there. Hops are bounded and each base is visited at most once. It
+// returns the job id and the base URL that accepted it — the node to
+// poll for the result, which under redirection is not necessarily the
+// one submitted to.
+func (r *Remote) SubmitAnalyze(spec []byte) (id, base string, err error) {
+	base = strings.TrimRight(r.Base, "/")
+	visited := make(map[string]bool, maxSubmitRedirects+1)
+	for hop := 0; ; hop++ {
+		visited[base] = true
+		resp, err := r.client().Post(base+"/analyze", "application/json", bytes.NewReader(spec))
+		if err != nil {
+			return "", "", fmt.Errorf("corpus: submit to %s: %w", base, err)
+		}
+		if resp.StatusCode == http.StatusAccepted {
+			var body struct {
+				ID string `json:"id"`
+			}
+			derr := json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if derr != nil || body.ID == "" {
+				return "", "", fmt.Errorf("corpus: submit to %s: bad accept response (%v)", base, derr)
+			}
+			return body.ID, base, nil
+		}
+		retry := strings.TrimRight(resp.Header.Get("Retry-Peer"), "/")
+		rerr := RemoteError("submit to "+base, resp)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode != http.StatusServiceUnavailable || retry == "":
+			return "", "", rerr
+		case visited[retry]:
+			return "", "", fmt.Errorf("%w (Retry-Peer loop back to %s)", rerr, retry)
+		case hop >= maxSubmitRedirects:
+			return "", "", fmt.Errorf("%w (gave up after %d Retry-Peer hops)", rerr, hop)
+		}
+		base = retry
 	}
 }
 

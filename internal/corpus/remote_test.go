@@ -128,3 +128,100 @@ func TestRemoteFetchRejectsBadBytes(t *testing.T) {
 		t.Fatalf("oversized body: err = %v, want size-bound rejection", err)
 	}
 }
+
+// analyzeStub serves a minimal /analyze that either accepts or answers
+// 503, optionally with a Retry-Peer header; it counts submits.
+func analyzeStub(t *testing.T, accept bool, retryPeer func() string) (*httptest.Server, *int) {
+	t.Helper()
+	calls := new(int)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /analyze", func(w http.ResponseWriter, r *http.Request) {
+		*calls++
+		if accept {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusAccepted)
+			io.WriteString(w, `{"id": "job-1", "status": "queued"}`)
+			return
+		}
+		if rp := retryPeer(); rp != "" {
+			w.Header().Set("Retry-Peer", rp)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error": "job queue full"}`)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, calls
+}
+
+// TestSubmitAnalyzeFollowsRetryPeer: a 503 naming an idle peer is
+// followed, and the accepted base — not the submitted one — is
+// returned, so the caller polls the node that actually owns the job.
+func TestSubmitAnalyzeFollowsRetryPeer(t *testing.T) {
+	idle, idleCalls := analyzeStub(t, true, nil)
+	full, fullCalls := analyzeStub(t, false, func() string { return idle.URL })
+
+	rem := &Remote{Base: full.URL}
+	id, base, err := rem.SubmitAnalyze([]byte(`{"app":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "job-1" || base != idle.URL {
+		t.Fatalf("submit = (%q, %q), want (job-1, %s)", id, base, idle.URL)
+	}
+	if *fullCalls != 1 || *idleCalls != 1 {
+		t.Fatalf("calls full=%d idle=%d, want 1 each", *fullCalls, *idleCalls)
+	}
+}
+
+// TestSubmitAnalyzeNoRedirect: a plain 503 (no Retry-Peer) surfaces as
+// an error after exactly one attempt, and a direct accept needs none.
+func TestSubmitAnalyzeNoRedirect(t *testing.T) {
+	full, fullCalls := analyzeStub(t, false, func() string { return "" })
+	rem := &Remote{Base: full.URL}
+	if _, _, err := rem.SubmitAnalyze([]byte(`{}`)); err == nil {
+		t.Fatal("503 without Retry-Peer did not error")
+	}
+	if *fullCalls != 1 {
+		t.Fatalf("calls = %d, want 1 (no peer to retry)", *fullCalls)
+	}
+
+	ok, okCalls := analyzeStub(t, true, nil)
+	if _, base, err := (&Remote{Base: ok.URL}).SubmitAnalyze([]byte(`{}`)); err != nil || base != ok.URL {
+		t.Fatalf("direct accept: base=%q err=%v", base, err)
+	}
+	if *okCalls != 1 {
+		t.Fatalf("calls = %d, want 1", *okCalls)
+	}
+}
+
+// TestSubmitAnalyzeHopBound: a chain of full nodes longer than the hop
+// bound ends in an error naming the bound — never an unbounded crawl.
+func TestSubmitAnalyzeHopBound(t *testing.T) {
+	// Build a chain: each full node redirects to the next.
+	next := ""
+	var chain []*httptest.Server
+	var counts []*int
+	for i := 0; i < maxSubmitRedirects+2; i++ {
+		target := next
+		ts, calls := analyzeStub(t, false, func() string { return target })
+		chain = append(chain, ts)
+		counts = append(counts, calls)
+		next = ts.URL
+	}
+	head := chain[len(chain)-1]
+
+	_, _, err := (&Remote{Base: head.URL}).SubmitAnalyze([]byte(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "Retry-Peer hops") {
+		t.Fatalf("err = %v, want hop-bound rejection", err)
+	}
+	visited := 0
+	for _, c := range counts {
+		visited += *c
+	}
+	if visited != maxSubmitRedirects+1 {
+		t.Fatalf("visited %d nodes, want %d (origin + %d hops)",
+			visited, maxSubmitRedirects+1, maxSubmitRedirects)
+	}
+}

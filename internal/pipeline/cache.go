@@ -116,6 +116,35 @@ func (c *lruCache[V]) len() int {
 	return c.ll.Len()
 }
 
+// peek reports whether a key is cached without refreshing its recency —
+// for presence probes (cluster cache lookups deciding whether to ask a
+// peer) that must not distort the LRU order.
+func (c *lruCache[V]) peek(key string) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
+// keys returns up to n cache keys, most recently used first — the
+// "cache-population hints" a node gossips to peers so their cluster
+// cache probes can target the holder directly.
+func (c *lruCache[V]) keys(n int) []string {
+	if c == nil || n <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, min(n, c.ll.Len()))
+	for el := c.ll.Front(); el != nil && len(out) < n; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry[V]).key)
+	}
+	return out
+}
+
 // tableCache memoizes verdict tables across jobs, keyed by (trace
 // digest, identify options). The result cache misses whenever any
 // reporting flag differs (schemes, races, top-k), yet the verdict table

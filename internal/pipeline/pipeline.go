@@ -18,6 +18,7 @@ package pipeline
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"perfplay/internal/core"
@@ -110,7 +111,11 @@ func (r Request) normalize() Request {
 	if r.Scale == 0 {
 		r.Scale = 1.0
 	}
-	if r.TopK == 0 {
+	// Clamp (not just default) TopK: negative depths would panic the
+	// recommendation slice locally while the cluster-cache wire path
+	// maps them to 5 — the same job must behave identically wherever
+	// and however it is served.
+	if r.TopK <= 0 {
 		r.TopK = 5
 	}
 	if r.Workers < 1 {
@@ -159,10 +164,11 @@ type SchemeReplay struct {
 }
 
 // StageTiming records one stage's wall-clock time (observability only —
-// not part of the deterministic report).
+// not part of the deterministic report). It is JSON-tagged because wire
+// results carry the exporting run's timings across nodes.
 type StageTiming struct {
-	Stage string
-	Wall  time.Duration
+	Stage string        `json:"stage"`
+	Wall  time.Duration `json:"wall"`
 }
 
 // Result bundles a finished job: the full analysis artifacts, the
@@ -200,6 +206,31 @@ type Pipeline struct {
 	// ~150 bytes, so past digestMemoMax the map is simply reset.
 	mu      sync.Mutex
 	digests map[string]string
+
+	// stats counts cache traffic for cacheable requests (see
+	// CacheStats); surfaced by perfplayd's /healthz.
+	resultHits, resultMisses atomic.Int64
+	tableHits, tableMisses   atomic.Int64
+}
+
+// CacheStats is a snapshot of the pipeline's cache-hit accounting.
+// Only cacheable (digest- or workload-keyed) requests count; the table
+// counters tick once per table lookup during a cache-missed execution.
+type CacheStats struct {
+	ResultHits   int64 `json:"result_hits"`
+	ResultMisses int64 `json:"result_misses"`
+	TableHits    int64 `json:"table_hits"`
+	TableMisses  int64 `json:"table_misses"`
+}
+
+// Stats returns the pipeline's lifetime cache counters.
+func (p *Pipeline) Stats() CacheStats {
+	return CacheStats{
+		ResultHits:   p.resultHits.Load(),
+		ResultMisses: p.resultMisses.Load(),
+		TableHits:    p.tableHits.Load(),
+		TableMisses:  p.tableMisses.Load(),
+	}
 }
 
 // digestMemoMax bounds the canonical-digest memo before it is reset.
@@ -271,6 +302,7 @@ func (p *Pipeline) Run(req Request) (*Result, error) {
 	if p.cache != nil && req.cacheable() {
 		key = req.CacheKey()
 		if cached, ok := p.cache.get(key); ok {
+			p.resultHits.Add(1)
 			hit := *cached
 			hit.Request = req
 			// TopK is outside the key — it only shapes the rendered
@@ -279,6 +311,7 @@ func (p *Pipeline) Run(req Request) (*Result, error) {
 			hit.CacheHit = true
 			return &hit, nil
 		}
+		p.resultMisses.Add(1)
 	}
 	res, err := p.exec(req)
 	if err != nil {
@@ -442,8 +475,12 @@ func (p *Pipeline) exec(req Request) (*Result, error) {
 		var buildRep *ulcp.Report
 		key := tableKey(req)
 		if cached, ok := p.tables.get(key); key != "" && ok {
+			p.tableHits.Add(1)
 			table = cached
 		} else {
+			if key != "" {
+				p.tableMisses.Add(1)
+			}
 			// One full identification pass yields both the table and the
 			// finished report; the replays it spends are the per-trace
 			// total (recurring region pairs pay once, not once per lock).

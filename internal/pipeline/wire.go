@@ -1,0 +1,188 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"perfplay/internal/ulcp"
+)
+
+// This file is the pipeline's cluster-cache surface: cached results and
+// verdict tables exported in a JSON-serializable wire form, so peer
+// nodes can import a finished analysis by cache key instead of
+// re-running the whole replay pipeline. The exchange is only sound
+// because cache keys are stable content addresses — a digest-keyed key
+// names the trace bytes, not a node-local pointer — and because the
+// determinism contract makes the exporter's artifacts byte-identical to
+// what the importer's own run would have produced.
+
+// WireScheme is one scheduler replay's summary in wire form.
+type WireScheme struct {
+	Sched string `json:"sched"`
+	Total string `json:"total"`
+}
+
+// WireResult is the cross-node serialization of one cached Result,
+// rendered at one requested TopK. It carries the classification report
+// in ulcp wire form (critical sections by ID) plus the summary numbers
+// and the rendered report bytes — everything a peer needs to settle an
+// identical job with zero replays, and nothing that only makes sense in
+// the exporter's memory (no traces, no replay artifacts).
+type WireResult struct {
+	// Key echoes the result-cache key the exporter served, so an
+	// importer can reject a mismatched or misrouted response.
+	Key string `json:"key"`
+	// TopK is the report depth the Report field was rendered at.
+	TopK int `json:"top"`
+
+	App      string `json:"app,omitempty"`
+	Threads  int    `json:"threads"`
+	CritSecs int    `json:"critical_sections"`
+	// Ulcp is the classification report with critical sections
+	// referenced by ID; Counts rebuild from the pair tally on arrival.
+	Ulcp           *ulcp.WireReport `json:"ulcp"`
+	DegradationPct float64          `json:"degradation_pct"`
+	Schemes        []WireScheme     `json:"schemes,omitempty"`
+	// Report is the rendered ranked report — byte-identical to what a
+	// local (serial or parallel) run of the same request would print.
+	Report string `json:"report"`
+	// Timings are the exporting run's per-stage wall clocks
+	// (observability only, like a local cache hit's).
+	Timings []StageTiming `json:"timings,omitempty"`
+}
+
+// Validate sanity-checks an imported wire result against the key and
+// depth it was requested for. A peer answering for a different key (or
+// rendering at the wrong depth) must be treated as a miss, never
+// imported — a wrong report here would break the byte-identical
+// contract silently.
+func (w *WireResult) Validate(key string, topK int) error {
+	if topK <= 0 {
+		topK = 5
+	}
+	switch {
+	case w.Key != key:
+		return fmt.Errorf("pipeline: wire result for key %q, requested %q", w.Key, key)
+	case w.TopK != topK:
+		return fmt.Errorf("pipeline: wire result rendered at top %d, requested %d", w.TopK, topK)
+	case w.Report == "":
+		return fmt.Errorf("pipeline: wire result carries no report")
+	case w.Ulcp == nil:
+		return fmt.Errorf("pipeline: wire result carries no ulcp report")
+	}
+	return nil
+}
+
+// Export serves one cached result in wire form, re-rendered at the
+// requested TopK (0 = 5; TopK is outside the cache key, so the exporter
+// — who still holds the full artifacts — renders at whatever depth the
+// prober's job asked for). ok=false is a cache miss.
+func (p *Pipeline) Export(key string, topK int) (*WireResult, bool) {
+	cached, ok := p.cache.get(key)
+	if !ok {
+		return nil, false
+	}
+	hit := *cached
+	if topK <= 0 {
+		topK = 5
+	}
+	hit.Request.TopK = topK
+	a := hit.Analysis
+	w := &WireResult{
+		Key:            key,
+		TopK:           topK,
+		App:            a.App,
+		Threads:        a.Threads(),
+		CritSecs:       len(a.CSs),
+		Ulcp:           a.Report.Wire(),
+		DegradationPct: a.Debug.NormalizedDegradation() * 100,
+		Report:         render(&hit),
+		Timings:        hit.Timings,
+	}
+	for _, sr := range hit.Schemes {
+		w.Schemes = append(w.Schemes, WireScheme{Sched: sr.Sched.String(), Total: sr.Result.Total.String()})
+	}
+	return w, true
+}
+
+// WireTable wraps an exported verdict table with the key it was served
+// under, so importers can reject a misrouted or mismatched response
+// exactly like WireResult.Validate does for results — an unverified
+// table with wrong verdicts would silently break the byte-identical
+// contract of every run that consults it.
+type WireTable struct {
+	Key   string             `json:"key"`
+	Table *ulcp.VerdictTable `json:"table"`
+}
+
+// Validate checks an imported wire table against the key it was
+// requested under.
+func (w *WireTable) Validate(key string) error {
+	switch {
+	case w.Key != key:
+		return fmt.Errorf("pipeline: wire table for key %q, requested %q", w.Key, key)
+	case w.Table == nil || w.Table.Verdicts == nil:
+		return fmt.Errorf("pipeline: wire table carries no verdicts")
+	}
+	return nil
+}
+
+// ExportTable serves one cached verdict table (refreshing its recency).
+// The table itself is already wire-shaped — the shard protocol ships
+// tables with every request — so the only addition is the key echo.
+func (p *Pipeline) ExportTable(key string) (*WireTable, bool) {
+	t, ok := p.tables.get(key)
+	if !ok {
+		return nil, false
+	}
+	return &WireTable{Key: key, Table: t}, true
+}
+
+// ImportTable adopts a verdict table computed elsewhere under the given
+// key. The caller vouches that the key was derived from the same
+// (trace digest, identify options) tuple — tables are deterministic
+// functions of that tuple, so a correctly-keyed import is
+// indistinguishable from a local build. Nil or verdict-less tables are
+// rejected.
+func (p *Pipeline) ImportTable(key string, t *ulcp.VerdictTable) bool {
+	if p.tables == nil || key == "" || t == nil || t.Verdicts == nil {
+		return false
+	}
+	p.tables.put(key, t, 0)
+	return true
+}
+
+// CacheKeyFor reports the normalized result-cache key for a request,
+// and whether the request is cacheable at all (and therefore worth
+// probing peers for).
+func (p *Pipeline) CacheKeyFor(req Request) (string, bool) {
+	if p.cache == nil {
+		return "", false
+	}
+	req = req.normalize()
+	if !req.cacheable() {
+		return "", false
+	}
+	return req.CacheKey(), true
+}
+
+// TableKeyFor reports the verdict-table cache key for a request ("",
+// false for pointer-identified inputs that cannot be shared).
+func (p *Pipeline) TableKeyFor(req Request) (string, bool) {
+	if p.tables == nil {
+		return "", false
+	}
+	key := tableKey(req.normalize())
+	return key, key != ""
+}
+
+// HasResult reports whether a result-cache key is populated, without
+// touching its recency.
+func (p *Pipeline) HasResult(key string) bool { return p.cache.peek(key) }
+
+// HasTable reports whether a verdict-table key is populated, without
+// touching its recency.
+func (p *Pipeline) HasTable(key string) bool { return p.tables.peek(key) }
+
+// RecentResultKeys lists up to n result-cache keys, most recent first —
+// the cache-population hints gossiped to peers.
+func (p *Pipeline) RecentResultKeys(n int) []string { return p.cache.keys(n) }

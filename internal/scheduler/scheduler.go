@@ -27,7 +27,10 @@
 // pipeline re-derives everything from the same content the victim held.
 package scheduler
 
-import "time"
+import (
+	"strings"
+	"time"
+)
 
 // Spec is the wire-shippable description of one whole analysis job —
 // everything a thief needs to reproduce the job's output bit-for-bit on
@@ -84,16 +87,52 @@ type StolenJob struct {
 	LeaseMS int64 `json:"lease_ms"`
 }
 
-// PeerStatus is one gossip entry: a peer's queue depth as last observed
-// by this node's stealer.
+// PeerStatus is one gossip entry: a peer's queue depth and cache
+// population as last observed by this node's stealer.
 type PeerStatus struct {
 	// QueueLen counts the peer's queued (unclaimed) jobs.
 	QueueLen int `json:"queue_len"`
-	// Stealable counts how many of those a thief could claim.
+	// QueueCap is the peer's admission bound; QueueLen >= QueueCap
+	// means the peer would 503 a submit right now. Zero means the peer
+	// predates the field (unknown).
+	QueueCap int `json:"queue_cap,omitempty"`
+	// Stealable counts how many queued jobs a thief could claim.
 	Stealable int `json:"stealable"`
+	// CacheKeys are the peer's most recently used result-cache keys —
+	// cache-population hints that let a cluster cache probe target the
+	// node most likely to hold a key. Advisory and possibly stale: a
+	// hinted key may have been evicted by the time it is probed, and
+	// the prober must treat a 404 as an ordinary miss.
+	CacheKeys []string `json:"cache_keys,omitempty"`
 	// Seen is when this observation was made.
 	Seen time.Time `json:"seen"`
 	// Err is the probe failure, if the last probe failed (the counts
 	// are then stale).
 	Err string `json:"err,omitempty"`
+}
+
+// HintsKey reports whether the peer's gossiped cache hints include the
+// given cache key.
+func (st PeerStatus) HintsKey(key string) bool {
+	for _, k := range st.CacheKeys {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// HintsDigest reports whether any gossiped cache key belongs to the
+// given content digest (cache keys lead with their source digest).
+// Useful for artifacts keyed more coarsely than results — a peer
+// hinting *any* result for a trace ran the identify pass and therefore
+// holds that trace's verdict table, whatever reporting flags its job
+// used.
+func (st PeerStatus) HintsDigest(digest string) bool {
+	for _, k := range st.CacheKeys {
+		if strings.HasPrefix(k, digest+"|") {
+			return true
+		}
+	}
+	return false
 }

@@ -23,11 +23,14 @@ type Gossip struct {
 // NewGossip returns an empty view.
 func NewGossip() *Gossip { return &Gossip{peers: make(map[string]PeerStatus)} }
 
-// Record stores one successful probe observation.
-func (g *Gossip) Record(peer string, queueLen, stealable int) {
+// Record stores one successful probe observation; Seen is stamped here
+// and any stale Err from a previous failed probe is cleared.
+func (g *Gossip) Record(peer string, st PeerStatus) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.peers[peer] = PeerStatus{QueueLen: queueLen, Stealable: stealable, Seen: time.Now()}
+	st.Seen = time.Now()
+	st.Err = ""
+	g.peers[peer] = st
 }
 
 // RecordErr marks a peer's last probe as failed, keeping the previous
@@ -124,6 +127,14 @@ func (s *Stealer) Run(stop <-chan struct{}) {
 			return
 		case <-ticker.C:
 		}
+		if s.Idle != nil && !s.Idle() {
+			// A busy node still probes once per tick purely to refresh
+			// its gossip: steal-aware admission consults this view to
+			// pick the Retry-Peer redirect target, and a node is most in
+			// need of a fresh view exactly when it is too busy to steal.
+			s.probeAll(stop)
+			continue
+		}
 		// Steal greedily while idle work keeps succeeding, so a long
 		// victim backlog drains at execution speed, not poll cadence.
 		for s.Idle != nil && s.Idle() {
@@ -134,23 +145,26 @@ func (s *Stealer) Run(stop <-chan struct{}) {
 	}
 }
 
-// stealOnce probes every peer, claims from the deepest stealable
-// backlog, and executes the claim. It reports whether a job was
-// actually stolen (the caller's cue to immediately try again).
-func (s *Stealer) stealOnce(stop <-chan struct{}) bool {
-	type depth struct {
-		peer      string
-		stealable int
-		queueLen  int
-	}
-	var depths []depth
+// peerDepth is one probed peer's stealable backlog.
+type peerDepth struct {
+	peer      string
+	stealable int
+}
+
+// probeAll probes every peer once, recording each observation (or
+// failure) in the gossip view, and returns the peers with stealable
+// work. A stop signal mid-round returns nil — never a partial list —
+// so a shutting-down caller cannot go on to claim a job it will never
+// finish.
+func (s *Stealer) probeAll(stop <-chan struct{}) []peerDepth {
+	var depths []peerDepth
 	for _, peer := range s.Peers {
 		select {
 		case <-stop:
-			return false
+			return nil
 		default:
 		}
-		st, err := s.probe(peer)
+		st, err := Probe(s.client(), peer)
 		s.mu.Lock()
 		s.stats.Probes++
 		s.mu.Unlock()
@@ -161,12 +175,20 @@ func (s *Stealer) stealOnce(stop <-chan struct{}) bool {
 			continue
 		}
 		if s.Gossip != nil {
-			s.Gossip.Record(peer, st.QueueLen, st.Stealable)
+			s.Gossip.Record(peer, st)
 		}
 		if st.Stealable > 0 {
-			depths = append(depths, depth{peer: peer, stealable: st.Stealable, queueLen: st.QueueLen})
+			depths = append(depths, peerDepth{peer: peer, stealable: st.Stealable})
 		}
 	}
+	return depths
+}
+
+// stealOnce probes every peer, claims from the deepest stealable
+// backlog, and executes the claim. It reports whether a job was
+// actually stolen (the caller's cue to immediately try again).
+func (s *Stealer) stealOnce(stop <-chan struct{}) bool {
+	depths := s.probeAll(stop)
 	// Deepest backlog first; ties break on peer order for determinism.
 	sort.SliceStable(depths, func(i, j int) bool { return depths[i].stealable > depths[j].stealable })
 	for _, d := range depths {
@@ -189,9 +211,15 @@ func (s *Stealer) stealOnce(stop <-chan struct{}) bool {
 	return false
 }
 
-// probe asks one peer what is stealable (GET /steal).
-func (s *Stealer) probe(peer string) (PeerStatus, error) {
-	resp, err := s.client().Get(peer + "/steal")
+// Probe asks one peer for its queue and cache status (GET /steal).
+// Exported because the stealer loop is not the only consumer: steal-
+// aware admission probes on demand when its gossip view is empty (a
+// node without a running stealer still wants a Retry-Peer target).
+func Probe(client *http.Client, peer string) (PeerStatus, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(peer + "/steal")
 	if err != nil {
 		return PeerStatus{}, err
 	}

@@ -14,7 +14,12 @@ func fakeVictim(t *testing.T, q *Queue) *httptest.Server {
 	t.Helper()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /steal", func(w http.ResponseWriter, r *http.Request) {
-		json.NewEncoder(w).Encode(PeerStatus{QueueLen: q.Len(), Stealable: q.Stealable()})
+		json.NewEncoder(w).Encode(PeerStatus{
+			QueueLen:  q.Len(),
+			QueueCap:  q.Cap(),
+			Stealable: q.Stealable(),
+			CacheKeys: []string{"hot-key"},
+		})
 	})
 	mux.HandleFunc("POST /jobs/claim", func(w http.ResponseWriter, r *http.Request) {
 		j, deadline, ok := q.Claim("test-thief", time.Minute)
@@ -112,6 +117,78 @@ func TestStealerRespectsIdle(t *testing.T) {
 	close(stop)
 	if q.Stealable() != 1 {
 		t.Fatal("busy node stole anyway")
+	}
+}
+
+// TestProbe: the exported probe carries the peer's full status —
+// admission headroom and cache hints included — and fails loudly
+// against a dead peer.
+func TestProbe(t *testing.T) {
+	q := NewQueue(8)
+	q.Push(stealableJob("a"))
+	ts := fakeVictim(t, q)
+
+	st, err := Probe(nil, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.QueueLen != 1 || st.QueueCap != 8 || st.Stealable != 1 {
+		t.Fatalf("probe = %+v", st)
+	}
+	if !st.HintsKey("hot-key") || st.HintsKey("cold-key") {
+		t.Fatalf("cache hints wrong: %v", st.CacheKeys)
+	}
+	hinted := PeerStatus{CacheKeys: []string{"sha256:abc|in0|t2|rest"}}
+	if !hinted.HintsDigest("sha256:abc") || hinted.HintsDigest("sha256:ab") || hinted.HintsDigest("sha256:abd") {
+		t.Fatalf("digest hints wrong: %v", hinted.CacheKeys)
+	}
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	if _, err := Probe(nil, deadURL); err == nil {
+		t.Fatal("probe of a dead peer succeeded")
+	}
+}
+
+// TestBusyNodeStillGossips: a node too busy to steal still probes its
+// peers each tick — steal-aware admission reads this view to pick a
+// Retry-Peer redirect target, and the view must not go stale exactly
+// when the node is overloaded — while never actually claiming work.
+func TestBusyNodeStillGossips(t *testing.T) {
+	q := NewQueue(8)
+	q.Push(stealableJob("a"))
+	ts := fakeVictim(t, q)
+	st := &Stealer{
+		Self:     "http://self",
+		Peers:    []string{ts.URL},
+		Interval: 5 * time.Millisecond,
+		Gossip:   NewGossip(),
+		Idle:     func() bool { return false },
+		Execute: func(string, StolenJob) error {
+			t.Error("executed a steal while not idle")
+			return nil
+		},
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go st.Run(stop)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if pst, ok := st.Gossip.Snapshot()[ts.URL]; ok && pst.Err == "" {
+			if pst.QueueLen != 1 || pst.QueueCap != 8 {
+				t.Fatalf("gossip entry = %+v", pst)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("busy node never refreshed its gossip")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if q.Stealable() != 1 {
+		t.Fatal("busy node stole the job while gossiping")
 	}
 }
 

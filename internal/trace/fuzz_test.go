@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadAny: the shared loader behind trace uploads, corpus blobs and
+// the CLI's -replay path must never panic on arbitrary bytes, and any
+// trace it accepts must survive the binary re-encode + re-parse round
+// trip the corpus performs when it canonicalizes blobs.
+func FuzzReadAny(f *testing.F) {
+	tr := buildSample()
+	var bin, js bytes.Buffer
+	if err := tr.WriteBinary(&bin); err != nil {
+		f.Fatal(err)
+	}
+	if err := tr.WriteJSON(&js); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bin.Bytes())
+	f.Add(js.Bytes())
+	f.Add(bin.Bytes()[:len(bin.Bytes())/2]) // truncated binary
+	f.Add([]byte{})
+	f.Add([]byte(`{"events": []}`))
+	f.Add([]byte(`{"app": "x", "threads": -1, "events": [{}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadAny(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got == nil {
+			t.Fatal("nil trace without error")
+		}
+		var buf bytes.Buffer
+		if err := got.WriteBinary(&buf); err != nil {
+			t.Fatalf("re-encode accepted trace: %v", err)
+		}
+		if _, err := ReadBinary(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("re-parse re-encoded trace: %v", err)
+		}
+	})
+}
+
+// FuzzDetectFormat: the format sniffer must be total and deterministic,
+// and must agree with the binary decoder about the magic number —
+// anything it calls JSON has to be refused by ReadBinary, or the two
+// would disagree about how to parse the same corpus blob.
+func FuzzDetectFormat(f *testing.F) {
+	tr := buildSample()
+	var bin, js bytes.Buffer
+	if err := tr.WriteBinary(&bin); err != nil {
+		f.Fatal(err)
+	}
+	if err := tr.WriteJSON(&js); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bin.Bytes())
+	f.Add(js.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x46, 0x52, 0x45})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got := DetectFormat(data)
+		if got != FormatBinary && got != FormatJSON {
+			t.Fatalf("unknown format %q", got)
+		}
+		if again := DetectFormat(data); again != got {
+			t.Fatalf("non-deterministic: %q then %q", got, again)
+		}
+		if got == FormatJSON {
+			if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+				t.Fatal("binary decoder accepted bytes DetectFormat called JSON")
+			}
+		}
+	})
+}

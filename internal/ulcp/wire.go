@@ -41,6 +41,30 @@ func (r *Report) Wire() *WireReport {
 	return w
 }
 
+// Tally rebuilds the per-category counts from the wire pairs — the same
+// Counts a rehydrated report carries, computable without the receiver's
+// critical sections. Cluster cache importers use it to summarize a
+// remotely-computed report they will never rehydrate (they hold the
+// digest, not the parsed trace).
+func (w *WireReport) Tally() map[Category]int {
+	counts := make(map[Category]int)
+	for _, p := range w.Pairs {
+		counts[p.Cat]++
+	}
+	return counts
+}
+
+// NumULCPs counts the wire report's unnecessary pairs.
+func (w *WireReport) NumULCPs() int {
+	n := 0
+	for c, k := range w.Tally() {
+		if c.IsULCP() {
+			n += k
+		}
+	}
+	return n
+}
+
 // CSByID indexes critical sections by ID for Rehydrate.
 func CSByID(css []*trace.CritSec) map[int]*trace.CritSec {
 	byID := make(map[int]*trace.CritSec, len(css))
