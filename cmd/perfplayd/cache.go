@@ -8,11 +8,11 @@ import (
 	"net/url"
 	"sort"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"perfplay/internal/pipeline"
 	"perfplay/internal/scheduler"
+	"perfplay/internal/telemetry"
 )
 
 // This file is the daemon half of cluster-shared result caching and
@@ -37,28 +37,50 @@ import (
 const cacheHintKeys = 32
 
 // cacheStats counts this node's cluster-cache and admission traffic.
+// The counters live in the daemon's metrics registry — /healthz's
+// cluster-cache section and /metrics render the same series, so the
+// two surfaces cannot drift.
 type cacheStats struct {
 	// probes / remoteHits count result-cache probes to peers.
-	probes, remoteHits atomic.Int64
+	probes, remoteHits *telemetry.Counter
 	// tableProbes / tableImports count verdict-table probes and the
 	// tables actually adopted.
-	tableProbes, tableImports atomic.Int64
+	tableProbes, tableImports *telemetry.Counter
 	// servedResults / servedTables count exports to probing peers.
-	servedResults, servedTables atomic.Int64
+	servedResults, servedTables *telemetry.Counter
 	// admissionRedirects counts queue-full 503s that carried a
 	// Retry-Peer header.
-	admissionRedirects atomic.Int64
+	admissionRedirects *telemetry.Counter
+}
+
+func newCacheStats(reg *telemetry.Registry) cacheStats {
+	probes := reg.NewCounterVec("perfplay_cluster_cache_probes_total",
+		"Cluster cache probes issued to peers, by artifact kind.", "kind")
+	hits := reg.NewCounterVec("perfplay_cluster_cache_hits_total",
+		"Cluster cache probes answered by a peer, by artifact kind.", "kind")
+	served := reg.NewCounterVec("perfplay_cluster_cache_served_total",
+		"Cache artifacts this node exported to probing peers, by kind.", "kind")
+	return cacheStats{
+		probes:        probes.With("result"),
+		remoteHits:    hits.With("result"),
+		tableProbes:   probes.With("table"),
+		tableImports:  hits.With("table"),
+		servedResults: served.With("result"),
+		servedTables:  served.With("table"),
+		admissionRedirects: reg.NewCounter("perfplay_admission_redirects_total",
+			"Queue-full 503s that carried a Retry-Peer redirect."),
+	}
 }
 
 func (c *cacheStats) snapshot() map[string]int64 {
 	return map[string]int64{
-		"probes":              c.probes.Load(),
-		"remote_hits":         c.remoteHits.Load(),
-		"table_probes":        c.tableProbes.Load(),
-		"table_imports":       c.tableImports.Load(),
-		"served_results":      c.servedResults.Load(),
-		"served_tables":       c.servedTables.Load(),
-		"admission_redirects": c.admissionRedirects.Load(),
+		"probes":              c.probes.Int(),
+		"remote_hits":         c.remoteHits.Int(),
+		"table_probes":        c.tableProbes.Int(),
+		"table_imports":       c.tableImports.Int(),
+		"served_results":      c.servedResults.Int(),
+		"served_tables":       c.servedTables.Int(),
+		"admission_redirects": c.admissionRedirects.Int(),
 	}
 }
 
@@ -67,14 +89,17 @@ func (c *cacheStats) snapshot() map[string]int64 {
 // path-escaped pipeline cache key; a miss is 404 — the prober's cue to
 // try the next peer or run locally, never an error.
 func (s *Server) handleCacheResult(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	key := r.PathValue("key")
 	top, _ := strconv.Atoi(r.URL.Query().Get("top"))
 	wr, ok := s.pl.Export(key, top)
+	s.span(s.incomingTrace(r), "cache_serve", start, time.Now(),
+		map[string]string{"kind": "result", "outcome": probeOutcome(ok)})
 	if !ok {
 		httpError(w, http.StatusNotFound, "no cached result for key %q", key)
 		return
 	}
-	s.cacheStats.servedResults.Add(1)
+	s.cacheStats.servedResults.Inc()
 	writeJSON(w, http.StatusOK, wr)
 }
 
@@ -83,14 +108,25 @@ func (s *Server) handleCacheResult(w http.ResponseWriter, r *http.Request) {
 // both caches can still run its job with zero reversed replays. The
 // response echoes the key for importer-side validation.
 func (s *Server) handleCacheTable(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	key := r.PathValue("key")
 	wt, ok := s.pl.ExportTable(key)
+	s.span(s.incomingTrace(r), "cache_serve", start, time.Now(),
+		map[string]string{"kind": "table", "outcome": probeOutcome(ok)})
 	if !ok {
 		httpError(w, http.StatusNotFound, "no cached verdict table for key %q", key)
 		return
 	}
-	s.cacheStats.servedTables.Add(1)
+	s.cacheStats.servedTables.Inc()
 	writeJSON(w, http.StatusOK, wt)
+}
+
+// probeOutcome renders a cache lookup's result as a span attribute.
+func probeOutcome(ok bool) string {
+	if ok {
+		return "hit"
+	}
+	return "miss"
 }
 
 // cacheProbeOrder ranks peers for one cache probe: peers whose
@@ -131,7 +167,7 @@ func (s *Server) cacheProbeOrder(hinted func(scheduler.PeerStatus) bool) []strin
 // probe: their keys name trace bytes both sides can verify, and only
 // those jobs are expensive enough to be worth a network round trip.
 // ok=false — local miss everywhere — is the normal path, not a failure.
-func (s *Server) probePeerCaches(req pipeline.Request) (*pipeline.WireResult, string, bool) {
+func (s *Server) probePeerCaches(req pipeline.Request, tc spanCtx) (*pipeline.WireResult, string, bool) {
 	if len(s.cfg.Peers) == 0 || req.TraceDigest == "" {
 		return nil, "", false
 	}
@@ -140,20 +176,38 @@ func (s *Server) probePeerCaches(req pipeline.Request) (*pipeline.WireResult, st
 		return nil, "", false
 	}
 	for _, peer := range s.cacheProbeOrder(func(st scheduler.PeerStatus) bool { return st.HintsKey(key) }) {
-		s.cacheStats.probes.Add(1)
-		wr, err := s.fetchWireResult(peer, key, req.TopK)
+		s.cacheStats.probes.Inc()
+		start := time.Now()
+		wr, err := s.fetchWireResult(peer, key, req.TopK, tc)
+		s.span(tc, "cache_probe", start, time.Now(),
+			map[string]string{"peer": peer, "kind": "result", "outcome": probeOutcome(err == nil)})
 		if err != nil {
 			continue // miss, dead peer, or garbage: the local run is always correct
 		}
-		s.cacheStats.remoteHits.Add(1)
+		s.cacheStats.remoteHits.Inc()
 		return wr, peer, true
 	}
 	return nil, "", false
 }
 
+// probeGet issues one cluster-cache probe with the job's trace context
+// riding as headers, so the serving peer's span lands on the same
+// timeline as the probe span recorded here.
+func (s *Server) probeGet(urlStr string, tc spanCtx) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, urlStr, nil)
+	if err != nil {
+		return nil, err
+	}
+	if tc.trace != "" {
+		req.Header.Set(telemetry.TraceHeader, tc.trace)
+		req.Header.Set(telemetry.SpanHeader, tc.parent)
+	}
+	return s.cacheClient.Do(req)
+}
+
 // fetchWireResult fetches and validates one peer's cached result.
-func (s *Server) fetchWireResult(peer, key string, topK int) (*pipeline.WireResult, error) {
-	resp, err := s.cacheClient.Get(peer + "/cache/results/" + url.PathEscape(key) + "?top=" + strconv.Itoa(topK))
+func (s *Server) fetchWireResult(peer, key string, topK int, tc spanCtx) (*pipeline.WireResult, error) {
+	resp, err := s.probeGet(peer+"/cache/results/"+url.PathEscape(key)+"?top="+strconv.Itoa(topK), tc)
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +234,7 @@ func (s *Server) fetchWireResult(peer, key string, topK int) (*pipeline.WireResu
 // cache keys, and a peer hinting any result for this trace — whatever
 // reporting flags its job used — ran the identify pass that built this
 // very table.
-func (s *Server) probePeerTables(req pipeline.Request) {
+func (s *Server) probePeerTables(req pipeline.Request, tc spanCtx) {
 	if len(s.cfg.Peers) == 0 || req.TraceDigest == "" {
 		return
 	}
@@ -190,15 +244,19 @@ func (s *Server) probePeerTables(req pipeline.Request) {
 	}
 	digest := req.TraceDigest
 	for _, peer := range s.cacheProbeOrder(func(st scheduler.PeerStatus) bool { return st.HintsDigest(digest) }) {
-		s.cacheStats.tableProbes.Add(1)
-		if s.fetchTable(peer, key) {
+		s.cacheStats.tableProbes.Inc()
+		start := time.Now()
+		imported := s.fetchTable(peer, key, tc)
+		s.span(tc, "table_probe", start, time.Now(),
+			map[string]string{"peer": peer, "kind": "table", "outcome": probeOutcome(imported)})
+		if imported {
 			return
 		}
 	}
 }
 
-func (s *Server) fetchTable(peer, key string) bool {
-	resp, err := s.cacheClient.Get(peer + "/cache/tables/" + url.PathEscape(key))
+func (s *Server) fetchTable(peer, key string, tc spanCtx) bool {
+	resp, err := s.probeGet(peer+"/cache/tables/"+url.PathEscape(key), tc)
 	if err != nil {
 		return false
 	}
@@ -214,7 +272,7 @@ func (s *Server) fetchTable(peer, key string) bool {
 	if wt.Validate(key) != nil || !s.pl.ImportTable(key, wt.Table) {
 		return false
 	}
-	s.cacheStats.tableImports.Add(1)
+	s.cacheStats.tableImports.Inc()
 	return true
 }
 
@@ -250,10 +308,13 @@ func summaryFromWire(wr *pipeline.WireResult) jobSummary {
 // Retry-Peer header naming it — steal-aware admission: the node cannot
 // take the job, but the cluster can, and the redirected submit lands
 // where a thief would have dragged the job anyway.
-func (s *Server) rejectQueueFull(w http.ResponseWriter) {
+func (s *Server) rejectQueueFull(w http.ResponseWriter, traceID string) {
 	if peer, ok := s.idlestPeer(); ok {
 		w.Header().Set("Retry-Peer", peer)
-		s.cacheStats.admissionRedirects.Add(1)
+		s.cacheStats.admissionRedirects.Inc()
+		now := time.Now()
+		s.span(spanCtx{trace: traceID}, "admission_redirect", now, now,
+			map[string]string{"peer": peer})
 		httpError(w, http.StatusServiceUnavailable,
 			"job queue full (%d pending); retry at %s", s.cfg.QueueDepth, peer)
 		return

@@ -74,10 +74,10 @@ func TestPeerCacheHitOnColdNode(t *testing.T) {
 	if st := coldSrv.pl.Stats(); st != (pipeline.CacheStats{}) {
 		t.Fatalf("cold node's pipeline ran: stats %+v", st)
 	}
-	if got := coldSrv.cacheStats.remoteHits.Load(); got != 1 {
+	if got := coldSrv.cacheStats.remoteHits.Int(); got != 1 {
 		t.Fatalf("remote hits = %d, want 1", got)
 	}
-	if got := warmSrv.cacheStats.servedResults.Load(); got != 1 {
+	if got := warmSrv.cacheStats.servedResults.Int(); got != 1 {
 		t.Fatalf("warm node served %d results, want 1", got)
 	}
 
@@ -118,16 +118,16 @@ func TestPeerTableImport(t *testing.T) {
 	if report != want {
 		t.Fatalf("table-import report differs:\nwant:\n%s\ngot:\n%s", want, report)
 	}
-	if got := coldSrv.cacheStats.remoteHits.Load(); got != 0 {
+	if got := coldSrv.cacheStats.remoteHits.Int(); got != 0 {
 		t.Fatalf("remote result hits = %d, want 0 (keys differ)", got)
 	}
-	if got := coldSrv.cacheStats.tableImports.Load(); got != 1 {
+	if got := coldSrv.cacheStats.tableImports.Int(); got != 1 {
 		t.Fatalf("table imports = %d, want 1", got)
 	}
 	if st := coldSrv.pl.Stats(); st.TableHits != 1 {
 		t.Fatalf("cold node rebuilt the table: stats %+v", st)
 	}
-	if got := warmSrv.cacheStats.servedTables.Load(); got != 1 {
+	if got := warmSrv.cacheStats.servedTables.Int(); got != 1 {
 		t.Fatalf("warm node served %d tables, want 1", got)
 	}
 }
@@ -219,7 +219,7 @@ func TestAdmissionRedirectLandsOnIdlestPeer(t *testing.T) {
 	if accepted != idlePeerTS.URL {
 		t.Fatalf("job accepted at %s, want the idle peer %s", accepted, idlePeerTS.URL)
 	}
-	if got := subSrv.cacheStats.admissionRedirects.Load(); got != 1 {
+	if got := subSrv.cacheStats.admissionRedirects.Int(); got != 1 {
 		t.Fatalf("admission redirects = %d, want 1", got)
 	}
 	j := waitDone(t, accepted, id)
@@ -261,7 +261,7 @@ func TestRetryPeerLoopBound(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 10*time.Second {
 		t.Fatalf("loop bound took %v — did the client ping-pong?", elapsed)
 	}
-	if a, b := aSrv.cacheStats.admissionRedirects.Load(), bSrv.cacheStats.admissionRedirects.Load(); a != 1 || b != 1 {
+	if a, b := aSrv.cacheStats.admissionRedirects.Int(), bSrv.cacheStats.admissionRedirects.Int(); a != 1 || b != 1 {
 		t.Fatalf("redirects a=%d b=%d, want 1 each", a, b)
 	}
 
@@ -330,7 +330,7 @@ func TestCacheProbePeerDiesDegradesLocal(t *testing.T) {
 	if j["cache_peer"] != nil {
 		t.Fatalf("cache_peer = %v, want empty (local execution)", j["cache_peer"])
 	}
-	if probes, hits := srv.cacheStats.probes.Load(), srv.cacheStats.remoteHits.Load(); probes != 2 || hits != 0 {
+	if probes, hits := srv.cacheStats.probes.Int(), srv.cacheStats.remoteHits.Int(); probes != 2 || hits != 0 {
 		t.Fatalf("probes=%d hits=%d, want 2 probes / 0 hits", probes, hits)
 	}
 }
@@ -365,7 +365,7 @@ func TestStaleCacheHintFallsBack(t *testing.T) {
 	if report != want {
 		t.Fatalf("stale-hint report differs:\nwant:\n%s\ngot:\n%s", want, report)
 	}
-	if probes, hits := srv.cacheStats.probes.Load(), srv.cacheStats.remoteHits.Load(); probes < 1 || hits != 0 {
+	if probes, hits := srv.cacheStats.probes.Int(), srv.cacheStats.remoteHits.Int(); probes < 1 || hits != 0 {
 		t.Fatalf("probes=%d hits=%d, want ≥1 probes / 0 hits", probes, hits)
 	}
 }

@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"perfplay/internal/corpus"
 	"perfplay/internal/pipeline"
+	"perfplay/internal/telemetry"
 	"perfplay/internal/trace"
 	"perfplay/internal/ulcp"
 )
@@ -112,6 +114,9 @@ type shardResponse struct {
 	End     int                `json:"end"`
 	Groups  int                `json:"groups"`
 	Reports []*ulcp.WireReport `json:"reports"`
+	// Spans are the worker's spans for this range — shipped back so the
+	// coordinator's job timeline covers the remote execution.
+	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
 // handleShards is the worker half of the shard protocol. It is
@@ -174,18 +179,37 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 			"shard range [%d,%d) out of bounds for %d lock groups", req.Start, req.End, len(st.groups))
 		return
 	}
+	execStart := time.Now()
 	reports := make([]*ulcp.WireReport, req.End-req.Start)
 	pool := pipeline.NewPool(s.cfg.PipelineWorkers)
 	pool.Each(len(reports), func(i int) {
 		rep := ulcp.IdentifyShardWithVerdicts(st.tr, st.groups[req.Start+i], req.Opts, req.Table)
 		reports[i] = rep.Wire()
 	})
+	// When the coordinator sent trace context, the execution span is
+	// recorded locally AND shipped in the response, so both nodes'
+	// timelines cover this range.
+	var spans []telemetry.Span
+	if tc := s.incomingTrace(r); tc.trace != "" {
+		sp := telemetry.Span{
+			ID: telemetry.NewSpanID(), Parent: tc.parent, Node: s.nodeName,
+			Name: "shard_execute", Start: execStart, End: time.Now(),
+			Attrs: map[string]string{
+				"digest": req.Trace,
+				"start":  strconv.Itoa(req.Start),
+				"end":    strconv.Itoa(req.End),
+			},
+		}
+		s.traces.Add(tc.trace, sp)
+		spans = []telemetry.Span{sp}
+	}
 	writeJSON(w, http.StatusOK, &shardResponse{
 		Trace:   req.Trace,
 		Start:   req.Start,
 		End:     req.End,
 		Groups:  len(st.groups),
 		Reports: reports,
+		Spans:   spans,
 	})
 }
 
@@ -197,21 +221,36 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 type peerExecutor struct {
 	base   string
 	client *http.Client
-	remote *corpus.Remote
+	// srv records coordinator-side spans (peer RTT per range) and
+	// imports the worker's shipped spans onto the job's timeline.
+	srv *Server
 }
 
-func newPeerExecutor(base string, timeout time.Duration) *peerExecutor {
-	client := &http.Client{Timeout: timeout}
+func newPeerExecutor(base string, timeout time.Duration, srv *Server) *peerExecutor {
 	return &peerExecutor{
 		base:   base,
-		client: client,
-		remote: &corpus.Remote{Base: base, Client: client},
+		client: &http.Client{Timeout: timeout},
+		srv:    srv,
 	}
 }
 
 func (p *peerExecutor) Name() string { return p.base }
 
-func (p *peerExecutor) ExecuteShards(job *pipeline.ShardJob, rng pipeline.ShardRange) ([]*ulcp.Report, error) {
+func (p *peerExecutor) ExecuteShards(job *pipeline.ShardJob, rng pipeline.ShardRange) (_ []*ulcp.Report, err error) {
+	// The shard_range span is the coordinator's view of this range: the
+	// full round trip including any blob seeding, successful or not (a
+	// failed range additionally gets a shard_fallback span from the
+	// distributor's fallback hook).
+	rangeStart := time.Now()
+	defer func() {
+		p.srv.span(spanCtx{trace: job.TraceID, parent: job.SpanID}, "shard_range",
+			rangeStart, time.Now(), map[string]string{
+				"peer":    p.base,
+				"start":   strconv.Itoa(rng.Start),
+				"end":     strconv.Itoa(rng.End),
+				"outcome": probeOutcome(err == nil),
+			})
+	}()
 	// Digest avoids serializing the trace when the pipeline's digest
 	// memo already knows its canonical name; the bytes themselves are
 	// materialized only if this peer turns out to miss the blob.
@@ -226,7 +265,11 @@ func (p *peerExecutor) ExecuteShards(job *pipeline.ShardJob, rng pipeline.ShardR
 		if _, data, err = job.Blob(); err != nil {
 			return nil, err
 		}
-		if _, err = p.remote.Push(data); err != nil {
+		remote := &corpus.Remote{
+			Base: p.base, Client: p.client,
+			TraceID: job.TraceID, SpanID: job.SpanID,
+		}
+		if _, err = remote.Push(data); err != nil {
 			return nil, fmt.Errorf("seed %s: %w", p.base, err)
 		}
 		resp, err = p.post(digest, job, rng)
@@ -262,7 +305,16 @@ func (p *peerExecutor) post(digest string, job *pipeline.ShardJob, rng pipeline.
 	if err != nil {
 		return nil, err
 	}
-	httpResp, err := p.client.Post(p.base+"/shards", "application/json", bytes.NewReader(body))
+	httpReq, err := http.NewRequest(http.MethodPost, p.base+"/shards", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if job.TraceID != "" {
+		httpReq.Header.Set(telemetry.TraceHeader, job.TraceID)
+		httpReq.Header.Set(telemetry.SpanHeader, job.SpanID)
+	}
+	httpResp, err := p.client.Do(httpReq)
 	if err != nil {
 		return nil, fmt.Errorf("post shards to %s: %w", p.base, err)
 	}
@@ -279,6 +331,11 @@ func (p *peerExecutor) post(digest string, job *pipeline.ShardJob, rng pipeline.
 	}
 	if len(resp.Reports) != rng.End-rng.Start {
 		return nil, fmt.Errorf("peer %s: %d reports for %d groups", p.base, len(resp.Reports), rng.End-rng.Start)
+	}
+	// Adopt the worker's spans onto the coordinator's copy of the
+	// timeline (they carry the worker's node name).
+	for _, sp := range resp.Spans {
+		p.srv.recordSpan(spanCtx{trace: job.TraceID}, sp)
 	}
 	return &resp, nil
 }

@@ -12,6 +12,7 @@
 //	                          reference, or raw trace upload); a full
 //	                          queue 503s with a Retry-Peer redirect
 //	GET    /jobs/{id}         job status/report; ?wait= long-polls
+//	GET    /jobs/{id}/trace   the job's distributed span timeline
 //	POST   /jobs/claim        a peer claims a whole queued job (work stealing)
 //	POST   /jobs/{id}/result  the thief reports the finished job back
 //	GET    /steal             stealable-backlog + cache-hint probe
@@ -19,6 +20,7 @@
 //	GET    /cache/results/{key}  export a cached analysis result (wire form)
 //	GET    /cache/tables/{key}   export a cached verdict table
 //	GET    /healthz           liveness, occupancy, cluster gossip
+//	GET    /metrics           Prometheus text-format metrics
 //	POST   /traces            store a trace in the content-addressed corpus
 //	GET    /traces[/{digest}] list / download stored traces
 //	DELETE /traces/{digest}   evict a stored trace
@@ -33,7 +35,18 @@
 //	          [-peers http://h1:8080,http://h2:8080] [-shard-timeout 120s]
 //	          [-advertise http://me:8080] [-steal-interval 1s]
 //	          [-steal-lease 2m] [-cache-probe-timeout 2s]
-//	          [-cache-probe-fanout 3] [-print-routes]
+//	          [-cache-probe-fanout 3] [-node name] [-pprof]
+//	          [-print-routes]
+//
+// Observability: GET /metrics serves every counter, gauge and histogram
+// in the Prometheus text format; GET /jobs/{id}/trace serves a job's
+// cross-node span timeline; logs are structured (log/slog) and carry
+// the node name plus job/trace IDs. -pprof additionally mounts the
+// net/http/pprof handlers under /debug/pprof/ (off by default). See
+// docs/OBSERVABILITY.md for the metric catalog and span names.
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, waits for
+// in-flight requests and running jobs, then exits.
 //
 // Cluster mode: give every node the same -corpus-backed setup and point
 // each at its peers with -peers. Each node then both fans its jobs'
@@ -53,13 +66,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 )
 
 func main() {
@@ -80,6 +99,8 @@ func main() {
 		stealLease    = flag.Duration("steal-lease", 0, "how long a thief may hold a claimed job before it re-queues locally (0 = 2m)")
 		probeTimeout  = flag.Duration("cache-probe-timeout", 0, "per-peer cluster-cache probe timeout (0 = 2s)")
 		probeFanout   = flag.Int("cache-probe-fanout", 0, "max peers probed per cache-missed job (0 = 3)")
+		nodeName      = flag.String("node", "", "node name on spans and log lines (default: hostname)")
+		enablePprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 		printRoutes   = flag.Bool("print-routes", false, "print the registered HTTP routes, one per line, and exit")
 	)
 	flag.Parse()
@@ -112,6 +133,7 @@ func main() {
 		log.Fatal("perfplayd: -role=worker requires a -corpus (shard requests reference traces by digest)")
 	}
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv, err := NewServer(Config{
 		Workers:           *workers,
 		PipelineWorkers:   *plWorkers,
@@ -127,6 +149,9 @@ func main() {
 		StealLease:        *stealLease,
 		CacheProbeTimeout: *probeTimeout,
 		CacheProbeFanout:  *probeFanout,
+		NodeName:          *nodeName,
+		Logger:            logger,
+		EnablePprof:       *enablePprof,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -139,9 +164,34 @@ func main() {
 	} else if srv.cfg.Role != roleStandalone {
 		cluster = " as " + srv.cfg.Role
 	}
-	log.Printf("perfplayd listening on %s (%d job workers × %d pipeline workers, queue %d)%s",
-		*addr, *workers, *plWorkers, *queueDepth, cluster)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	srv.logger.Info(fmt.Sprintf("perfplayd listening on %s (%d job workers × %d pipeline workers, queue %d)%s",
+		*addr, *workers, *plWorkers, *queueDepth, cluster))
+
+	// Graceful shutdown: SIGINT/SIGTERM stops the listener, drains
+	// in-flight HTTP requests, then waits for running jobs. A second
+	// signal during the drain kills the process the default way.
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal force-kills
+	srv.logger.Info("shutting down: draining in-flight requests and jobs")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		srv.logger.Warn("shutdown did not drain cleanly", "err", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		srv.logger.Warn("listener error", "err", err)
+	}
+	srv.Close()
+	srv.logger.Info("perfplayd stopped")
 }
 
 // selfURL derives the node's advertised base URL. A bare ":8080"-style

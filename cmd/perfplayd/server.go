@@ -6,8 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"perfplay/internal/corpus"
 	"perfplay/internal/pipeline"
 	"perfplay/internal/scheduler"
+	"perfplay/internal/telemetry"
 	"perfplay/internal/trace"
 	"perfplay/internal/workload"
 )
@@ -91,6 +93,18 @@ type Config struct {
 	// probes before running locally (0 = 3; it also caps the
 	// admission path's on-demand probe round).
 	CacheProbeFanout int
+	// NodeName labels this node's spans and structured log lines, so a
+	// cross-node trace reads as a story of named machines (0 = the
+	// hostname).
+	NodeName string
+	// Logger receives the daemon's structured logs (nil =
+	// slog.Default()). Every line carries the node name; job-lifecycle
+	// lines carry job, trace and span IDs.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/ —
+	// off by default because profiling endpoints leak operational
+	// detail and cost CPU when scraped.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +156,9 @@ func (c Config) withDefaults() Config {
 			c.Role = roleCoordinator
 		}
 	}
+	if c.NodeName == "" {
+		c.NodeName = defaultNodeName()
+	}
 	return c
 }
 
@@ -172,6 +189,11 @@ type job struct {
 	// remote result-cache hit: zero local replays) — empty for jobs
 	// computed locally or stolen.
 	CachePeer string `json:"cache_peer,omitempty"`
+	// TraceID is the job's distributed trace — minted at submit (or
+	// adopted from the client's X-Perfplay-Trace header) and propagated
+	// across every steal, cache probe and shard hop. GET
+	// /jobs/{id}/trace serves the recorded timeline.
+	TraceID string `json:"trace_id,omitempty"`
 
 	jobSummary
 
@@ -184,6 +206,10 @@ type job struct {
 	// GET /jobs/{id}?wait=... long-polls wake on state change rather
 	// than spinning. Guarded by Server.mu.
 	changed chan struct{}
+	// spanID is the job's root span, minted at submit so children
+	// (queue wait, execution — local, stolen or cache-served) can
+	// parent onto it before the root itself is recorded at completion.
+	spanID string
 }
 
 // jobSummary is everything a finished analysis reports — the fields a
@@ -282,8 +308,23 @@ type Server struct {
 	// cacheClient issues cluster-cache and admission probes under the
 	// short CacheProbeTimeout.
 	cacheClient *http.Client
-	// cacheStats counts cluster-cache traffic (see cache.go).
+	// cacheStats counts cluster-cache traffic (see cache.go); its
+	// counters live in the metrics registry, so /healthz and /metrics
+	// render the same numbers.
 	cacheStats cacheStats
+
+	// metrics is the process-wide registry behind GET /metrics; every
+	// subsystem (pipeline, scheduler, corpus, the handlers) registers
+	// its instruments here. traces holds per-job span timelines behind
+	// GET /jobs/{id}/trace. See telemetry.go.
+	metrics      *telemetry.Registry
+	traces       *telemetry.TraceStore
+	logger       *slog.Logger
+	nodeName     string
+	schedMetrics *scheduler.Metrics
+	httpDur      *telemetry.HistogramVec
+	httpReqs     *telemetry.CounterVec
+	jobsDone     *telemetry.CounterVec
 
 	mu               sync.Mutex
 	jobs             map[string]*job
@@ -308,7 +349,6 @@ func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:         cfg,
-		pl:          pipeline.New(pipeline.Options{CacheSize: cfg.CacheSize}),
 		queue:       scheduler.NewQueue(cfg.QueueDepth),
 		gossip:      scheduler.NewGossip(),
 		jobs:        make(map[string]*job),
@@ -316,11 +356,18 @@ func NewServer(cfg Config) (*Server, error) {
 		cacheClient: &http.Client{Timeout: cfg.CacheProbeTimeout},
 		stop:        make(chan struct{}),
 	}
+	// The registry must exist before any subsystem that registers
+	// instruments into it — the pipeline, the corpus, the queue and the
+	// cluster-cache counters all share it.
+	s.initTelemetry(cfg)
+	s.pl = pipeline.New(pipeline.Options{CacheSize: cfg.CacheSize, Metrics: s.metrics})
+	s.queue.Metrics = s.schedMetrics
+	s.cacheStats = newCacheStats(s.metrics)
 	if cfg.MaxShardRequests > 0 {
 		s.shardSem = make(chan struct{}, cfg.MaxShardRequests)
 	}
 	if cfg.CorpusDir != "" {
-		st, err := corpus.Open(cfg.CorpusDir, corpus.Options{MaxBytes: cfg.CorpusMaxBytes})
+		st, err := corpus.Open(cfg.CorpusDir, corpus.Options{MaxBytes: cfg.CorpusMaxBytes, Metrics: s.metrics})
 		if err != nil {
 			return nil, err
 		}
@@ -329,13 +376,17 @@ func NewServer(cfg Config) (*Server, error) {
 	if len(cfg.Peers) > 0 {
 		peers := make([]pipeline.ShardExecutor, len(cfg.Peers))
 		for i, base := range cfg.Peers {
-			peers[i] = newPeerExecutor(base, cfg.ShardTimeout)
+			peers[i] = newPeerExecutor(base, cfg.ShardTimeout, s)
 		}
 		s.dist = &pipeline.Distributor{
 			Peers: peers,
-			OnFallback: func(peer string, rng pipeline.ShardRange, err error) {
-				log.Printf("perfplayd: peer %s failed shard range [%d,%d), re-running locally: %v",
-					peer, rng.Start, rng.End, err)
+			OnFallback: func(job *pipeline.ShardJob, peer string, rng pipeline.ShardRange, err error) {
+				s.logger.Warn("shard fallback: re-running range locally",
+					"peer", peer, "start", rng.Start, "end", rng.End,
+					"trace", job.TraceID, "span", job.SpanID, "err", err)
+				now := time.Now()
+				s.span(spanCtx{trace: job.TraceID, parent: job.SpanID}, "shard_fallback",
+					now, now, map[string]string{"peer": peer, "error": err.Error()})
 			},
 		}
 	}
@@ -377,6 +428,7 @@ func (s *Server) StartStealer(self string) {
 		Execute:  s.executeStolen,
 		Gossip:   s.gossip,
 		Client:   &http.Client{Timeout: s.cfg.ShardTimeout},
+		Metrics:  s.schedMetrics,
 	}
 	st := s.stealer
 	s.wg.Add(1)
@@ -447,7 +499,10 @@ func (s *Server) reaper() {
 			s.mu.Lock()
 			for _, qj := range expired {
 				j := qj.Payload.(*job)
-				log.Printf("perfplayd: steal lease for %s expired (thief %s); re-queued locally", j.ID, j.StolenBy)
+				s.logger.Warn("steal lease expired; re-queued locally",
+					"job", j.ID, "thief", j.StolenBy, "trace", j.TraceID, "span", j.spanID)
+				s.span(spanCtx{trace: j.TraceID, parent: j.spanID}, "lease_expired",
+					now, now, map[string]string{"job": j.ID, "thief": j.StolenBy})
 				j.StolenBy = ""
 				j.Status = statusQueued
 				j.notifyLocked()
@@ -459,14 +514,18 @@ func (s *Server) reaper() {
 }
 
 func (s *Server) runJob(j *job) {
+	popped := time.Now()
 	s.mu.Lock()
 	j.Status = statusRunning
 	j.notifyLocked()
 	s.queuedTraceBytes -= j.traceBytes // the upload has left the queue
 	s.running++
+	submitted := j.Submitted
+	tc := spanCtx{trace: j.TraceID, parent: j.spanID}
 	s.mu.Unlock()
+	s.span(tc, "queue_wait", submitted, popped, nil)
 
-	sum, cachePeer, err := s.executeJob(j.req)
+	sum, cachePeer, err := s.executeJob(j.req, tc)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -482,6 +541,11 @@ func (s *Server) runJob(j *job) {
 		j.CachePeer = cachePeer
 	}
 	j.notifyLocked()
+	s.jobsDone.With(j.Status).Inc()
+	s.recordSpan(tc, telemetry.Span{
+		ID: j.spanID, Name: "job", Start: submitted, End: j.Finished,
+		Attrs: map[string]string{"job": j.ID, "status": j.Status},
+	})
 	s.order = append(s.order, j.ID)
 	s.evictLocked()
 }
@@ -495,13 +559,18 @@ func (s *Server) runJob(j *job) {
 // one: the run below settles instantly without consulting the table
 // cache, so even an evicted table would be wasted network I/O. The
 // returned peer is non-empty only for remote cache hits.
-func (s *Server) executeJob(req pipeline.Request) (jobSummary, string, error) {
+func (s *Server) executeJob(req pipeline.Request, tc spanCtx) (jobSummary, string, error) {
 	if key, ok := s.pl.CacheKeyFor(req); !ok || !s.pl.HasResult(key) {
-		if wr, peer, ok := s.probePeerCaches(req); ok {
+		if wr, peer, ok := s.probePeerCaches(req, tc); ok {
 			return summaryFromWire(wr), peer, nil
 		}
-		s.probePeerTables(req)
+		s.probePeerTables(req, tc)
 	}
+	// The pipeline records per-stage timings and the request carries the
+	// trace context into any shard fan-out; execution itself is one span
+	// with a stage:<name> child per pipeline stage actually run.
+	req.TraceID, req.SpanID = tc.trace, tc.parent
+	execStart := time.Now()
 	res, err := func() (res *pipeline.Result, err error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -512,6 +581,18 @@ func (s *Server) executeJob(req pipeline.Request) (jobSummary, string, error) {
 	}()
 	if err != nil {
 		return jobSummary{}, "", err
+	}
+	execID := s.span(tc, "execute", execStart, time.Now(),
+		map[string]string{"cache_hit": strconv.FormatBool(res.CacheHit)})
+	// A cache hit carries the *original* run's timings; replaying those
+	// as spans on this trace would put stale wall clocks on the timeline.
+	if !res.CacheHit {
+		stageTC := spanCtx{trace: tc.trace, parent: execID, rec: tc.rec}
+		for _, st := range res.Timings {
+			if !st.Start.IsZero() {
+				s.span(stageTC, "stage:"+st.Stage, st.Start, st.Start.Add(st.Wall), nil)
+			}
+		}
 	}
 	return summarize(res), "", nil
 }
@@ -540,6 +621,8 @@ func (s *Server) routes() []route {
 		{"POST /jobs/claim", s.handleClaim},
 		{"POST /jobs/{id}/result", s.handleJobResult},
 		{"GET /jobs/{id}", s.handleJob},
+		{"GET /jobs/{id}/trace", s.handleJobTrace},
+		{"GET /metrics", s.handleMetrics},
 		{"GET /cache/results/{key}", s.handleCacheResult},
 		{"GET /cache/tables/{key}", s.handleCacheTable},
 		{"GET /healthz", s.handleHealthz},
@@ -551,11 +634,22 @@ func (s *Server) routes() []route {
 	}
 }
 
-// Handler returns the daemon's HTTP routes.
+// Handler returns the daemon's HTTP routes, each wrapped with the
+// per-route duration histogram and request counter.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, r := range s.routes() {
-		mux.HandleFunc(r.pattern, r.handler)
+		mux.HandleFunc(r.pattern, s.instrument(r.pattern, r.handler))
+	}
+	// pprof mounts outside the routes() table on purpose: it is an
+	// opt-in debug surface, not part of the documented API the
+	// -print-routes/docs drift check covers.
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	return mux
 }
@@ -757,6 +851,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// checks re-run under the mutex at enqueue time.
 	ct := r.Header.Get("Content-Type")
 	jsonish := ct == "" || strings.HasPrefix(ct, "application/json")
+	// Every submission gets a distributed trace ID — minted here, or
+	// adopted from the client's X-Perfplay-Trace header so a caller (or
+	// an upstream redirecting node) can stitch the job into its own
+	// trace. The ID is echoed on every response, including rejections.
+	traceID := r.Header.Get(telemetry.TraceHeader)
+	if !telemetry.ValidTraceID(traceID) {
+		traceID = telemetry.NewTraceID()
+	}
+	w.Header().Set(telemetry.TraceHeader, traceID)
 	s.mu.Lock()
 	closed := s.closed
 	s.mu.Unlock()
@@ -765,7 +868,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.queue.Len() >= s.queue.Cap() {
-		s.rejectQueueFull(w)
+		s.rejectQueueFull(w, traceID)
 		return
 	}
 
@@ -925,9 +1028,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		Submitted:   time.Now(),
 		Seed:        req.Seed,
 		TraceDigest: req.TraceDigest,
+		TraceID:     traceID,
 		req:         req,
 		traceBytes:  uploadBytes,
 		changed:     make(chan struct{}),
+		spanID:      telemetry.NewSpanID(),
 	}
 	s.jobs[j.ID] = j
 	// Push is non-blocking (the queue is bounded), so holding the mutex
@@ -940,11 +1045,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !enqueued {
-		s.rejectQueueFull(w)
+		s.rejectQueueFull(w, traceID)
 		return
 	}
 	w.Header().Set("Location", "/jobs/"+j.ID)
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.ID, "status": statusQueued})
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"id": j.ID, "status": statusQueued, "trace_id": traceID,
+	})
 }
 
 // maxJobWait caps GET /jobs/{id}?wait= long-polls so a daemon never

@@ -5,13 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
+	"sync"
 	"time"
 
 	"perfplay/internal/corpus"
 	"perfplay/internal/pipeline"
 	"perfplay/internal/scheduler"
+	"perfplay/internal/telemetry"
 	"perfplay/internal/trace"
 	"perfplay/internal/workload"
 )
@@ -73,7 +74,7 @@ var errStolenTraceUnavailable = errors.New("stolen trace unavailable")
 // trace's size (the result cache weighs trace-backed entries against
 // its byte budget) and so an unfetchable blob aborts the steal before
 // anything is reported.
-func (s *Server) requestFor(victim string, spec scheduler.Spec) (pipeline.Request, error) {
+func (s *Server) requestFor(victim string, spec scheduler.Spec, tc spanCtx) (pipeline.Request, error) {
 	req := pipeline.Request{
 		TopK:        spec.TopK,
 		Schemes:     spec.Schemes,
@@ -112,15 +113,24 @@ func (s *Server) requestFor(victim string, spec scheduler.Spec) (pipeline.Reques
 			return pipeline.Request{}, fmt.Errorf("%w: %v", errStolenTraceUnavailable, err)
 		}
 	}
-	remote := &corpus.Remote{Base: victim, Client: &http.Client{Timeout: s.cfg.ShardTimeout}}
+	remote := &corpus.Remote{
+		Base:    victim,
+		Client:  &http.Client{Timeout: s.cfg.ShardTimeout},
+		TraceID: tc.trace,
+		SpanID:  tc.parent,
+	}
+	fetchStart := time.Now()
 	data, err := remote.Fetch(digest)
+	s.span(tc, "blob_fetch", fetchStart, time.Now(),
+		map[string]string{"victim": victim, "digest": digest, "outcome": probeOutcome(err == nil)})
 	if err != nil {
 		return pipeline.Request{}, fmt.Errorf("%w: fetch from %s: %v", errStolenTraceUnavailable, victim, err)
 	}
 	if s.corpus != nil {
 		// Best-effort local cache: the next steal of this trace is free.
 		if _, _, err := s.corpus.Put(data, false); err != nil {
-			log.Printf("perfplayd: could not cache stolen trace %s locally: %v", digest, err)
+			s.logger.Warn("could not cache stolen trace locally",
+				"digest", digest, "victim", victim, "err", err)
 		}
 	}
 	req.TraceBytes = int64(len(data))
@@ -135,6 +145,10 @@ type stealResult struct {
 	Thief   string     `json:"thief"`
 	Error   string     `json:"error,omitempty"`
 	Summary jobSummary `json:"summary"`
+	// Spans are the spans the thief recorded while executing the job —
+	// shipped back so the victim's GET /jobs/{id}/trace shows the whole
+	// cross-node timeline, not a hole where the stolen execution went.
+	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
 // executeStolen is the thief side of one steal: run the job on the
@@ -153,19 +167,45 @@ func (s *Server) executeStolen(victim string, sj scheduler.StolenJob) error {
 		s.mu.Unlock()
 	}()
 
+	// Spans recorded during the stolen execution are collected for the
+	// report body as well as stored locally — the victim owns the job's
+	// timeline, but this node keeps its own copy for operators looking
+	// at the thief. The steal_execute span's ID is minted up front so
+	// children can parent onto it before it is itself recorded.
+	var (
+		spanMu  sync.Mutex
+		shipped []telemetry.Span
+	)
+	collect := func(sp telemetry.Span) {
+		spanMu.Lock()
+		shipped = append(shipped, sp)
+		spanMu.Unlock()
+	}
+	execSpanID := telemetry.NewSpanID()
+	tc := spanCtx{trace: sj.Trace, parent: execSpanID, rec: collect}
+	execStart := time.Now()
+
 	result := stealResult{Thief: s.stealer.Self}
-	req, err := s.requestFor(victim, sj.Spec)
+	req, err := s.requestFor(victim, sj.Spec, tc)
 	if err == nil {
 		// executeJob, not a bare pipeline run: a stolen digest job
 		// deserves the same peer-cache probe as a local one — a third
 		// node (or the victim itself) may hold the finished result,
 		// and a steal must not re-pay a pipeline the cluster already ran.
 		var sum jobSummary
-		sum, _, err = s.executeJob(req)
+		sum, _, err = s.executeJob(req, tc)
 		if err == nil {
 			result.Summary = sum
 		}
 	}
+	s.recordSpan(tc, telemetry.Span{
+		ID: execSpanID, Parent: sj.Span, Name: "steal_execute",
+		Start: execStart, End: time.Now(),
+		Attrs: map[string]string{"victim": victim, "job": sj.ID},
+	})
+	spanMu.Lock()
+	result.Spans = shipped
+	spanMu.Unlock()
 	if err != nil {
 		if errors.Is(err, errStolenTraceUnavailable) {
 			return err // abandon: the lease recovers the job on the victim
@@ -232,11 +272,19 @@ func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
 	j.Status = statusRunning
 	j.StolenBy = body.Thief
 	j.notifyLocked()
+	traceID, parent := j.TraceID, j.spanID
 	s.mu.Unlock()
+	// The claim span marks the hand-off on the victim's timeline; its ID
+	// ships to the thief as the parent for everything recorded remotely.
+	now := time.Now()
+	claimSpan := s.span(spanCtx{trace: traceID, parent: parent}, "steal_claim",
+		now, now, map[string]string{"thief": body.Thief, "job": j.ID})
 	writeJSON(w, http.StatusOK, scheduler.StolenJob{
 		ID:      qj.ID,
 		Spec:    qj.Spec,
 		LeaseMS: time.Until(deadline).Milliseconds(),
+		Trace:   traceID,
+		Span:    claimSpan,
 	})
 }
 
@@ -273,6 +321,19 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		j.jobSummary = result.Summary
 	}
 	j.notifyLocked()
+	s.jobsDone.With(j.Status).Inc()
+	// Adopt the thief's spans onto the job's timeline, then close it
+	// out exactly like a local run: a settle marker and the root span.
+	tc := spanCtx{trace: j.TraceID, parent: j.spanID}
+	for _, sp := range result.Spans {
+		s.recordSpan(tc, sp)
+	}
+	s.span(tc, "steal_settle", j.Finished, j.Finished,
+		map[string]string{"thief": j.StolenBy, "status": j.Status})
+	s.recordSpan(tc, telemetry.Span{
+		ID: j.spanID, Name: "job", Start: j.Submitted, End: j.Finished,
+		Attrs: map[string]string{"job": j.ID, "status": j.Status},
+	})
 	s.order = append(s.order, j.ID)
 	s.evictLocked()
 	writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": j.Status})

@@ -343,7 +343,7 @@ func TestStolenTraceFetchFailureAbandons(t *testing.T) {
 	dead.Close()
 
 	spec := scheduler.Spec{TraceDigest: "sha256:" + strings.Repeat("ab", 32)}
-	_, err := srv.requestFor(deadURL, spec)
+	_, err := srv.requestFor(deadURL, spec, spanCtx{})
 	if err == nil || !strings.Contains(err.Error(), "stolen trace unavailable") {
 		t.Fatalf("unreachable victim: err = %v, want errStolenTraceUnavailable", err)
 	}
@@ -353,7 +353,7 @@ func TestStolenTraceFetchFailureAbandons(t *testing.T) {
 	if perr != nil {
 		t.Fatal(perr)
 	}
-	req, err := srv.requestFor(deadURL, scheduler.Spec{TraceDigest: meta.Digest})
+	req, err := srv.requestFor(deadURL, scheduler.Spec{TraceDigest: meta.Digest}, spanCtx{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +393,7 @@ func TestSpecRoundTrip(t *testing.T) {
 	if !wire.Stealable() {
 		t.Fatal("workload spec not stealable")
 	}
-	thiefReq, err := srv.requestFor("http://victim", wire)
+	thiefReq, err := srv.requestFor("http://victim", wire, spanCtx{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,302 @@
+package main
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"perfplay/internal/telemetry"
+)
+
+// jobTrace is the GET /jobs/{id}/trace response shape.
+type jobTrace struct {
+	Job     string           `json:"job"`
+	TraceID string           `json:"trace_id"`
+	Nodes   []string         `json:"nodes"`
+	Spans   []telemetry.Span `json:"spans"`
+	Dropped int              `json:"dropped_spans"`
+}
+
+func (jt jobTrace) byName(name string) []telemetry.Span {
+	var out []telemetry.Span
+	for _, sp := range jt.Spans {
+		if sp.Name == name {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+func getTrace(t *testing.T, base, id string) jobTrace {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s/trace: status %d", id, resp.StatusCode)
+	}
+	return decode[jobTrace](t, resp)
+}
+
+// TestMetricsEndpoint scrapes a live daemon after one real job and runs
+// the output through the package's own strict exposition-format parser
+// and naming lint — the same checks CI applies — then pins the presence
+// of every metric family the observability contract promises.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+
+	resp := postJSON(t, ts.URL+"/analyze", goldenSpecs[0].spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	sub := decode[map[string]string](t, resp)
+	if j := waitDone(t, ts.URL, sub["id"]); j["status"] != statusDone {
+		t.Fatalf("job failed: %v", j["error"])
+	}
+
+	scrape, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scrape.Body.Close()
+	if ct := scrape.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	families, err := telemetry.ParseExposition(scrape.Body)
+	if err != nil {
+		t.Fatalf("scrape violates the text exposition format: %v", err)
+	}
+	if problems := telemetry.LintFamilies(families, "perfplay_"); len(problems) > 0 {
+		t.Fatalf("metric naming lint: %v", problems)
+	}
+
+	byName := make(map[string]telemetry.ExpositionFamily, len(families))
+	for _, f := range families {
+		byName[f.Name] = f
+	}
+	for _, want := range []string{
+		"perfplay_pipeline_stage_duration_seconds",
+		"perfplay_pipeline_cache_requests_total",
+		"perfplay_scheduler_steal_probes_total",
+		"perfplay_scheduler_leases_granted_total",
+		"perfplay_scheduler_queue_depth",
+		"perfplay_cluster_cache_probes_total",
+		"perfplay_cluster_cache_hits_total",
+		"perfplay_corpus_blob_bytes",
+		"perfplay_corpus_evictions_total",
+		"perfplay_http_request_duration_seconds",
+		"perfplay_http_requests_total",
+		"perfplay_jobs_completed_total",
+		"perfplay_jobs_running",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("scrape is missing family %s", want)
+		}
+	}
+
+	// The job that just ran must be visible: at least one stage
+	// histogram sample and the per-route counters for the requests this
+	// test itself made.
+	if f := byName["perfplay_pipeline_stage_duration_seconds"]; len(f.Series) == 0 {
+		t.Error("stage duration histogram has no series after a completed job")
+	}
+	var sawAnalyze, sawCompleted bool
+	for _, line := range byName["perfplay_http_requests_total"].Series {
+		if strings.Contains(line, `route="POST /analyze"`) && strings.Contains(line, `code="202"`) {
+			sawAnalyze = true
+		}
+	}
+	for _, line := range byName["perfplay_jobs_completed_total"].Series {
+		if strings.Contains(line, `status="done"`) {
+			sawCompleted = true
+		}
+	}
+	if !sawAnalyze {
+		t.Error("perfplay_http_requests_total missing the POST /analyze 202 series")
+	}
+	if !sawCompleted {
+		t.Error(`perfplay_jobs_completed_total has no status="done" series after one job`)
+	}
+	if got := srv.jobsDone.With(statusDone).Int(); got != 1 {
+		t.Errorf("jobs completed counter = %d, want 1", got)
+	}
+}
+
+// TestJobTraceLocalJob pins the single-node span tree: a root job span
+// whose children (queue_wait, execute) parent onto it, and per-stage
+// spans under the execution.
+func TestJobTraceLocalJob(t *testing.T) {
+	_, ts := testServer(t, Config{NodeName: "solo-node"})
+
+	resp := postJSON(t, ts.URL+"/analyze", goldenSpecs[0].spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(telemetry.TraceHeader); !telemetry.ValidTraceID(got) {
+		t.Fatalf("202 did not echo a valid trace ID (got %q)", got)
+	}
+	sub := decode[map[string]string](t, resp)
+	if sub["trace_id"] == "" {
+		t.Fatal("202 body has no trace_id")
+	}
+	if j := waitDone(t, ts.URL, sub["id"]); j["status"] != statusDone {
+		t.Fatalf("job failed: %v", j["error"])
+	}
+
+	jt := getTrace(t, ts.URL, sub["id"])
+	if jt.TraceID != sub["trace_id"] {
+		t.Fatalf("trace endpoint reports trace %s, submit reported %s", jt.TraceID, sub["trace_id"])
+	}
+	roots := jt.byName("job")
+	if len(roots) != 1 {
+		t.Fatalf("want exactly one root job span, got %d", len(roots))
+	}
+	root := roots[0]
+	if root.Parent != "" || root.Node != "solo-node" {
+		t.Fatalf("root span = %+v", root)
+	}
+	for _, name := range []string{"queue_wait", "execute"} {
+		spans := jt.byName(name)
+		if len(spans) != 1 {
+			t.Fatalf("want one %s span, got %d", name, len(spans))
+		}
+		if spans[0].Parent != root.ID {
+			t.Fatalf("%s span parents onto %q, want root %q", name, spans[0].Parent, root.ID)
+		}
+	}
+	exec := jt.byName("execute")[0]
+	stages := 0
+	for _, sp := range jt.Spans {
+		if strings.HasPrefix(sp.Name, "stage:") {
+			stages++
+			if sp.Parent != exec.ID {
+				t.Fatalf("stage span %s parents onto %q, want execute %q", sp.Name, sp.Parent, exec.ID)
+			}
+		}
+	}
+	if stages == 0 {
+		t.Fatal("no stage:* spans recorded for a computed job")
+	}
+}
+
+// TestJobTraceClientSuppliedID: a valid X-Perfplay-Trace header is
+// adopted verbatim; garbage is replaced with a minted ID.
+func TestJobTraceClientSuppliedID(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	want := "deadbeefdeadbeefdeadbeefdeadbeef"
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/analyze", strings.NewReader(goldenSpecs[0].spec))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(telemetry.TraceHeader, want)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Get(telemetry.TraceHeader) != want {
+		t.Fatalf("valid client trace ID not adopted: got %q", resp.Header.Get(telemetry.TraceHeader))
+	}
+	sub := decode[map[string]string](t, resp)
+	if sub["trace_id"] != want {
+		t.Fatalf("trace_id = %q, want %q", sub["trace_id"], want)
+	}
+
+	req2, _ := http.NewRequest(http.MethodPost, ts.URL+"/analyze", strings.NewReader(goldenSpecs[0].spec))
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set(telemetry.TraceHeader, "NOT HEX!")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub2 := decode[map[string]string](t, resp2)
+	if sub2["trace_id"] == "NOT HEX!" || !telemetry.ValidTraceID(sub2["trace_id"]) {
+		t.Fatalf("garbage trace header not replaced: %q", sub2["trace_id"])
+	}
+}
+
+// TestJobTraceSpansTwoNodes is the acceptance test for distributed
+// tracing: one job submitted to a saturated victim is stolen by an idle
+// thief (which also probes the victim's cluster cache on the way), and
+// the victim's single GET /jobs/{id}/trace afterwards shows a span tree
+// covering BOTH nodes — claim and settle on the victim, execution and
+// cache probe on the thief, all stitched by parent IDs.
+func TestJobTraceSpansTwoNodes(t *testing.T) {
+	victimSrv, victim := saturatedVictim(t, Config{NodeName: "victim-node"})
+	payload := recordedPayload(t, 3)
+	meta, _, err := victimSrv.corpus.Put(payload, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	thiefSrv, thiefTS := testServer(t, Config{
+		NodeName:      "thief-node",
+		Peers:         []string{victim.URL},
+		StealInterval: 5 * time.Millisecond,
+	})
+	thiefSrv.StartStealer(thiefTS.URL)
+
+	spec := `{"trace":"` + meta.Digest + `"}`
+	resp := postJSON(t, victim.URL+"/analyze", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	sub := decode[map[string]string](t, resp)
+	j := waitDone(t, victim.URL, sub["id"])
+	if j["status"] != statusDone {
+		t.Fatalf("stolen job failed: %v", j["error"])
+	}
+	if j["stolen_by"] != thiefTS.URL {
+		t.Fatalf("job was not stolen (stolen_by=%v)", j["stolen_by"])
+	}
+
+	jt := getTrace(t, victim.URL, sub["id"])
+	nodes := strings.Join(jt.Nodes, ",")
+	if !strings.Contains(nodes, "victim-node") || !strings.Contains(nodes, "thief-node") {
+		t.Fatalf("trace nodes = %v, want both victim-node and thief-node", jt.Nodes)
+	}
+
+	roots := jt.byName("job")
+	if len(roots) != 1 || roots[0].Node != "victim-node" {
+		t.Fatalf("root job span = %+v", roots)
+	}
+	claims := jt.byName("steal_claim")
+	if len(claims) != 1 || claims[0].Node != "victim-node" || claims[0].Parent != roots[0].ID {
+		t.Fatalf("steal_claim span = %+v (root %s)", claims, roots[0].ID)
+	}
+	execs := jt.byName("steal_execute")
+	if len(execs) != 1 || execs[0].Node != "thief-node" || execs[0].Parent != claims[0].ID {
+		t.Fatalf("steal_execute span = %+v (claim %s)", execs, claims[0].ID)
+	}
+	// The thief's cache probe against the victim rode the same trace.
+	probes := jt.byName("cache_probe")
+	if len(probes) == 0 || probes[0].Node != "thief-node" || probes[0].Parent != execs[0].ID {
+		t.Fatalf("cache_probe spans = %+v (exec %s)", probes, execs[0].ID)
+	}
+	// ...and the victim, serving that probe, recorded its side too.
+	serves := jt.byName("cache_serve")
+	if len(serves) == 0 || serves[0].Node != "victim-node" {
+		t.Fatalf("cache_serve spans = %+v", serves)
+	}
+	if len(jt.byName("steal_settle")) != 1 {
+		t.Fatalf("want one steal_settle span")
+	}
+
+	// The thief kept its own copy of the spans it recorded.
+	if spans, _, ok := thiefSrv.traces.Get(jt.TraceID); !ok || len(spans) == 0 {
+		t.Fatal("thief's local trace store is missing the stolen job's spans")
+	}
+}
+
+// TestJobTraceUnknownJob: the trace endpoint 404s for unknown jobs.
+func TestJobTraceUnknownJob(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/jobs/job-999/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}

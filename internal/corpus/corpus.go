@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"perfplay/internal/telemetry"
 	"perfplay/internal/trace"
 )
 
@@ -89,6 +90,11 @@ type Options struct {
 	// least-recently-used unpinned traces. <= 0 means unlimited.
 	MaxBytes int64
 
+	// Metrics, when set, exports the store's occupancy (bytes, trace
+	// count — evaluated at scrape time) and its lifetime eviction
+	// counter on the given registry.
+	Metrics *telemetry.Registry
+
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -99,6 +105,8 @@ type Store struct {
 	dir      string
 	maxBytes int64
 	now      func() time.Time
+
+	evictions *telemetry.Counter // nil when no registry was supplied
 
 	mu    sync.Mutex
 	metas map[string]*Meta // digest → meta
@@ -128,6 +136,18 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	if err := s.reconcile(); err != nil {
 		return nil, err
+	}
+	if reg := opts.Metrics; reg != nil {
+		// Gauges are callbacks so a scrape reads the store's state at
+		// that instant; only the eviction counter needs a handle. The
+		// callbacks take s.mu briefly — the metrics renderer holds no
+		// lock of its own while evaluating them, so there is no cycle.
+		reg.NewGaugeFunc("perfplay_corpus_blob_bytes",
+			"Bytes of trace blobs currently stored.", func() float64 { return float64(s.TotalBytes()) })
+		reg.NewGaugeFunc("perfplay_corpus_traces",
+			"Traces currently stored.", func() float64 { return float64(s.Len()) })
+		s.evictions = reg.NewCounter("perfplay_corpus_evictions_total",
+			"Traces evicted to fit the byte budget.")
 	}
 	return s, nil
 }
@@ -405,6 +425,9 @@ func (s *Store) evictLocked(keep string) error {
 		}
 		s.total -= victim.Size
 		delete(s.metas, victim.Digest)
+		if s.evictions != nil {
+			s.evictions.Inc()
+		}
 	}
 	return nil
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"perfplay/internal/telemetry"
 )
 
 // Remote is a client for another node's corpus — the /traces endpoints
@@ -25,6 +27,12 @@ type Remote struct {
 	// (0 = 1 GiB, matching the store's default byte budget) — a broken
 	// peer must not be able to balloon this process.
 	MaxFetchBytes int64
+	// TraceID and SpanID, when set, ride every request as
+	// X-Perfplay-Trace/-Span headers so a cross-node hop (submit
+	// redirect, blob fetch, push) stays on the originating job's
+	// distributed trace.
+	TraceID string
+	SpanID  string
 }
 
 func (r *Remote) client() *http.Client {
@@ -32,6 +40,24 @@ func (r *Remote) client() *http.Client {
 		return r.Client
 	}
 	return http.DefaultClient
+}
+
+// do issues one request with the trace-context headers attached.
+func (r *Remote) do(method, url, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if r.TraceID != "" {
+		req.Header.Set(telemetry.TraceHeader, r.TraceID)
+	}
+	if r.SpanID != "" {
+		req.Header.Set(telemetry.SpanHeader, r.SpanID)
+	}
+	return r.client().Do(req)
 }
 
 // RemoteError decodes a perfplayd-style {"error": "..."} body into an
@@ -80,7 +106,7 @@ func (r *Remote) SubmitAnalyze(spec []byte) (id, base string, err error) {
 	visited := make(map[string]bool, maxSubmitRedirects+1)
 	for hop := 0; ; hop++ {
 		visited[base] = true
-		resp, err := r.client().Post(base+"/analyze", "application/json", bytes.NewReader(spec))
+		resp, err := r.do(http.MethodPost, base+"/analyze", "application/json", bytes.NewReader(spec))
 		if err != nil {
 			return "", "", fmt.Errorf("corpus: submit to %s: %w", base, err)
 		}
@@ -114,7 +140,7 @@ func (r *Remote) SubmitAnalyze(spec []byte) (id, base string, err error) {
 // stored metadata. Pushing already-present content is a cheap dedupe on
 // the peer (200 instead of 201), so callers need not probe first.
 func (r *Remote) Push(data []byte) (Meta, error) {
-	resp, err := r.client().Post(r.Base+"/traces", "application/octet-stream", bytes.NewReader(data))
+	resp, err := r.do(http.MethodPost, r.Base+"/traces", "application/octet-stream", bytes.NewReader(data))
 	if err != nil {
 		return Meta{}, fmt.Errorf("corpus: push to %s: %w", r.Base, err)
 	}
@@ -138,7 +164,7 @@ func (r *Remote) Fetch(digest string) ([]byte, error) {
 	if _, err := parseDigest(digest); err != nil {
 		return nil, err
 	}
-	resp, err := r.client().Get(r.Base + "/traces/" + digest)
+	resp, err := r.do(http.MethodGet, r.Base+"/traces/"+digest, "", nil)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: fetch %s from %s: %w", digest, r.Base, err)
 	}

@@ -21,6 +21,13 @@ type ShardJob struct {
 	Opts   ulcp.Options
 	Table  *ulcp.VerdictTable
 
+	// TraceID and SpanID are the owning job's distributed-tracing
+	// context; executors forward them with each range so a worker's
+	// shard spans land under the coordinator's trace. Empty for
+	// untraced runs.
+	TraceID string
+	SpanID  string
+
 	// blob lazily serializes the trace in canonical binary form; peers
 	// reference the job's trace by this blob's content digest and
 	// receive the bytes only when their corpus misses it. preset, when
@@ -148,8 +155,10 @@ type Distributor struct {
 	// more often.
 	ChunkFactor int
 	// OnFallback, when set, observes each peer failure just before its
-	// range is re-run locally (logging, metrics, tests).
-	OnFallback func(peer string, rng ShardRange, err error)
+	// range is re-run locally (logging, metrics, tests). job carries
+	// the failed range's trace context so the observer can attribute
+	// the fallback to the originating distributed trace.
+	OnFallback func(job *ShardJob, peer string, rng ShardRange, err error)
 
 	mu        sync.Mutex
 	fallbacks int
@@ -233,7 +242,7 @@ func (d *Distributor) Run(job *ShardJob, pool *Pool) *ulcp.Report {
 					d.fallbacks++
 					d.mu.Unlock()
 					if d.OnFallback != nil {
-						d.OnFallback(ex.Name(), rng, err)
+						d.OnFallback(job, ex.Name(), rng, err)
 					}
 					// Peer lost: its chunk runs here, and the peer pulls
 					// no further chunks — the rest of the ledger drains

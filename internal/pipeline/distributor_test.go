@@ -109,7 +109,7 @@ func TestDistributorFallsBackOnPeerFailure(t *testing.T) {
 	var fellBack []string
 	d := &Distributor{
 		Peers: []ShardExecutor{dead, alive},
-		OnFallback: func(peer string, rng ShardRange, err error) {
+		OnFallback: func(_ *ShardJob, peer string, rng ShardRange, err error) {
 			fellBack = append(fellBack, peer)
 			if err == nil {
 				t.Error("fallback without an error")

@@ -18,7 +18,6 @@ package pipeline
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"perfplay/internal/core"
@@ -26,6 +25,7 @@ import (
 	"perfplay/internal/race"
 	"perfplay/internal/replay"
 	"perfplay/internal/sim"
+	"perfplay/internal/telemetry"
 	"perfplay/internal/trace"
 	"perfplay/internal/transform"
 	"perfplay/internal/ulcp"
@@ -101,6 +101,12 @@ type Request struct {
 	LocksetCost    vtime.Duration
 	VerifyTheorem1 bool
 	Identify       ulcp.Options
+
+	// TraceID and SpanID carry the job's distributed-tracing context so
+	// a Distributor can propagate it to peer nodes. Both are excluded
+	// from CacheKey — tracing identifies a run, never its output.
+	TraceID string
+	SpanID  string
 }
 
 // normalize applies defaults so equivalent requests share a cache key.
@@ -165,10 +171,13 @@ type SchemeReplay struct {
 
 // StageTiming records one stage's wall-clock time (observability only —
 // not part of the deterministic report). It is JSON-tagged because wire
-// results carry the exporting run's timings across nodes.
+// results carry the exporting run's timings across nodes. Start lets
+// the daemon rebuild per-stage spans on a job's trace timeline; it is
+// zero on wire results imported from peers that predate the field.
 type StageTiming struct {
 	Stage string        `json:"stage"`
 	Wall  time.Duration `json:"wall"`
+	Start time.Time     `json:"start,omitempty"`
 }
 
 // Result bundles a finished job: the full analysis artifacts, the
@@ -207,10 +216,11 @@ type Pipeline struct {
 	mu      sync.Mutex
 	digests map[string]string
 
-	// stats counts cache traffic for cacheable requests (see
-	// CacheStats); surfaced by perfplayd's /healthz.
-	resultHits, resultMisses atomic.Int64
-	tableHits, tableMisses   atomic.Int64
+	// Cache traffic and stage timings live in telemetry instruments so
+	// /metrics and /healthz read the same numbers (see CacheStats).
+	resultHits, resultMisses *telemetry.Counter
+	tableHits, tableMisses   *telemetry.Counter
+	stageDur                 *telemetry.HistogramVec
 }
 
 // CacheStats is a snapshot of the pipeline's cache-hit accounting.
@@ -223,13 +233,14 @@ type CacheStats struct {
 	TableMisses  int64 `json:"table_misses"`
 }
 
-// Stats returns the pipeline's lifetime cache counters.
+// Stats returns the pipeline's lifetime cache counters — read from the
+// same telemetry series /metrics renders, so the two can never drift.
 func (p *Pipeline) Stats() CacheStats {
 	return CacheStats{
-		ResultHits:   p.resultHits.Load(),
-		ResultMisses: p.resultMisses.Load(),
-		TableHits:    p.tableHits.Load(),
-		TableMisses:  p.tableMisses.Load(),
+		ResultHits:   p.resultHits.Int(),
+		ResultMisses: p.resultMisses.Int(),
+		TableHits:    p.tableHits.Int(),
+		TableMisses:  p.tableMisses.Int(),
 	}
 }
 
@@ -250,6 +261,11 @@ type Options struct {
 	// even when their reporting flags miss the result cache (0 = 64,
 	// negative disables it).
 	TableCacheSize int
+	// Metrics, when set, hosts the pipeline's instruments (stage
+	// duration histograms, cache hit/miss counters). Nil uses a private
+	// registry so the instruments always exist — Stats() reads them
+	// either way — they just aren't exported anywhere.
+	Metrics *telemetry.Registry
 }
 
 // New constructs a Pipeline.
@@ -260,10 +276,22 @@ func New(opts Options) *Pipeline {
 	if opts.TableCacheSize == 0 {
 		opts.TableCacheSize = 64
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	cacheReqs := reg.NewCounterVec("perfplay_pipeline_cache_requests_total",
+		"Result/table cache lookups by outcome.", "cache", "outcome")
 	return &Pipeline{
-		cache:   newLRU[*Result](opts.CacheSize, opts.CacheTraceBytes),
-		tables:  newLRU[*ulcp.VerdictTable](opts.TableCacheSize, 0),
-		digests: make(map[string]string),
+		cache:        newLRU[*Result](opts.CacheSize, opts.CacheTraceBytes),
+		tables:       newLRU[*ulcp.VerdictTable](opts.TableCacheSize, 0),
+		digests:      make(map[string]string),
+		resultHits:   cacheReqs.With("result", "hit"),
+		resultMisses: cacheReqs.With("result", "miss"),
+		tableHits:    cacheReqs.With("table", "hit"),
+		tableMisses:  cacheReqs.With("table", "miss"),
+		stageDur: reg.NewHistogramVec("perfplay_pipeline_stage_duration_seconds",
+			"Wall time of each pipeline stage.", telemetry.DurationBuckets, "stage"),
 	}
 }
 
@@ -381,7 +409,9 @@ func (p *Pipeline) exec(req Request) (*Result, error) {
 	stage := func(name string, f func() error) error {
 		start := time.Now()
 		err := f()
-		res.Timings = append(res.Timings, StageTiming{Stage: name, Wall: time.Since(start)})
+		wall := time.Since(start)
+		res.Timings = append(res.Timings, StageTiming{Stage: name, Wall: wall, Start: start})
+		p.stageDur.With(name).Observe(wall.Seconds())
 		return err
 	}
 
@@ -504,6 +534,7 @@ func (p *Pipeline) exec(req Request) (*Result, error) {
 			// range and merge in group order.
 			groups := ulcp.SortedLockGroups(a.CSs)
 			job := NewShardJob(tr, groups, req.Identify, table)
+			job.TraceID, job.SpanID = req.TraceID, req.SpanID
 			if req.TraceDigest != "" {
 				if d, ok := p.canonicalDigest(req.TraceDigest); ok {
 					job.PresetDigest(d)

@@ -1,0 +1,68 @@
+package scheduler
+
+import "perfplay/internal/telemetry"
+
+// Metrics bundles the scheduler's telemetry instruments. One value is
+// shared by the Queue (lease lifecycle), the Stealer (thief-side
+// activity) and the Gossip view (probe bookkeeping) of a node, so the
+// whole steal protocol reports into one consistent family set.
+//
+// A nil *Metrics is legal everywhere and records nothing; NewMetrics
+// with a nil registry backs the instruments with a private one, which
+// keeps Stats() readable even on nodes that never export /metrics.
+type Metrics struct {
+	// Thief side.
+	StealProbes   *telemetry.Counter // GET /steal rounds issued
+	StealClaims   *telemetry.Counter // successful POST /jobs/claim
+	StealExecuted *telemetry.Counter // stolen jobs whose executor returned
+	StealFailures *telemetry.Counter // executor returns that errored
+
+	// Victim side (lease lifecycle on the queue).
+	LeasesGranted *telemetry.Counter // Claim handed a job to a thief
+	LeasesSettled *telemetry.Counter // Complete accepted a thief's result
+	LeasesExpired *telemetry.Counter // TakeExpired recovered a job
+
+	// Gossip bookkeeping, labeled by probe result.
+	GossipUpdates *telemetry.CounterVec // result=ok|err
+}
+
+// NewMetrics registers the scheduler families on reg (a nil reg uses a
+// private registry).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &Metrics{
+		StealProbes: reg.NewCounter("perfplay_scheduler_steal_probes_total",
+			"Peer queue probes issued by this node's stealer."),
+		StealClaims: reg.NewCounter("perfplay_scheduler_steal_claims_total",
+			"Jobs successfully claimed from peers."),
+		StealExecuted: reg.NewCounter("perfplay_scheduler_steal_executed_total",
+			"Stolen jobs executed to completion (success or failure)."),
+		StealFailures: reg.NewCounter("perfplay_scheduler_steal_failures_total",
+			"Stolen-job executions that returned an error."),
+		LeasesGranted: reg.NewCounter("perfplay_scheduler_leases_granted_total",
+			"Steal leases handed out by this node's queue."),
+		LeasesSettled: reg.NewCounter("perfplay_scheduler_leases_settled_total",
+			"Steal leases settled by a reported result."),
+		LeasesExpired: reg.NewCounter("perfplay_scheduler_leases_expired_total",
+			"Steal leases that expired and re-enqueued their job."),
+		GossipUpdates: reg.NewCounterVec("perfplay_scheduler_gossip_updates_total",
+			"Gossip view updates by probe result.", "result"),
+	}
+}
+
+// RegisterQueueGauges exposes a queue's live state as callback gauges —
+// evaluated at scrape time, so the rendered depth is current rather
+// than as of the last push/pop.
+func RegisterQueueGauges(reg *telemetry.Registry, q *Queue) {
+	if reg == nil || q == nil {
+		return
+	}
+	reg.NewGaugeFunc("perfplay_scheduler_queue_depth",
+		"Queued (unclaimed) jobs.", func() float64 { return float64(q.Len()) })
+	reg.NewGaugeFunc("perfplay_scheduler_queue_capacity",
+		"Admission bound of the job queue.", func() float64 { return float64(q.Cap()) })
+	reg.NewGaugeFunc("perfplay_scheduler_leases_outstanding",
+		"Stolen jobs currently out on a lease.", func() float64 { return float64(q.ClaimedCount()) })
+}

@@ -18,6 +18,11 @@ import (
 // goroutines: the owner drives expiry (a reaper calling TakeExpired
 // then Requeue) and shutdown (Close).
 type Queue struct {
+	// Metrics, when set (before the queue starts serving claims),
+	// counts the lease lifecycle: granted on Claim, settled on
+	// Complete, expired on TakeExpired. Nil records nothing.
+	Metrics *Metrics
+
 	mu       sync.Mutex
 	notEmpty *sync.Cond
 	capacity int
@@ -88,6 +93,9 @@ func (q *Queue) Claim(thief string, lease time.Duration) (*Job, time.Time, bool)
 		q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
 		deadline := time.Now().Add(lease)
 		q.claims[j.ID] = &claim{job: j, thief: thief, deadline: deadline}
+		if q.Metrics != nil {
+			q.Metrics.LeasesGranted.Inc()
+		}
 		return j, deadline, true
 	}
 	return nil, time.Time{}, false
@@ -105,6 +113,9 @@ func (q *Queue) Complete(id string) (*Job, bool) {
 		return nil, false
 	}
 	delete(q.claims, id)
+	if q.Metrics != nil {
+		q.Metrics.LeasesSettled.Inc()
+	}
 	return c.job, true
 }
 
@@ -142,6 +153,9 @@ func (q *Queue) TakeExpired(now time.Time) []*Job {
 	jobs := make([]*Job, len(expired))
 	for i, c := range expired {
 		jobs[i] = c.job
+	}
+	if q.Metrics != nil && len(jobs) > 0 {
+		q.Metrics.LeasesExpired.Add(float64(len(jobs)))
 	}
 	return jobs
 }

@@ -94,16 +94,35 @@ type Stealer struct {
 	Gossip *Gossip
 	// Client overrides http.DefaultClient for probes and claims.
 	Client *http.Client
+	// Metrics, when set before Run, hosts the thief-side counters on a
+	// shared registry; otherwise a private registry is created lazily,
+	// so Stats always has series to read.
+	Metrics *Metrics
 
-	mu    sync.Mutex
-	stats StealerStats
+	mu sync.Mutex
 }
 
-// Stats returns a copy of the lifetime counters.
-func (s *Stealer) Stats() StealerStats {
+// metrics returns the instrument set, creating a private one on first
+// use if the owner never supplied a shared registry.
+func (s *Stealer) metrics() *Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	if s.Metrics == nil {
+		s.Metrics = NewMetrics(nil)
+	}
+	return s.Metrics
+}
+
+// Stats returns a copy of the lifetime counters — read straight off the
+// telemetry series, so /healthz and /metrics can never disagree.
+func (s *Stealer) Stats() StealerStats {
+	m := s.metrics()
+	return StealerStats{
+		Probes:   int(m.StealProbes.Int()),
+		Claims:   int(m.StealClaims.Int()),
+		Executed: int(m.StealExecuted.Int()),
+		Failures: int(m.StealFailures.Int()),
+	}
 }
 
 func (s *Stealer) client() *http.Client {
@@ -157,6 +176,7 @@ type peerDepth struct {
 // so a shutting-down caller cannot go on to claim a job it will never
 // finish.
 func (s *Stealer) probeAll(stop <-chan struct{}) []peerDepth {
+	m := s.metrics()
 	var depths []peerDepth
 	for _, peer := range s.Peers {
 		select {
@@ -165,15 +185,15 @@ func (s *Stealer) probeAll(stop <-chan struct{}) []peerDepth {
 		default:
 		}
 		st, err := Probe(s.client(), peer)
-		s.mu.Lock()
-		s.stats.Probes++
-		s.mu.Unlock()
+		m.StealProbes.Inc()
 		if err != nil {
+			m.GossipUpdates.With("err").Inc()
 			if s.Gossip != nil {
 				s.Gossip.RecordErr(peer, err)
 			}
 			continue
 		}
+		m.GossipUpdates.With("ok").Inc()
 		if s.Gossip != nil {
 			s.Gossip.Record(peer, st)
 		}
@@ -191,21 +211,18 @@ func (s *Stealer) stealOnce(stop <-chan struct{}) bool {
 	depths := s.probeAll(stop)
 	// Deepest backlog first; ties break on peer order for determinism.
 	sort.SliceStable(depths, func(i, j int) bool { return depths[i].stealable > depths[j].stealable })
+	m := s.metrics()
 	for _, d := range depths {
 		job, ok, err := s.claim(d.peer)
 		if err != nil || !ok {
 			continue // someone beat us to it, or the peer went away
 		}
-		s.mu.Lock()
-		s.stats.Claims++
-		s.mu.Unlock()
+		m.StealClaims.Inc()
 		err = s.Execute(d.peer, job)
-		s.mu.Lock()
-		s.stats.Executed++
+		m.StealExecuted.Inc()
 		if err != nil {
-			s.stats.Failures++
+			m.StealFailures.Inc()
 		}
-		s.mu.Unlock()
 		return true
 	}
 	return false
