@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestJournalKillAndRestartRecovers is the durability acceptance test:
+// a node stopped with a non-empty queue AND a job out on a steal lease
+// recovers every job on restart — same IDs, reports byte-identical to
+// what a single-node serial run produces (the determinism invariant is
+// what makes "re-run the backlog" a correct recovery strategy).
+func TestJournalKillAndRestartRecovers(t *testing.T) {
+	base := t.TempDir()
+	corpusDir := filepath.Join(base, "corpus")
+	journalDir := filepath.Join(base, "journal")
+	p3, p5 := recordedPayload(t, 3), recordedPayload(t, 5)
+
+	// Reference: a plain single-node server (no journal) computes the
+	// reports the recovered jobs must reproduce byte-for-byte. Its
+	// healthz also pins the journal-disabled shape of the section.
+	refSrv, ref := testServer(t, Config{})
+	m3, _, err := refSrv.corpus.Put(p3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m5, _, err := refSrv.corpus.Put(p5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want3 := runJobReport(t, ref.URL, digestSpec(m3.Digest))
+	want5 := runJobReport(t, ref.URL, digestSpec(m5.Digest))
+	refHealth := decode[map[string]any](t, mustGet(t, ref.URL+"/healthz"))
+	if jnl, _ := refHealth["journal"].(map[string]any); jnl["enabled"] != false {
+		t.Fatalf("journal section without a journal = %v, want enabled:false", refHealth["journal"])
+	}
+
+	// Node A: journal enabled, workers never started — every submitted
+	// job stays in the backlog, exactly the state a crash would strand.
+	aSrv, err := NewServer(Config{CorpusDir: corpusDir, JournalDir: journalDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aTS := httptest.NewServer(aSrv.Handler())
+	if _, _, err := aSrv.corpus.Put(p3, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := aSrv.corpus.Put(p5, false); err != nil {
+		t.Fatal(err)
+	}
+	submit := func(spec string) string {
+		t.Helper()
+		resp := postJSON(t, aTS.URL+"/analyze", spec)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: status %d", resp.StatusCode)
+		}
+		return decode[map[string]string](t, resp)["id"]
+	}
+	id1 := submit(digestSpec(m3.Digest))
+	id2 := submit(goldenSpecs[0].spec) // pbzip2 app spec, pinned by the committed golden
+	id3 := submit(digestSpec(m5.Digest))
+
+	// A thief claims the newest stealable job (id3) — and then vanishes.
+	resp := postJSON(t, aTS.URL+"/jobs/claim", `{"thief":"http://ghost:1"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("claim: status %d", resp.StatusCode)
+	}
+	if claimed := decode[map[string]any](t, resp); claimed["id"] != id3 {
+		t.Fatalf("claimed %v, want %s", claimed["id"], id3)
+	}
+
+	// Kill node A mid-backlog: two jobs queued, one out on a lease.
+	aTS.Close()
+	aSrv.Close()
+
+	// Node B boots over the same corpus and journal. testServer Starts
+	// it, so recovery must already have re-enqueued everything before a
+	// worker pops.
+	bSrv, b := testServer(t, Config{CorpusDir: corpusDir, JournalDir: journalDir})
+	health := decode[map[string]any](t, mustGet(t, b.URL+"/healthz"))
+	jnl, _ := health["journal"].(map[string]any)
+	if jnl["enabled"] != true {
+		t.Fatalf("journal = %v, want enabled:true", jnl)
+	}
+	rec, _ := jnl["recovered"].(map[string]any)
+	if rec["requeued"] != 2.0 || rec["released"] != 1.0 || rec["lost"] != 0.0 {
+		t.Fatalf("recovered = %v, want requeued:2 released:1 lost:0", rec)
+	}
+
+	// Every job finishes under its ORIGINAL ID, byte-identical to the
+	// serial reference (digest jobs) and the committed golden (app job).
+	for _, tc := range []struct{ id, want, label string }{
+		{id1, want3, "digest seed 3"},
+		{id2, goldenReport(t, "pbzip2"), "pbzip2 golden"},
+		{id3, want5, "digest seed 5 (was on lease)"},
+	} {
+		j := waitDone(t, b.URL, tc.id)
+		if j["status"] != statusDone {
+			t.Fatalf("%s (%s) failed after recovery: %v", tc.id, tc.label, j["error"])
+		}
+		if report, _ := j["report"].(string); report != tc.want {
+			t.Errorf("%s (%s): recovered report differs from reference\ngot:\n%s\nwant:\n%s",
+				tc.id, tc.label, report, tc.want)
+		}
+		if sb, ok := j["stolen_by"]; ok && sb != "" {
+			t.Errorf("%s still attributed to the dead thief: %v", tc.id, sb)
+		}
+	}
+
+	// A fresh submit must not collide with a resurrected ID.
+	resp = postJSON(t, b.URL+"/analyze", goldenSpecs[0].warmup)
+	newID := decode[map[string]string](t, resp)["id"]
+	if newID == id1 || newID == id2 || newID == id3 {
+		t.Fatalf("new job reused recovered ID %s", newID)
+	}
+	waitDone(t, b.URL, newID)
+
+	// The journal surfaced its metrics on node B's registry.
+	metrics := readBody(t, mustGet(t, b.URL+"/metrics"))
+	for _, name := range []string{
+		"perfplay_journal_records_total",
+		"perfplay_journal_recovered_jobs_total",
+		"perfplay_journal_live_jobs",
+		"perfplay_journal_segments",
+	} {
+		if !strings.Contains(metrics, name) {
+			t.Errorf("metrics missing %s", name)
+		}
+	}
+	_ = bSrv
+}
+
+// TestJournalRestartFailsUploadOnlyJob: a job whose trace existed only
+// in the dead process's memory is unrecoverable by construction — it
+// must surface as failed with a clear error, never vanish.
+func TestJournalRestartFailsUploadOnlyJob(t *testing.T) {
+	base := t.TempDir()
+	cfg := Config{CorpusDir: filepath.Join(base, "corpus"), JournalDir: filepath.Join(base, "journal")}
+
+	aSrv, err := NewServer(cfg) // workers never started
+	if err != nil {
+		t.Fatal(err)
+	}
+	aTS := httptest.NewServer(aSrv.Handler())
+	resp, err := http.Post(aTS.URL+"/analyze", "application/octet-stream",
+		bytes.NewReader(recordedPayload(t, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("upload submit: status %d", resp.StatusCode)
+	}
+	id := decode[map[string]string](t, resp)["id"]
+	aTS.Close()
+	aSrv.Close()
+
+	_, b := testServer(t, cfg)
+	j := decode[map[string]any](t, mustGet(t, b.URL+"/jobs/"+id))
+	if j["status"] != statusFailed {
+		t.Fatalf("upload-only job after restart = %v, want failed", j["status"])
+	}
+	if errMsg, _ := j["error"].(string); !strings.Contains(errMsg, "lost in restart") {
+		t.Fatalf("error = %q, want a clear lost-in-restart explanation", errMsg)
+	}
+	health := decode[map[string]any](t, mustGet(t, b.URL+"/healthz"))
+	jnl, _ := health["journal"].(map[string]any)
+	rec, _ := jnl["recovered"].(map[string]any)
+	if rec["lost"] != 1.0 {
+		t.Fatalf("recovered = %v, want lost:1", rec)
+	}
+}
+
+// TestJournalSettledJobsStayRetired: a journal-enabled node that ran
+// its backlog to completion restarts with nothing to recover — settled
+// records must not resurrect jobs.
+func TestJournalSettledJobsStayRetired(t *testing.T) {
+	base := t.TempDir()
+	cfg := Config{CorpusDir: filepath.Join(base, "corpus"), JournalDir: filepath.Join(base, "journal")}
+
+	aSrv, a := testServer(t, cfg)
+	report := runJobReport(t, a.URL, goldenSpecs[0].spec)
+	if report != goldenReport(t, "pbzip2") {
+		t.Fatal("reference run diverged from the golden")
+	}
+	// Stop node A now (its t.Cleanup would only run after the test).
+	a.Close()
+	aSrv.Close()
+
+	_, b := testServer(t, Config{CorpusDir: cfg.CorpusDir, JournalDir: cfg.JournalDir})
+	health := decode[map[string]any](t, mustGet(t, b.URL+"/healthz"))
+	jnl, _ := health["journal"].(map[string]any)
+	rec, _ := jnl["recovered"].(map[string]any)
+	if rec["requeued"] != 0.0 || rec["released"] != 0.0 || rec["lost"] != 0.0 {
+		t.Fatalf("recovered = %v, want nothing to recover", rec)
+	}
+	if health["queue_len"] != 0.0 {
+		t.Fatalf("queue_len = %v after recovering a settled journal", health["queue_len"])
+	}
+}
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}

@@ -31,6 +31,7 @@
 //	perfplayd [-addr :8080] [-workers 2] [-pipeline-workers 4]
 //	          [-queue 64] [-cache 128] [-max-jobs 1024]
 //	          [-corpus perfplay-corpus] [-corpus-max-bytes 1073741824]
+//	          [-journal-dir auto|DIR|""]
 //	          [-role standalone|worker|coordinator]
 //	          [-peers http://h1:8080,http://h2:8080] [-shard-timeout 120s]
 //	          [-advertise http://me:8080] [-steal-interval 1s]
@@ -47,6 +48,16 @@
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, waits for
 // in-flight requests and running jobs, then exits.
+//
+// Durability: every job queue transition is fsynced to an append-only
+// journal (-journal-dir, by default <corpus>-journal next to the
+// corpus), and a restarted daemon replays it — jobs queued at crash
+// time re-enter the queue in admit order, jobs out on a steal lease
+// are requeued at the front like any expired lease, and determinism
+// makes the recovered runs byte-identical to what the lost runs would
+// have produced. GET /healthz's "journal" section and the
+// perfplay_journal_* metrics show the log's size, live backlog and
+// what the last boot recovered. -journal-dir "" disables durability.
 //
 // Cluster mode: give every node the same -corpus-backed setup and point
 // each at its peers with -peers. Each node then both fans its jobs'
@@ -91,6 +102,7 @@ func main() {
 		maxJobs       = flag.Int("max-jobs", 1024, "finished jobs retained before eviction")
 		corpusDir     = flag.String("corpus", "perfplay-corpus", "trace corpus directory (same layout as perfplay -corpus; empty disables /traces)")
 		corpusBytes   = flag.Int64("corpus-max-bytes", 0, "corpus byte budget; LRU-evicts unpinned traces beyond it (0 = 1 GiB)")
+		journalDir    = flag.String("journal-dir", "auto", `crash-durable job journal directory; "auto" derives <corpus>-journal next to the corpus, empty disables durability`)
 		role          = flag.String("role", "", "cluster role label: standalone, worker, or coordinator (default standalone; coordinator when -peers is set)")
 		peers         = flag.String("peers", "", "comma-separated peer base URLs for shard fan-out and whole-job stealing")
 		shardTimeout  = flag.Duration("shard-timeout", 0, "per-peer shard call timeout (0 = 120s)")
@@ -133,6 +145,17 @@ func main() {
 		log.Fatal("perfplayd: -role=worker requires a -corpus (shard requests reference traces by digest)")
 	}
 
+	// "auto" puts the journal next to the corpus: both are the node's
+	// durable state, and a node without a corpus (memory-only uploads
+	// are unrecoverable anyway) runs without a journal too.
+	jdir := *journalDir
+	if jdir == "auto" {
+		jdir = ""
+		if *corpusDir != "" {
+			jdir = strings.TrimRight(*corpusDir, "/") + "-journal"
+		}
+	}
+
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv, err := NewServer(Config{
 		Workers:           *workers,
@@ -142,6 +165,7 @@ func main() {
 		MaxJobs:           *maxJobs,
 		CorpusDir:         *corpusDir,
 		CorpusMaxBytes:    *corpusBytes,
+		JournalDir:        jdir,
 		Role:              *role,
 		Peers:             peerList,
 		ShardTimeout:      *shardTimeout,

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"perfplay/internal/corpus"
+	"perfplay/internal/journal"
 	"perfplay/internal/pipeline"
 	"perfplay/internal/scheduler"
 	"perfplay/internal/telemetry"
@@ -54,6 +55,14 @@ type Config struct {
 	// CorpusMaxBytes caps the corpus blob bytes; least-recently-used
 	// unpinned traces are evicted beyond it (0 = 1 GiB).
 	CorpusMaxBytes int64
+	// JournalDir roots the crash-durable job journal: every queue
+	// transition is fsynced there, and a restarted daemon replays it to
+	// resurrect jobs that were queued (re-enqueued in admit order) or
+	// out on a steal lease (requeued at the front, like an expired
+	// lease) when the previous process died. Empty disables the journal
+	// — a restart then loses the queue, the pre-journal behavior. The
+	// perfplayd binary defaults it next to the corpus (-journal-dir).
+	JournalDir string
 	// Role names the daemon's cluster role (standalone, worker,
 	// coordinator) — observability only; the HTTP surface is identical.
 	// Empty means standalone, or coordinator when Peers are set.
@@ -326,6 +335,13 @@ type Server struct {
 	httpReqs     *telemetry.CounterVec
 	jobsDone     *telemetry.CounterVec
 
+	// journal is the crash-durable transition log (nil when
+	// Config.JournalDir is empty); recovered/jrecovered count what the
+	// boot-time replay resurrected. See journal.go.
+	journal    *journal.Journal
+	jrecovered *telemetry.CounterVec
+	recovered  recoveredStats
+
 	mu               sync.Mutex
 	jobs             map[string]*job
 	order            []string // finished job IDs, oldest first, for eviction
@@ -388,6 +404,15 @@ func NewServer(cfg Config) (*Server, error) {
 				s.span(spanCtx{trace: job.TraceID, parent: job.SpanID}, "shard_fallback",
 					now, now, map[string]string{"peer": peer, "error": err.Error()})
 			},
+		}
+	}
+	// The journal replays last: recovery needs the corpus (digest jobs
+	// reload their traces from it) and the distributor (recovered
+	// requests shard out like fresh ones), and must finish before Start
+	// lets a worker pop anything.
+	if cfg.JournalDir != "" {
+		if err := s.openJournal(cfg); err != nil {
+			return nil, err
 		}
 	}
 	return s, nil
@@ -460,6 +485,15 @@ func (s *Server) Close() {
 	s.queue.Close()
 	s.mu.Unlock()
 	s.wg.Wait()
+	// Close the journal only after every worker and the reaper have
+	// stopped appending. Jobs still queued or claimed at this point
+	// stay live in it — that is the durability contract: the next boot
+	// recovers them.
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil {
+			s.logger.Warn("journal close", "err", err)
+		}
+	}
 }
 
 func (s *Server) worker() {
@@ -508,7 +542,24 @@ func (s *Server) reaper() {
 				j.notifyLocked()
 			}
 			s.mu.Unlock()
-			s.queue.Requeue(expired)
+			// A closed queue admits no requeues: the jobs come back as
+			// dropped (journaled as abandoned by the queue) and are
+			// marked failed so their clients see the loss instead of a
+			// "queued" job no worker will ever run.
+			if dropped := s.queue.Requeue(expired); len(dropped) > 0 {
+				s.mu.Lock()
+				for _, qj := range dropped {
+					j := qj.Payload.(*job)
+					j.Status = statusFailed
+					j.Error = "abandoned: steal lease expired while the server was shutting down"
+					j.Finished = time.Now()
+					j.notifyLocked()
+					s.order = append(s.order, j.ID)
+					s.logger.Warn("expired-lease job abandoned: queue closed", "job", j.ID)
+				}
+				s.evictLocked()
+				s.mu.Unlock()
+			}
 		}
 	}
 }
@@ -541,6 +592,14 @@ func (s *Server) runJob(j *job) {
 		j.CachePeer = cachePeer
 	}
 	j.notifyLocked()
+	// The pop left the job live in the journal on purpose — a crash
+	// mid-run replays it as queued and re-runs it. Only a terminal
+	// status retires the record.
+	if j.Status == statusFailed {
+		s.journalTerminal(journal.OpFailed, j.ID)
+	} else {
+		s.journalTerminal(journal.OpSettled, j.ID)
+	}
 	s.jobsDone.With(j.Status).Inc()
 	s.recordSpan(tc, telemetry.Span{
 		ID: j.spanID, Name: "job", Start: submitted, End: j.Finished,
@@ -601,6 +660,7 @@ func (s *Server) executeJob(req pipeline.Request, tc spanCtx) (jobSummary, strin
 func (s *Server) evictLocked() {
 	for len(s.order) > s.cfg.MaxJobs {
 		delete(s.jobs, s.order[0])
+		s.journalTerminal(journal.OpEvicted, s.order[0])
 		s.order = s.order[1:]
 	}
 }
@@ -1147,6 +1207,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"pipeline": s.pl.Stats(),
 		"cluster":  s.cacheStats.snapshot(),
 	}
+	// The journal section shows the durability story: the log's size
+	// and live backlog, plus what this boot's replay recovered.
+	jnl := map[string]any{"enabled": s.journal != nil}
+	if s.journal != nil {
+		jnl["stats"] = s.journal.Stats()
+		jnl["recovered"] = s.recovered
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":                 true,
 		"role":               s.cfg.Role,
@@ -1166,6 +1233,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"peers":              len(s.cfg.Peers),
 		"shard_fallbacks":    fallbacks,
 		"steal":              steal,
+		"journal":            jnl,
 	})
 }
 

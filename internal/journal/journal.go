@@ -1,0 +1,682 @@
+// Package journal is perfplayd's crash-durable job journal: an
+// append-only log of job state transitions (admitted, claimed,
+// requeued, settled, failed, evicted, abandoned) that lets a restarted
+// daemon reconstruct exactly which jobs were queued or out on a steal
+// lease when the previous process died. The trace blobs themselves
+// already survive in the content-addressed corpus; the journal is the
+// missing piece that makes the *queue* survive too.
+//
+// Records are framed on disk as
+//
+//	[4-byte LE payload length][4-byte LE CRC32-IEEE of payload][payload]
+//
+// with one JSON-encoded Record per frame, and every Append is fsynced
+// before it returns — a record the caller saw committed is durable.
+// Frames live in numbered segment files (journal-00000001.wal, ...);
+// the active segment rotates past Options.SegmentBytes, and once the
+// dead-record ratio (records that no longer contribute to live state)
+// passes Options.CompactRatio the journal compacts: live state is
+// rewritten into a fresh segment and every older segment is deleted, so
+// a long-running daemon's journal is bounded by its live backlog, not
+// its lifetime job count.
+//
+// Recovery semantics on Open:
+//
+//   - a clean log replays fully; Live() returns every job that was
+//     admitted but never settled/failed/evicted/abandoned, in admit
+//     order, with its claim state (a job out on a steal lease at crash
+//     time replays as Claimed).
+//   - a torn tail — the final record of the final segment cut short or
+//     checksum-damaged by a crash mid-write — is salvaged: the tail is
+//     truncated away and replay succeeds with everything before it.
+//     Only the record being written at the instant of the crash can be
+//     in that position, and by the fsync contract it was never
+//     acknowledged.
+//   - a checksum mismatch anywhere else is real corruption, not a torn
+//     write, and Open fails closed with ErrCorrupt naming the segment
+//     and offset rather than silently dropping committed jobs.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"perfplay/internal/telemetry"
+)
+
+// Ops are the journaled job state transitions. Admitted records carry
+// the job's spec and metadata; every other op only references the job
+// by ID.
+const (
+	// OpAdmitted: the job entered the queue (or was re-enqueued at
+	// recovery). Upserts the job into live state as queued.
+	OpAdmitted = "admitted"
+	// OpClaimed: a thief took the job on a steal lease.
+	OpClaimed = "claimed"
+	// OpRequeued: a claimed job's lease expired and it went back in the
+	// queue — the job is live and queued again.
+	OpRequeued = "requeued"
+	// OpSettled: the job finished successfully (locally or via a
+	// thief's reported result). Terminal.
+	OpSettled = "settled"
+	// OpFailed: the job finished with an error, or could not be
+	// recovered at restart. Terminal.
+	OpFailed = "failed"
+	// OpEvicted: the finished job's record was dropped from the
+	// daemon's retention window. Terminal (normally a no-op for live
+	// state — eviction follows settlement).
+	OpEvicted = "evicted"
+	// OpAbandoned: the job was dropped on a closed queue (requeue after
+	// shutdown began) and will not run. Terminal.
+	OpAbandoned = "abandoned"
+)
+
+// terminalOp reports whether op removes the job from live state.
+func terminalOp(op string) bool {
+	switch op {
+	case OpSettled, OpFailed, OpEvicted, OpAbandoned:
+		return true
+	}
+	return false
+}
+
+// Record is one journaled state transition. Spec is opaque to the
+// journal — the daemon stores its wire-stealable scheduler spec there
+// and unmarshals it back at recovery — as is Meta (trace ID, submit
+// time, and whatever else the owner wants to restore).
+type Record struct {
+	Op    string            `json:"op"`
+	Job   string            `json:"job"`
+	Thief string            `json:"thief,omitempty"`
+	Spec  json.RawMessage   `json:"spec,omitempty"`
+	Meta  map[string]string `json:"meta,omitempty"`
+}
+
+// LiveJob is one job reconstructed by replay: admitted but not yet
+// terminal. Claimed means the job was out on a steal lease when the
+// journal was last written — the recovery code treats that exactly like
+// an expired lease.
+type LiveJob struct {
+	Job     string
+	Spec    json.RawMessage
+	Meta    map[string]string
+	Claimed bool
+	Thief   string
+}
+
+// Options tunes the journal. The zero value is production-ready.
+type Options struct {
+	// SegmentBytes rotates the active segment past this size
+	// (0 = 4 MiB).
+	SegmentBytes int64
+	// CompactRatio triggers compaction once dead records make up this
+	// fraction of all records (0 = 0.5). Values >= 1 never compact.
+	CompactRatio float64
+	// MinCompactRecords is the record count below which compaction is
+	// never considered, so a small journal doesn't churn (0 = 1024).
+	MinCompactRecords int
+	// NoSync skips the per-append fsync — only for tests, where the
+	// process outlives every assertion anyway.
+	NoSync bool
+	// Metrics, when set, registers the perfplay_journal_* families on
+	// the given registry.
+	Metrics *telemetry.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.CompactRatio == 0 {
+		o.CompactRatio = 0.5
+	}
+	if o.MinCompactRecords == 0 {
+		o.MinCompactRecords = 1024
+	}
+	return o
+}
+
+// Stats is a point-in-time summary for /healthz and operators.
+type Stats struct {
+	Segments    int     `json:"segments"`
+	Records     int     `json:"records"`
+	LiveJobs    int     `json:"live_jobs"`
+	DeadRatio   float64 `json:"dead_ratio"`
+	Bytes       int64   `json:"bytes"`
+	Compactions int64   `json:"compactions"`
+	// TruncatedTail reports that Open salvaged a torn final record —
+	// evidence the previous process died mid-append.
+	TruncatedTail bool `json:"truncated_tail,omitempty"`
+}
+
+// ErrCorrupt marks a record whose checksum or framing is damaged
+// somewhere fsync promised it couldn't be — replay fails closed rather
+// than silently dropping committed jobs.
+var ErrCorrupt = errors.New("journal: corrupt record")
+
+// frame framing constants.
+const (
+	headerBytes = 8        // 4-byte length + 4-byte CRC32
+	maxRecord   = 16 << 20 // sanity bound on one record's payload
+)
+
+// liveJob is the mutable replay state for one non-terminal job.
+type liveJob struct {
+	spec    json.RawMessage
+	meta    map[string]string
+	claimed bool
+	thief   string
+}
+
+// Journal is the append-only log. All methods are safe for concurrent
+// use; Append serializes on an internal mutex (the fsync dominates).
+type Journal struct {
+	dir  string
+	opts Options
+
+	recordsByOp *telemetry.CounterVec
+	bytesTotal  *telemetry.Counter
+	compactions *telemetry.Counter
+	errorsTotal *telemetry.Counter
+
+	mu        sync.Mutex
+	active    *os.File
+	activeSeq int
+	activeLen int64
+	segments  []int // sorted segment sequence numbers, activeSeq last
+	totalLen  int64 // bytes across all segments
+
+	live      map[string]*liveJob
+	order     []string // admit order; may hold IDs since removed
+	records   int      // records across all segments
+	liveRecs  int      // records a compaction would rewrite
+	compacted int64
+	truncated bool
+	closed    bool
+}
+
+// Open replays every segment in dir (creating it if needed) and
+// returns the journal positioned to append. See the package comment
+// for the torn-tail salvage and fail-closed corruption semantics.
+func Open(dir string, opts Options) (*Journal, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{
+		dir:  dir,
+		opts: opts,
+		live: make(map[string]*liveJob),
+	}
+	if reg := opts.Metrics; reg != nil {
+		j.recordsByOp = reg.NewCounterVec("perfplay_journal_records_total",
+			"Job-journal records appended, by transition op.", "op")
+		j.bytesTotal = reg.NewCounter("perfplay_journal_appended_bytes_total",
+			"Bytes appended to the job journal (frames included).")
+		j.compactions = reg.NewCounter("perfplay_journal_compactions_total",
+			"Job-journal compactions (live state rewritten, old segments deleted).")
+		j.errorsTotal = reg.NewCounter("perfplay_journal_errors_total",
+			"Job-journal append or compaction failures (durability degraded).")
+		reg.NewGaugeFunc("perfplay_journal_segments",
+			"Job-journal segment files on disk.", func() float64 {
+				return float64(j.Stats().Segments)
+			})
+		reg.NewGaugeFunc("perfplay_journal_live_jobs",
+			"Jobs the journal would recover after a crash right now.", func() float64 {
+				return float64(j.Stats().LiveJobs)
+			})
+		reg.NewGaugeFunc("perfplay_journal_dead_ratio",
+			"Fraction of journal records no longer contributing to live state.", func() float64 {
+				return j.Stats().DeadRatio
+			})
+		reg.NewGaugeFunc("perfplay_journal_size_bytes",
+			"Job-journal bytes on disk across all segments.", func() float64 {
+				return float64(j.Stats().Bytes)
+			})
+	}
+	if err := j.replay(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+func segmentName(seq int) string { return fmt.Sprintf("journal-%08d.wal", seq) }
+
+// segmentSeq parses a segment filename; ok=false for foreign files.
+func segmentSeq(name string) (int, bool) {
+	var seq int
+	if n, err := fmt.Sscanf(name, "journal-%d.wal", &seq); n != 1 || err != nil {
+		return 0, false
+	}
+	if !strings.HasSuffix(name, ".wal") {
+		return 0, false
+	}
+	return seq, true
+}
+
+// replay loads every segment and opens the last (or a fresh first one)
+// for appending.
+func (j *Journal) replay() error {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		if seq, ok := segmentSeq(e.Name()); ok && !e.IsDir() {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	for i, seq := range seqs {
+		if err := j.replaySegment(seq, i == len(seqs)-1); err != nil {
+			return err
+		}
+	}
+	j.segments = seqs
+	if len(seqs) == 0 {
+		return j.openSegment(1)
+	}
+	// Re-open the last segment for appending, positioned at its
+	// (possibly truncated) end.
+	last := seqs[len(seqs)-1]
+	f, err := os.OpenFile(filepath.Join(j.dir, segmentName(last)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.active = f
+	j.activeSeq = last
+	return nil
+}
+
+// replaySegment reads one segment, applying every record. last selects
+// the torn-tail salvage semantics.
+func (j *Journal) replaySegment(seq int, last bool) error {
+	path := filepath.Join(j.dir, segmentName(seq))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	size := int64(len(data))
+	off := int64(0)
+	for off < size {
+		// A frame cut short (header or payload) is a torn tail when it
+		// runs to EOF of the final segment; anywhere else it's
+		// corruption the fsync contract says cannot happen.
+		salvage := func(reason string) error {
+			if !last {
+				return fmt.Errorf("%w: %s at %s offset %d (not the final segment)", ErrCorrupt, reason, segmentName(seq), off)
+			}
+			if err := os.Truncate(path, off); err != nil {
+				return fmt.Errorf("journal: truncating torn tail of %s: %w", segmentName(seq), err)
+			}
+			size = off
+			j.truncated = true
+			return nil
+		}
+		if size-off < headerBytes {
+			if err := salvage("truncated frame header"); err != nil {
+				return err
+			}
+			break
+		}
+		length := int64(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if length == 0 || length > maxRecord {
+			if err := salvage(fmt.Sprintf("implausible record length %d", length)); err != nil {
+				return err
+			}
+			break
+		}
+		if size-off-headerBytes < length {
+			if err := salvage("truncated record payload"); err != nil {
+				return err
+			}
+			break
+		}
+		payload := data[off+headerBytes : off+headerBytes+length]
+		if crc32.ChecksumIEEE(payload) != sum {
+			// A bad checksum on the very last frame of the final
+			// segment is a torn write of the payload; anywhere earlier
+			// it is silent corruption of an acknowledged record.
+			if last && off+headerBytes+length == size {
+				if err := salvage("checksum mismatch on torn tail"); err != nil {
+					return err
+				}
+				break
+			}
+			return fmt.Errorf("%w: checksum mismatch at %s offset %d", ErrCorrupt, segmentName(seq), off)
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("%w: undecodable record at %s offset %d: %v", ErrCorrupt, segmentName(seq), off, err)
+		}
+		j.apply(rec)
+		j.records++
+		off += headerBytes + length
+	}
+	j.totalLen += size
+	if last {
+		j.activeLen = size
+	}
+	return nil
+}
+
+// apply folds one record into live state.
+func (j *Journal) apply(rec Record) {
+	switch {
+	case rec.Op == OpAdmitted:
+		lj, ok := j.live[rec.Job]
+		if !ok {
+			lj = &liveJob{}
+			j.live[rec.Job] = lj
+			j.order = append(j.order, rec.Job)
+			j.liveRecs++
+		}
+		// Upsert: a re-admit at recovery refreshes spec/meta and resets
+		// any stale claim (the job is back in a queue).
+		if len(rec.Spec) > 0 {
+			lj.spec = rec.Spec
+		}
+		if rec.Meta != nil {
+			lj.meta = rec.Meta
+		}
+		if lj.claimed {
+			lj.claimed, lj.thief = false, ""
+			j.liveRecs--
+		}
+	case rec.Op == OpClaimed:
+		if lj, ok := j.live[rec.Job]; ok && !lj.claimed {
+			lj.claimed, lj.thief = true, rec.Thief
+			j.liveRecs++
+		}
+	case rec.Op == OpRequeued:
+		if lj, ok := j.live[rec.Job]; ok && lj.claimed {
+			lj.claimed, lj.thief = false, ""
+			j.liveRecs--
+		}
+	case terminalOp(rec.Op):
+		if lj, ok := j.live[rec.Job]; ok {
+			if lj.claimed {
+				j.liveRecs--
+			}
+			j.liveRecs--
+			delete(j.live, rec.Job)
+		}
+	}
+}
+
+// Live returns the replayed non-terminal jobs in admit order.
+func (j *Journal) Live() []LiveJob {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]LiveJob, 0, len(j.live))
+	for _, id := range j.order {
+		lj, ok := j.live[id]
+		if !ok {
+			continue
+		}
+		out = append(out, LiveJob{
+			Job:     id,
+			Spec:    lj.spec,
+			Meta:    lj.meta,
+			Claimed: lj.claimed,
+			Thief:   lj.thief,
+		})
+	}
+	return out
+}
+
+// Append commits one record: framed, written, fsynced, applied. The
+// record is durable when Append returns nil.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("journal: closed")
+	}
+	if err := j.appendLocked(rec); err != nil {
+		if j.errorsTotal != nil {
+			j.errorsTotal.Inc()
+		}
+		return err
+	}
+	if j.recordsByOp != nil {
+		j.recordsByOp.With(rec.Op).Inc()
+	}
+	// Housekeeping after the durable write: compact when mostly dead,
+	// else rotate an oversized active segment. Failures here degrade
+	// space reclamation, never durability — the record is on disk.
+	if err := j.maybeCompactLocked(); err != nil {
+		if j.errorsTotal != nil {
+			j.errorsTotal.Inc()
+		}
+		return nil
+	}
+	if j.activeLen >= j.opts.SegmentBytes {
+		if err := j.openSegment(j.activeSeq + 1); err != nil && j.errorsTotal != nil {
+			j.errorsTotal.Inc()
+		}
+	}
+	return nil
+}
+
+func frame(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode: %w", err)
+	}
+	if len(payload) > maxRecord {
+		return nil, fmt.Errorf("journal: record %d bytes exceeds %d", len(payload), maxRecord)
+	}
+	buf := make([]byte, headerBytes+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	copy(buf[headerBytes:], payload)
+	return buf, nil
+}
+
+func (j *Journal) appendLocked(rec Record) error {
+	buf, err := frame(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := j.active.Write(buf); err != nil {
+		return fmt.Errorf("journal: write: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := j.active.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync: %w", err)
+		}
+	}
+	j.activeLen += int64(len(buf))
+	j.totalLen += int64(len(buf))
+	j.records++
+	j.apply(rec)
+	if j.bytesTotal != nil {
+		j.bytesTotal.Add(float64(len(buf)))
+	}
+	return nil
+}
+
+// openSegment closes the active segment (if any) and starts a fresh
+// one with the given sequence number.
+func (j *Journal) openSegment(seq int) error {
+	if j.active != nil {
+		j.active.Close()
+	}
+	f, err := os.OpenFile(filepath.Join(j.dir, segmentName(seq)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.active = f
+	j.activeSeq = seq
+	j.activeLen = 0
+	j.segments = append(j.segments, seq)
+	j.syncDir()
+	return nil
+}
+
+// syncDir best-effort fsyncs the journal directory so segment
+// creations and renames are themselves durable.
+func (j *Journal) syncDir() {
+	if d, err := os.Open(j.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// maybeCompactLocked rewrites live state into a fresh segment and
+// deletes every older one, once the journal is large enough and mostly
+// dead.
+func (j *Journal) maybeCompactLocked() error {
+	if j.records < j.opts.MinCompactRecords {
+		return nil
+	}
+	dead := float64(j.records-j.liveRecs) / float64(j.records)
+	if dead < j.opts.CompactRatio {
+		return nil
+	}
+	seq := j.activeSeq + 1
+	path := filepath.Join(j.dir, segmentName(seq))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	var written int64
+	var nrecs int
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	for _, lj := range j.liveSnapshotLocked() {
+		recs := []Record{{Op: OpAdmitted, Job: lj.Job, Spec: lj.Spec, Meta: lj.Meta}}
+		if lj.Claimed {
+			recs = append(recs, Record{Op: OpClaimed, Job: lj.Job, Thief: lj.Thief})
+		}
+		for _, rec := range recs {
+			buf, err := frame(rec)
+			if err != nil {
+				return fail(err)
+			}
+			if _, err := f.Write(buf); err != nil {
+				return fail(err)
+			}
+			written += int64(len(buf))
+			nrecs++
+		}
+	}
+	if !j.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			return fail(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fail(err)
+	}
+	j.syncDir()
+	// The compacted segment is durable under its final name; everything
+	// older is now redundant. From here on, failures only leak files.
+	old := j.segments
+	if j.active != nil {
+		j.active.Close()
+	}
+	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact: reopen: %w", err)
+	}
+	j.active = af
+	j.activeSeq = seq
+	j.activeLen = written
+	j.totalLen = written
+	j.segments = []int{seq}
+	j.records = nrecs
+	j.liveRecs = nrecs
+	j.compacted++
+	if j.compactions != nil {
+		j.compactions.Inc()
+	}
+	for _, s := range old {
+		_ = os.Remove(filepath.Join(j.dir, segmentName(s)))
+	}
+	// Drop tombstoned IDs from the admit-order slice while we're here.
+	keep := j.order[:0]
+	for _, id := range j.order {
+		if _, ok := j.live[id]; ok {
+			keep = append(keep, id)
+		}
+	}
+	j.order = keep
+	j.syncDir()
+	return nil
+}
+
+// liveSnapshotLocked is Live without locking (for compaction).
+func (j *Journal) liveSnapshotLocked() []LiveJob {
+	out := make([]LiveJob, 0, len(j.live))
+	for _, id := range j.order {
+		lj, ok := j.live[id]
+		if !ok {
+			continue
+		}
+		out = append(out, LiveJob{Job: id, Spec: lj.spec, Meta: lj.meta, Claimed: lj.claimed, Thief: lj.thief})
+	}
+	return out
+}
+
+// Stats summarizes the journal for /healthz.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Stats{
+		Segments:      len(j.segments),
+		Records:       j.records,
+		LiveJobs:      len(j.live),
+		Bytes:         j.totalLen,
+		Compactions:   j.compacted,
+		TruncatedTail: j.truncated,
+	}
+	if j.records > 0 {
+		st.DeadRatio = float64(j.records-j.liveRecs) / float64(j.records)
+	}
+	return st
+}
+
+// Close syncs and closes the active segment. Appends after Close fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if j.active == nil {
+		return nil
+	}
+	var err error
+	if !j.opts.NoSync {
+		err = j.active.Sync()
+	}
+	if cerr := j.active.Close(); err == nil {
+		err = cerr
+	}
+	j.active = nil
+	if err != nil {
+		return fmt.Errorf("journal: close: %w", err)
+	}
+	return nil
+}

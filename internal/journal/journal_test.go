@@ -1,0 +1,348 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testOpts keeps tests fast: no fsync (the process outlives every
+// assertion) and default rotation/compaction unless overridden.
+func testOpts() Options { return Options{NoSync: true} }
+
+func mustOpen(t *testing.T, dir string, opts Options) *Journal {
+	t.Helper()
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j
+}
+
+func mustAppend(t *testing.T, j *Journal, recs ...Record) {
+	t.Helper()
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("Append(%+v): %v", r, err)
+		}
+	}
+}
+
+func admitted(id string) Record {
+	return Record{Op: OpAdmitted, Job: id, Spec: json.RawMessage(`{"app":"pbzip2"}`), Meta: map[string]string{"trace_id": "t-" + id}}
+}
+
+func liveIDs(j *Journal) []string {
+	var ids []string
+	for _, lj := range j.Live() {
+		ids = append(ids, lj.Job)
+	}
+	return ids
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, testOpts())
+	mustAppend(t, j,
+		admitted("a"), admitted("b"), admitted("c"), admitted("d"),
+		Record{Op: OpClaimed, Job: "b", Thief: "http://thief:1"},
+		Record{Op: OpSettled, Job: "a"},
+		Record{Op: OpClaimed, Job: "c", Thief: "http://thief:2"},
+		Record{Op: OpRequeued, Job: "c"}, // lease expired, back in queue
+		Record{Op: OpFailed, Job: "d"},
+	)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2 := mustOpen(t, dir, testOpts())
+	defer j2.Close()
+	live := j2.Live()
+	if got, want := len(live), 2; got != want {
+		t.Fatalf("live jobs = %d, want %d (%+v)", got, want, live)
+	}
+	// Admit order: b before c.
+	if live[0].Job != "b" || live[1].Job != "c" {
+		t.Fatalf("live order = %s,%s; want b,c", live[0].Job, live[1].Job)
+	}
+	if !live[0].Claimed || live[0].Thief != "http://thief:1" {
+		t.Errorf("b = %+v, want claimed by http://thief:1", live[0])
+	}
+	if live[1].Claimed {
+		t.Errorf("c = %+v, want unclaimed (requeued)", live[1])
+	}
+	if string(live[0].Spec) != `{"app":"pbzip2"}` {
+		t.Errorf("spec = %s", live[0].Spec)
+	}
+	if live[1].Meta["trace_id"] != "t-c" {
+		t.Errorf("meta = %v", live[1].Meta)
+	}
+}
+
+// TestReplayIdempotence: opening the same log twice (no writes in
+// between) yields the same state — and so does a recovery-style
+// re-admission of the live jobs, which is what the daemon does at boot.
+func TestReplayIdempotence(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, testOpts())
+	mustAppend(t, j,
+		admitted("a"), admitted("b"), admitted("c"),
+		Record{Op: OpClaimed, Job: "a", Thief: "x"},
+		Record{Op: OpSettled, Job: "b"},
+	)
+	j.Close()
+
+	j2 := mustOpen(t, dir, testOpts())
+	first := j2.Live()
+	// The daemon re-admits recovered jobs through the same journal;
+	// replaying those extra records must not change the state.
+	for _, lj := range first {
+		mustAppend(t, j2, Record{Op: OpAdmitted, Job: lj.Job, Spec: lj.Spec, Meta: lj.Meta})
+	}
+	j2.Close()
+
+	j3 := mustOpen(t, dir, testOpts())
+	defer j3.Close()
+	second := j3.Live()
+	if len(first) != len(second) {
+		t.Fatalf("replay not idempotent: %d live then %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].Job != second[i].Job {
+			t.Errorf("live[%d] = %s, then %s", i, first[i].Job, second[i].Job)
+		}
+		// Re-admission resets claims by design: the job is back in a
+		// queue, not out on a lease.
+		if second[i].Claimed {
+			t.Errorf("live[%d] %s still claimed after re-admission", i, second[i].Job)
+		}
+	}
+}
+
+// TestTruncatedFinalRecord: a crash mid-append leaves a torn tail; Open
+// salvages everything before it and the journal stays appendable.
+func TestTruncatedFinalRecord(t *testing.T) {
+	for _, cut := range []int64{1, 5, 11} { // mid-header, mid-header+, mid-payload
+		dir := t.TempDir()
+		j := mustOpen(t, dir, testOpts())
+		mustAppend(t, j, admitted("a"), admitted("b"))
+		sizeBefore := j.Stats().Bytes
+		mustAppend(t, j, admitted("torn"))
+		j.Close()
+
+		seg := filepath.Join(dir, segmentName(1))
+		if err := os.Truncate(seg, sizeBefore+cut); err != nil {
+			t.Fatal(err)
+		}
+		j2, err := Open(dir, testOpts())
+		if err != nil {
+			t.Fatalf("cut=%d: Open after torn tail: %v", cut, err)
+		}
+		if got := liveIDs(j2); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+			t.Fatalf("cut=%d: live = %v, want [a b]", cut, got)
+		}
+		st := j2.Stats()
+		if !st.TruncatedTail {
+			t.Errorf("cut=%d: TruncatedTail not reported", cut)
+		}
+		// The journal must keep working where the tail was cut.
+		mustAppend(t, j2, admitted("after"))
+		j2.Close()
+		j3 := mustOpen(t, dir, testOpts())
+		if got := liveIDs(j3); len(got) != 3 || got[2] != "after" {
+			t.Fatalf("cut=%d: live after reopen = %v, want [a b after]", cut, got)
+		}
+		j3.Close()
+	}
+}
+
+// TestCorruptChecksumMidSegment: damage to an acknowledged record —
+// anywhere other than the final frame — must fail Open with a clear
+// error, never silently drop committed jobs.
+func TestCorruptChecksumMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, testOpts())
+	mustAppend(t, j, admitted("a"), admitted("b"), admitted("c"))
+	j.Close()
+
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the FIRST record's payload.
+	length := binary.LittleEndian.Uint32(data)
+	data[headerBytes+length/2] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Open(dir, testOpts())
+	if err == nil {
+		t.Fatal("Open succeeded over a corrupt mid-segment record")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), segmentName(1)) || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("err %q should name the segment and offset", err)
+	}
+}
+
+// A checksum-damaged FINAL frame is indistinguishable from a torn
+// write of that frame's payload — salvaged, not fatal.
+func TestCorruptChecksumOnFinalRecordSalvaged(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, testOpts())
+	mustAppend(t, j, admitted("a"), admitted("torn"))
+	j.Close()
+
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF // damage the last frame's payload tail
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatalf("Open after torn final frame: %v", err)
+	}
+	defer j2.Close()
+	if got := liveIDs(j2); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("live = %v, want [a]", got)
+	}
+	if !j2.Stats().TruncatedTail {
+		t.Error("TruncatedTail not reported")
+	}
+}
+
+// Truncation anywhere but the final segment means a whole later segment
+// exists past the damage — that is corruption, not a torn tail.
+func TestTruncationInNonFinalSegmentFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.SegmentBytes = 1 // rotate after every record
+	opts.CompactRatio = 2 // never compact
+	j := mustOpen(t, dir, opts)
+	mustAppend(t, j, admitted("a"), admitted("b"), admitted("c"))
+	j.Close()
+
+	// Segment 1 holds record "a"; cut into it.
+	seg := filepath.Join(dir, segmentName(1))
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir, opts)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCompactionPreservesLiveClaims: compaction rewrites live state —
+// including the claimed flag and thief — and deletes old segments.
+func TestCompactionPreservesLiveClaims(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.MinCompactRecords = 8
+	opts.CompactRatio = 0.5
+	j := mustOpen(t, dir, opts)
+
+	mustAppend(t, j, admitted("keep-queued"), admitted("keep-claimed"))
+	mustAppend(t, j, Record{Op: OpClaimed, Job: "keep-claimed", Thief: "http://thief:9"})
+	// Churn enough settled jobs to push the dead ratio past 0.5.
+	for _, id := range []string{"x1", "x2", "x3", "x4", "x5"} {
+		mustAppend(t, j, admitted(id), Record{Op: OpSettled, Job: id})
+	}
+	st := j.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction after churn: %+v", st)
+	}
+	if st.Segments != 1 {
+		t.Errorf("segments = %d after compaction, want 1", st.Segments)
+	}
+	if st.DeadRatio >= opts.CompactRatio {
+		t.Errorf("dead ratio = %v, want < %v after compaction", st.DeadRatio, opts.CompactRatio)
+	}
+
+	// Only the compacted segment may remain on disk.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("dir holds %d files after compaction, want 1", len(entries))
+	}
+	j.Close()
+
+	j2 := mustOpen(t, dir, opts)
+	defer j2.Close()
+	live := j2.Live()
+	if len(live) != 2 {
+		t.Fatalf("live = %v, want keep-queued, keep-claimed", liveIDs(j2))
+	}
+	if live[0].Job != "keep-queued" || live[0].Claimed {
+		t.Errorf("live[0] = %+v, want unclaimed keep-queued", live[0])
+	}
+	if live[1].Job != "keep-claimed" || !live[1].Claimed || live[1].Thief != "http://thief:9" {
+		t.Errorf("live[1] = %+v, want keep-claimed claimed by http://thief:9", live[1])
+	}
+	if live[1].Meta["trace_id"] != "t-keep-claimed" {
+		t.Errorf("meta lost in compaction: %v", live[1].Meta)
+	}
+}
+
+// TestSegmentRotation: the active segment rotates past SegmentBytes and
+// replay walks all segments in order.
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.SegmentBytes = 64 // tiny: rotate every record or two
+	opts.CompactRatio = 2  // never compact; rotation is the subject
+	j := mustOpen(t, dir, opts)
+	for _, id := range []string{"a", "b", "c", "d", "e"} {
+		mustAppend(t, j, admitted(id))
+	}
+	if st := j.Stats(); st.Segments < 2 {
+		t.Fatalf("segments = %d, want rotation", st.Segments)
+	}
+	j.Close()
+
+	j2 := mustOpen(t, dir, opts)
+	defer j2.Close()
+	if got := liveIDs(j2); len(got) != 5 || got[0] != "a" || got[4] != "e" {
+		t.Fatalf("live = %v, want [a..e] in order", got)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j := mustOpen(t, t.TempDir(), testOpts())
+	j.Close()
+	if err := j.Append(admitted("late")); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}
+
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("not a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j := mustOpen(t, dir, testOpts())
+	defer j.Close()
+	mustAppend(t, j, admitted("a"))
+	if got := liveIDs(j); len(got) != 1 {
+		t.Fatalf("live = %v", got)
+	}
+}

@@ -6,6 +6,26 @@ import (
 	"time"
 )
 
+// Transition ops emitted to a Queue's TransitionLog, mirroring
+// internal/journal's record ops so the daemon can forward them
+// verbatim.
+const (
+	TransitionAdmitted  = "admitted"  // Push accepted the job
+	TransitionClaimed   = "claimed"   // a thief took the job on a lease
+	TransitionSettled   = "settled"   // Complete settled the lease
+	TransitionRequeued  = "requeued"  // Requeue put the job back (front)
+	TransitionAbandoned = "abandoned" // Requeue dropped the job: queue closed
+)
+
+// TransitionLog receives every queue state transition, synchronously
+// and under the queue lock — so the log's record order always matches
+// the order the queue actually changed state, which is what makes it
+// safe to replay after a crash. Implementations must not call back
+// into the Queue.
+type TransitionLog interface {
+	Transition(op string, job *Job, thief string)
+}
+
 // Queue is the stealable bounded job queue. The owner's workers Pop
 // from the front (FIFO); thieves Claim from the back — the job that
 // would otherwise wait longest — so stealing reduces tail latency
@@ -23,12 +43,37 @@ type Queue struct {
 	// Complete, expired on TakeExpired. Nil records nothing.
 	Metrics *Metrics
 
+	// Now overrides the wall clock for lease deadlines (nil =
+	// time.Now). Set before the queue starts serving claims; tests use
+	// it to expire leases without sleeping.
+	Now func() time.Time
+
+	// Journal, when set (before the queue starts serving), receives
+	// every state transition. Nil records nothing.
+	Journal TransitionLog
+
 	mu       sync.Mutex
 	notEmpty *sync.Cond
 	capacity int
 	jobs     []*Job
 	claims   map[string]*claim
 	closed   bool
+}
+
+// now is the queue's clock: Now if set, else the wall clock.
+func (q *Queue) now() time.Time {
+	if q.Now != nil {
+		return q.Now()
+	}
+	return time.Now()
+}
+
+// transition forwards one state change to the journal, if any. Called
+// with q.mu held.
+func (q *Queue) transition(op string, j *Job, thief string) {
+	if q.Journal != nil {
+		q.Journal.Transition(op, j, thief)
+	}
 }
 
 // claim is one outstanding steal: the job, who took it, and when the
@@ -55,6 +100,7 @@ func (q *Queue) Push(j *Job) bool {
 		return false
 	}
 	q.jobs = append(q.jobs, j)
+	q.transition(TransitionAdmitted, j, "")
 	q.notEmpty.Signal()
 	return true
 }
@@ -91,8 +137,9 @@ func (q *Queue) Claim(thief string, lease time.Duration) (*Job, time.Time, bool)
 			continue
 		}
 		q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
-		deadline := time.Now().Add(lease)
+		deadline := q.now().Add(lease)
 		q.claims[j.ID] = &claim{job: j, thief: thief, deadline: deadline}
+		q.transition(TransitionClaimed, j, thief)
 		if q.Metrics != nil {
 			q.Metrics.LeasesGranted.Inc()
 		}
@@ -113,6 +160,7 @@ func (q *Queue) Complete(id string) (*Job, bool) {
 		return nil, false
 	}
 	delete(q.claims, id)
+	q.transition(TransitionSettled, c.job, c.thief)
 	if q.Metrics != nil {
 		q.Metrics.LeasesSettled.Inc()
 	}
@@ -164,14 +212,29 @@ func (q *Queue) TakeExpired(now time.Time) []*Job {
 // waited once — and wakes blocked Pops. It bypasses the admission cap:
 // these jobs were admitted once, and dropping them on a full queue
 // would turn a thief crash into job loss.
-func (q *Queue) Requeue(jobs []*Job) {
+//
+// A closed queue admits nothing, not even requeues: every job is
+// returned as dropped (and journaled as abandoned) so the caller can
+// record the loss instead of the old behavior — silently resurrecting
+// jobs into a queue no worker will ever drain.
+func (q *Queue) Requeue(jobs []*Job) (dropped []*Job) {
 	if len(jobs) == 0 {
-		return
+		return nil
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.closed {
+		for _, j := range jobs {
+			q.transition(TransitionAbandoned, j, "")
+		}
+		return jobs
+	}
+	for _, j := range jobs {
+		q.transition(TransitionRequeued, j, "")
+	}
 	q.jobs = append(append(make([]*Job, 0, len(jobs)+len(q.jobs)), jobs...), q.jobs...)
 	q.notEmpty.Broadcast()
+	return nil
 }
 
 // Len counts queued (unclaimed) jobs.
@@ -205,8 +268,10 @@ func (q *Queue) ClaimedCount() int {
 }
 
 // Close stops admission and wakes every blocked Pop; queued jobs still
-// drain. Jobs out on a lease are abandoned — the process is shutting
-// down and their clients are about to lose the jobs map anyway.
+// drain. Jobs out on a lease are left claimed: with a journal attached
+// they replay as claimed at the next boot and recover like any expired
+// lease, and a Requeue racing Close reports them dropped instead of
+// resurrecting them into a queue no worker will drain.
 func (q *Queue) Close() {
 	q.mu.Lock()
 	defer q.mu.Unlock()

@@ -12,6 +12,29 @@ func stealableJob(id string) *Job {
 
 func localJob(id string) *Job { return &Job{ID: id} }
 
+// fakeClock is an injectable clock for lease-expiry tests: leases
+// expire by Advance, not by sleeping, so the tests are instant and
+// cannot flake under -race scheduling jitter.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	return c.t
+}
+
 func TestQueueFIFOAndBound(t *testing.T) {
 	q := NewQueue(2)
 	if !q.Push(stealableJob("a")) || !q.Push(stealableJob("b")) {
@@ -81,16 +104,18 @@ func TestQueueCompleteSettlesOnce(t *testing.T) {
 }
 
 func TestQueueExpiredClaimRequeuesAtFront(t *testing.T) {
+	clock := newFakeClock()
 	q := NewQueue(4)
+	q.Now = clock.Now
 	q.Push(stealableJob("stolen"))
 	q.Push(stealableJob("waiting"))
-	if _, _, ok := q.Claim("thief", 10*time.Millisecond); !ok {
+	if _, _, ok := q.Claim("thief", time.Minute); !ok {
 		t.Fatal("claim failed")
 	}
-	if exp := q.TakeExpired(time.Now()); len(exp) != 0 {
+	if exp := q.TakeExpired(clock.Now()); len(exp) != 0 {
 		t.Fatalf("expired %d claims before the lease passed", len(exp))
 	}
-	exp := q.TakeExpired(time.Now().Add(time.Second))
+	exp := q.TakeExpired(clock.Advance(2 * time.Minute))
 	if len(exp) != 1 || exp[0].ID != "waiting" {
 		t.Fatalf("expired = %v, want the claimed job", exp)
 	}
@@ -119,14 +144,16 @@ func TestQueueExpiredClaimRequeuesAtFront(t *testing.T) {
 // back oldest deadline first, so the longest-abandoned job re-runs
 // soonest.
 func TestQueueTakeExpiredOldestFirst(t *testing.T) {
+	clock := newFakeClock()
 	q := NewQueue(8)
+	q.Now = clock.Now
 	q.Push(stealableJob("a"))
 	q.Push(stealableJob("b"))
 	q.Push(stealableJob("c"))
-	q.Claim("t1", 30*time.Millisecond) // takes c, latest deadline... claimed first
-	q.Claim("t2", 10*time.Millisecond) // takes b
-	q.Claim("t3", 20*time.Millisecond) // takes a
-	exp := q.TakeExpired(time.Now().Add(time.Second))
+	q.Claim("t1", 30*time.Minute) // takes c, latest deadline... claimed first
+	q.Claim("t2", 10*time.Minute) // takes b
+	q.Claim("t3", 20*time.Minute) // takes a
+	exp := q.TakeExpired(clock.Advance(time.Hour))
 	if len(exp) != 3 {
 		t.Fatalf("expired %d, want 3", len(exp))
 	}
@@ -140,17 +167,106 @@ func TestQueueTakeExpiredOldestFirst(t *testing.T) {
 // own expired claims — dropping them would turn a thief crash into job
 // loss.
 func TestQueueRequeueOverridesCapacity(t *testing.T) {
+	clock := newFakeClock()
 	q := NewQueue(1)
+	q.Now = clock.Now
 	q.Push(stealableJob("a"))
-	q.Claim("thief", 0)
+	q.Claim("thief", time.Minute)
 	q.Push(stealableJob("b")) // fills the queue again
-	exp := q.TakeExpired(time.Now().Add(time.Second))
+	exp := q.TakeExpired(clock.Advance(2 * time.Minute))
 	if len(exp) != 1 {
 		t.Fatalf("expired %d, want 1", len(exp))
 	}
-	q.Requeue(exp)
+	if dropped := q.Requeue(exp); len(dropped) != 0 {
+		t.Fatalf("requeue dropped %d jobs on an open queue", len(dropped))
+	}
 	if q.Len() != 2 {
 		t.Fatalf("len = %d, want 2 (requeue bypasses the admission cap)", q.Len())
+	}
+}
+
+// TestQueueRequeueAfterCloseReportsDropped: the old behavior silently
+// resurrected expired-lease jobs into a closed queue no worker would
+// ever drain; now the caller is told exactly which jobs were dropped.
+func TestQueueRequeueAfterCloseReportsDropped(t *testing.T) {
+	clock := newFakeClock()
+	q := NewQueue(4)
+	q.Now = clock.Now
+	q.Push(stealableJob("a"))
+	q.Push(stealableJob("b"))
+	q.Claim("t1", time.Minute)
+	q.Claim("t2", time.Minute)
+	exp := q.TakeExpired(clock.Advance(2 * time.Minute))
+	if len(exp) != 2 {
+		t.Fatalf("expired %d, want 2", len(exp))
+	}
+	q.Close()
+	dropped := q.Requeue(exp)
+	if len(dropped) != 2 {
+		t.Fatalf("dropped %d, want both jobs reported", len(dropped))
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len = %d: dropped jobs re-entered the closed queue", q.Len())
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("a worker popped from the closed queue after the dead requeue")
+	}
+}
+
+// recordingLog captures queue transitions for assertion.
+type recordingLog struct {
+	mu      sync.Mutex
+	entries []string
+}
+
+func (l *recordingLog) Transition(op string, j *Job, thief string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := op + ":" + j.ID
+	if thief != "" {
+		e += "@" + thief
+	}
+	l.entries = append(l.entries, e)
+}
+
+// TestQueueTransitionLog: every state change reaches the journal hook,
+// in queue order, including the abandoned path on a closed queue.
+func TestQueueTransitionLog(t *testing.T) {
+	clock := newFakeClock()
+	log := &recordingLog{}
+	q := NewQueue(2)
+	q.Now = clock.Now
+	q.Journal = log
+
+	q.Push(stealableJob("a"))
+	q.Push(stealableJob("b"))
+	q.Push(stealableJob("rejected")) // over capacity: no transition
+	q.Claim("thief", time.Minute)    // takes b (newest)
+	q.Complete("b")
+	q.Claim("thief2", time.Minute) // takes a
+	exp := q.TakeExpired(clock.Advance(2 * time.Minute))
+	q.Requeue(exp) // a back at the front
+	q.Close()
+	q.Requeue([]*Job{stealableJob("late")}) // abandoned
+
+	want := []string{
+		"admitted:a",
+		"admitted:b",
+		"claimed:b@thief",
+		"settled:b@thief",
+		"claimed:a@thief2",
+		"requeued:a",
+		"abandoned:late",
+	}
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	if len(log.entries) != len(want) {
+		t.Fatalf("transitions = %v, want %v", log.entries, want)
+	}
+	for i := range want {
+		if log.entries[i] != want[i] {
+			t.Errorf("transition[%d] = %q, want %q", i, log.entries[i], want[i])
+		}
 	}
 }
 

@@ -16,6 +16,10 @@ import (
 // operator (or another scheduler) can see where the cluster's backlog
 // lives without touching every node.
 type Gossip struct {
+	// Now overrides the wall clock for Seen stamps (nil = time.Now).
+	// Set before the view is shared across goroutines.
+	Now func() time.Time
+
 	mu    sync.Mutex
 	peers map[string]PeerStatus
 }
@@ -23,12 +27,23 @@ type Gossip struct {
 // NewGossip returns an empty view.
 func NewGossip() *Gossip { return &Gossip{peers: make(map[string]PeerStatus)} }
 
-// Record stores one successful probe observation; Seen is stamped here
-// and any stale Err from a previous failed probe is cleared.
+func (g *Gossip) now() time.Time {
+	if g.Now != nil {
+		return g.Now()
+	}
+	return time.Now()
+}
+
+// Record stores one successful probe observation and clears any stale
+// Err from a previous failed probe. A zero Seen is stamped with the
+// view's clock; a caller that already stamped observation time (the
+// stealer, with its own injectable clock) keeps its stamp.
 func (g *Gossip) Record(peer string, st PeerStatus) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	st.Seen = time.Now()
+	if st.Seen.IsZero() {
+		st.Seen = g.now()
+	}
 	st.Err = ""
 	g.peers[peer] = st
 }
@@ -40,7 +55,7 @@ func (g *Gossip) RecordErr(peer string, err error) {
 	defer g.mu.Unlock()
 	st := g.peers[peer]
 	st.Err = err.Error()
-	st.Seen = time.Now()
+	st.Seen = g.now()
 	g.peers[peer] = st
 }
 
@@ -98,8 +113,18 @@ type Stealer struct {
 	// shared registry; otherwise a private registry is created lazily,
 	// so Stats always has series to read.
 	Metrics *Metrics
+	// Now overrides the wall clock for gossip Seen stamps (nil =
+	// time.Now). Set before Run.
+	Now func() time.Time
 
 	mu sync.Mutex
+}
+
+func (s *Stealer) now() time.Time {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return time.Now()
 }
 
 // metrics returns the instrument set, creating a private one on first
@@ -195,6 +220,7 @@ func (s *Stealer) probeAll(stop <-chan struct{}) []peerDepth {
 		}
 		m.GossipUpdates.With("ok").Inc()
 		if s.Gossip != nil {
+			st.Seen = s.now()
 			s.Gossip.Record(peer, st)
 		}
 		if st.Stealable > 0 {
@@ -249,6 +275,10 @@ func Probe(client *http.Client, peer string) (PeerStatus, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		return PeerStatus{}, fmt.Errorf("probe %s: %w", peer, err)
 	}
+	// The victim stamps Seen with its own clock; observation time is
+	// the observer's business (and victim clock skew would poison
+	// staleness checks), so clear it for Gossip.Record to re-stamp.
+	st.Seen = time.Time{}
 	return st, nil
 }
 

@@ -268,3 +268,81 @@ func TestStealerCountsReportFailures(t *testing.T) {
 		t.Fatalf("stats = %+v, want 2 executed / 2 failures", stats)
 	}
 }
+
+// TestGossipFakeClock: Seen stamps come from the injectable clock, both
+// on successful observations and failures — and the stealer's own clock
+// wins over the victim's, so a peer with a skewed wall clock cannot
+// make its gossip entry look fresher (or staler) than it is.
+func TestGossipFakeClock(t *testing.T) {
+	clock := newFakeClock()
+	g := NewGossip()
+	g.Now = clock.Now
+
+	g.Record("http://a", PeerStatus{QueueLen: 3})
+	if got := g.Snapshot()["http://a"].Seen; !got.Equal(clock.Now()) {
+		t.Fatalf("Seen = %v, want the fake clock's %v", got, clock.Now())
+	}
+	clock.Advance(time.Minute)
+	g.RecordErr("http://a", errProbe{})
+	if got := g.Snapshot()["http://a"].Seen; !got.Equal(clock.Now()) {
+		t.Fatalf("Seen after error = %v, want %v", got, clock.Now())
+	}
+	// A caller that pre-stamped observation time keeps its stamp.
+	stamp := clock.Advance(time.Minute)
+	clock.Advance(time.Hour)
+	g.Record("http://b", PeerStatus{Seen: stamp})
+	if got := g.Snapshot()["http://b"].Seen; !got.Equal(stamp) {
+		t.Fatalf("pre-stamped Seen = %v, want %v", got, stamp)
+	}
+}
+
+type errProbe struct{}
+
+func (errProbe) Error() string { return "probe failed" }
+
+// TestStealerStampsGossipWithOwnClock: the full probe path — Probe
+// discards the victim's self-stamped Seen, and the stealer stamps the
+// observation with its own (injectable) clock before recording it.
+func TestStealerStampsGossipWithOwnClock(t *testing.T) {
+	q := NewQueue(8)
+	q.Push(stealableJob("a"))
+	ts := fakeVictim(t, q)
+
+	// The wire status carries the victim's wall clock...
+	wire, err := Probe(nil, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...but Probe clears it: observation time is the observer's.
+	if !wire.Seen.IsZero() {
+		t.Fatalf("Probe kept the victim's Seen stamp %v", wire.Seen)
+	}
+
+	clock := newFakeClock()
+	st := &Stealer{
+		Self:     "http://self",
+		Peers:    []string{ts.URL},
+		Interval: 5 * time.Millisecond,
+		Gossip:   NewGossip(),
+		Now:      clock.Now,
+		Idle:     func() bool { return false }, // gossip-only ticks
+		Execute:  func(string, StolenJob) error { return nil },
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go st.Run(stop)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if pst, ok := st.Gossip.Snapshot()[ts.URL]; ok && pst.Err == "" {
+			if !pst.Seen.Equal(clock.Now()) {
+				t.Fatalf("gossip Seen = %v, want the stealer clock's %v", pst.Seen, clock.Now())
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("gossip never recorded the probe")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
