@@ -46,6 +46,11 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch before the legacy flag surface: `perfplay sim`
+	// is the offline cluster-policy lab (see sim.go).
+	if len(os.Args) > 1 && os.Args[1] == "sim" {
+		os.Exit(runSim(os.Args[2:]))
+	}
 	var (
 		appName   = flag.String("app", "", "workload to analyze (see -list)")
 		threads   = flag.Int("threads", 2, "worker thread count")

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfplay/internal/clustersim"
+)
+
+// runSim is the `perfplay sim` subcommand: the offline policy lab.
+// It runs seeded cluster scenarios through internal/clustersim —
+// the real scheduler and ledger policy code over a simulated fabric —
+// and prints the deterministic report (same seed, same bytes). With
+// -sweep it grids the policy knobs instead and prints the ranked
+// table.
+func runSim(argv []string) int {
+	fs := flag.NewFlagSet("perfplay sim", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: perfplay sim [flags]\n\n"+
+			"Runs a seeded, deterministic cluster-scheduling scenario against the real\n"+
+			"perfplayd policy code (queue, stealer, gossip, range ledger) on an in-memory\n"+
+			"transport. Same seed, byte-identical output.\n\n")
+		fs.PrintDefaults()
+	}
+	var (
+		scenario = fs.String("scenario", "skewed", `scenario: uniform, skewed, slownode, crash, or "all"`)
+		seed     = fs.Int64("seed", 42, "simulation seed (all randomness derives from it)")
+		sweep    = fs.Bool("sweep", false, "grid the policy knobs over the scenario and rank the results")
+
+		nodes    = fs.Int("nodes", 0, "cluster size (0 = scenario default)")
+		workers  = fs.Int("workers", 0, "workers per node (0 = scenario default)")
+		queue    = fs.Int("queue", 0, "per-node queue depth (0 = scenario default)")
+		duration = fs.Int64("duration", 0, "arrival window, ms (0 = scenario default)")
+		arrival  = fs.Int64("arrival", 0, "mean inter-arrival gap, ms (0 = scenario default)")
+		interval = fs.Int64("steal-interval", 0, "stealer tick cadence, ms (0 = scenario default)")
+		lease    = fs.Int64("lease", 0, "steal lease, ms (0 = scenario default)")
+		chunk    = fs.Int("chunk-factor", -1, "range-ledger chunk factor (-1 = scenario default)")
+		hints    = fs.Bool("hints", true, "hint-driven steal ordering (prefer cache-warm victims)")
+		slow     = fs.Int64("slow-factor", 0, "slow-node cost multiplier for slownode (0 = default)")
+		crashN   = fs.Int("crash-node", -1, "crash scenario: node to kill (-1 = busiest thief)")
+		crashAt  = fs.Int64("crash-at", 0, "crash scenario: kill time, ms (0 = default)")
+	)
+	fs.Parse(argv)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "perfplay sim: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+
+	scenarios := []string{*scenario}
+	if *scenario == "all" {
+		scenarios = clustersim.Scenarios()
+	}
+	for i, sc := range scenarios {
+		cfg := clustersim.DefaultConfig(sc, *seed)
+		if *nodes > 0 {
+			cfg.Nodes = *nodes
+		}
+		if *workers > 0 {
+			cfg.WorkersPerNode = *workers
+		}
+		if *queue > 0 {
+			cfg.QueueDepth = *queue
+		}
+		if *duration > 0 {
+			cfg.DurationMS = *duration
+		}
+		if *arrival > 0 {
+			cfg.ArrivalEveryMS = *arrival
+		}
+		if *interval > 0 {
+			cfg.StealIntervalMS = *interval
+		}
+		if *lease > 0 {
+			cfg.LeaseMS = *lease
+		}
+		if *chunk >= 0 {
+			cfg.ChunkFactor = *chunk
+		}
+		cfg.HintSteals = *hints
+		if *slow > 0 {
+			cfg.SlowFactor = *slow
+		}
+		cfg.CrashNode = *crashN
+		if *crashAt > 0 {
+			cfg.CrashAtMS = *crashAt
+		}
+
+		if i > 0 {
+			fmt.Println()
+		}
+		if *sweep {
+			results, err := clustersim.Sweep(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "perfplay sim:", err)
+				return 1
+			}
+			fmt.Print(clustersim.RenderSweep(sc, *seed, results))
+			continue
+		}
+		report, err := clustersim.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfplay sim:", err)
+			return 1
+		}
+		fmt.Print(report.String())
+	}
+	return 0
+}

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"perfplay/internal/clusterapi"
 	"perfplay/internal/pipeline"
 	"perfplay/internal/scheduler"
 	"perfplay/internal/telemetry"
@@ -96,7 +97,7 @@ func (s *Server) handleCacheResult(w http.ResponseWriter, r *http.Request) {
 	s.span(s.incomingTrace(r), "cache_serve", start, time.Now(),
 		map[string]string{"kind": "result", "outcome": probeOutcome(ok)})
 	if !ok {
-		httpError(w, http.StatusNotFound, "no cached result for key %q", key)
+		httpError(w, http.StatusNotFound, clusterapi.CodeCacheMiss, "no cached result for key %q", key)
 		return
 	}
 	s.cacheStats.servedResults.Inc()
@@ -114,7 +115,7 @@ func (s *Server) handleCacheTable(w http.ResponseWriter, r *http.Request) {
 	s.span(s.incomingTrace(r), "cache_serve", start, time.Now(),
 		map[string]string{"kind": "table", "outcome": probeOutcome(ok)})
 	if !ok {
-		httpError(w, http.StatusNotFound, "no cached verdict table for key %q", key)
+		httpError(w, http.StatusNotFound, clusterapi.CodeCacheMiss, "no cached verdict table for key %q", key)
 		return
 	}
 	s.cacheStats.servedTables.Inc()
@@ -315,68 +316,55 @@ func (s *Server) rejectQueueFull(w http.ResponseWriter, traceID string) {
 		now := time.Now()
 		s.span(spanCtx{trace: traceID}, "admission_redirect", now, now,
 			map[string]string{"peer": peer})
-		httpError(w, http.StatusServiceUnavailable,
+		httpError(w, http.StatusServiceUnavailable, clusterapi.CodeQueueFull,
 			"job queue full (%d pending); retry at %s", s.cfg.QueueDepth, peer)
 		return
 	}
-	httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.QueueDepth)
+	httpError(w, http.StatusServiceUnavailable, clusterapi.CodeQueueFull, "job queue full (%d pending)", s.cfg.QueueDepth)
 }
 
-// idlestPeer picks the admission redirect target: the healthy peer with
-// the shortest known queue that is not itself full. The gossip view is
-// consulted first (the stealer refreshes it every tick, busy or not).
-// When it yields no candidate AND no peer looks healthy in it — no
-// stealer, nothing probed yet, or every entry is a stale failure — a
-// bounded synchronous probe round stands in, so one bad round (or a
-// disabled stealer) cannot suppress redirects forever. Healthy-but-full
-// gossip entries do NOT trigger the fallback: that is an honest "no
-// room", and probing every peer on every overloaded submit would turn
-// an overload into a probe storm. ok=false means no peer is known to
-// have room — redirecting a submitter into another full queue would
-// just bounce them around the cluster.
+// idlestPeer picks the admission redirect target via the shared
+// scheduler.IdlestPeer policy: the healthy peer with the shortest known
+// queue that is not itself full. The gossip view is consulted first
+// (the stealer refreshes it every tick, busy or not). When it yields no
+// candidate AND no peer looks healthy in it — no stealer, nothing
+// probed yet, or every entry is a stale failure — a bounded synchronous
+// probe round stands in, so one bad round (or a disabled stealer)
+// cannot suppress redirects forever. Healthy-but-full gossip entries do
+// NOT trigger the fallback: that is an honest "no room", and probing
+// every peer on every overloaded submit would turn an overload into a
+// probe storm. ok=false means no peer is known to have room —
+// redirecting a submitter into another full queue would just bounce
+// them around the cluster.
 func (s *Server) idlestPeer() (string, bool) {
 	if len(s.cfg.Peers) == 0 {
 		return "", false
 	}
-	var best string
-	bestLen, found := 0, false
-	consider := func(peer string, st scheduler.PeerStatus) {
-		if st.Err != "" {
-			return
-		}
-		if st.QueueCap > 0 && st.QueueLen >= st.QueueCap {
-			return // full too; not a valid redirect target
-		}
-		if !found || st.QueueLen < bestLen {
-			best, bestLen, found = peer, st.QueueLen, true
-		}
-	}
 	snap := s.gossip.Snapshot()
-	healthy := false
+	if peer, ok := scheduler.IdlestPeer(s.cfg.Peers, snap); ok {
+		return peer, true
+	}
 	for _, peer := range s.cfg.Peers {
-		if st, ok := snap[peer]; ok {
-			if st.Err == "" {
-				healthy = true
-			}
-			consider(peer, st)
+		if st, ok := snap[peer]; ok && st.Err == "" {
+			return "", false // healthy but full: an honest "no room"
 		}
 	}
-	if !found && !healthy && s.admissionProbeAllowed() {
-		peers := s.cfg.Peers
-		if n := s.cfg.CacheProbeFanout; n > 0 && len(peers) > n {
-			peers = peers[:n]
-		}
-		for _, peer := range peers {
-			st, err := scheduler.Probe(s.cacheClient, peer)
-			if err != nil {
-				s.gossip.RecordErr(peer, err)
-				continue
-			}
-			s.gossip.Record(peer, st)
-			consider(peer, st)
-		}
+	if !s.admissionProbeAllowed() {
+		return "", false
 	}
-	return best, found
+	peers := s.cfg.Peers
+	if n := s.cfg.CacheProbeFanout; n > 0 && len(peers) > n {
+		peers = peers[:n]
+	}
+	for _, peer := range peers {
+		st, err := scheduler.Probe(s.cacheClient, peer)
+		if err != nil {
+			s.gossip.RecordErr(peer, err)
+			continue
+		}
+		s.gossip.Record(peer, st)
+	}
+	return scheduler.IdlestPeer(peers, s.gossip.Snapshot())
 }
 
 // admissionProbeAllowed rate-limits the admission path's synchronous

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"perfplay/internal/clusterapi"
 	"perfplay/internal/corpus"
 	"perfplay/internal/pipeline"
 	"perfplay/internal/telemetry"
@@ -137,7 +138,7 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 		case s.shardSem <- struct{}{}:
 			defer func() { <-s.shardSem }()
 		default:
-			httpError(w, http.StatusServiceUnavailable,
+			httpError(w, http.StatusServiceUnavailable, clusterapi.CodeShardBusy,
 				"shard executor busy (%d concurrent requests)", cap(s.shardSem))
 			return
 		}
@@ -150,11 +151,11 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			httpError(w, http.StatusRequestEntityTooLarge,
+			httpError(w, http.StatusRequestEntityTooLarge, clusterapi.CodeBodyTooLarge,
 				"shard request exceeds %d bytes", s.cfg.MaxTraceBytes)
 			return
 		}
-		httpError(w, http.StatusBadRequest, "bad shard request: %v", err)
+		httpError(w, http.StatusBadRequest, clusterapi.CodeBadRequest, "bad shard request: %v", err)
 		return
 	}
 	st, ok := s.shardTraces.get(req.Trace)
@@ -175,7 +176,7 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Start < 0 || req.End < req.Start || req.End > len(st.groups) {
-		httpError(w, http.StatusBadRequest,
+		httpError(w, http.StatusBadRequest, clusterapi.CodeRangeOutOfBounds,
 			"shard range [%d,%d) out of bounds for %d lock groups", req.Start, req.End, len(st.groups))
 		return
 	}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"perfplay/internal/clusterapi"
 	"perfplay/internal/corpus"
 	"perfplay/internal/sim"
 	"perfplay/internal/ulcp"
@@ -261,8 +262,8 @@ func TestShardsEndpointErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("out-of-bounds range: status %d, want 400", resp.StatusCode)
 	}
-	if errBody := decode[map[string]string](t, resp); !strings.Contains(errBody["error"], "out of bounds") {
-		t.Fatalf("error = %q", errBody["error"])
+	if e := apiError(t, resp); e.Code != clusterapi.CodeRangeOutOfBounds {
+		t.Fatalf("error = %+v, want code %q", e, clusterapi.CodeRangeOutOfBounds)
 	}
 
 	// A shard request larger than MaxTraceBytes → 413.
@@ -302,8 +303,8 @@ func TestShardsBusy(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("busy worker: status %d, want 503", resp.StatusCode)
 	}
-	if errBody := decode[map[string]string](t, resp); !strings.Contains(errBody["error"], "busy") {
-		t.Fatalf("error = %q", errBody["error"])
+	if e := apiError(t, resp); e.Code != clusterapi.CodeShardBusy {
+		t.Fatalf("error = %+v, want code %q", e, clusterapi.CodeShardBusy)
 	}
 
 	<-srv.shardSem // free the slot; the endpoint must serve again

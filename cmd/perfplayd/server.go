@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"perfplay/internal/clusterapi"
 	"perfplay/internal/corpus"
 	"perfplay/internal/journal"
 	"perfplay/internal/pipeline"
@@ -452,8 +453,13 @@ func (s *Server) StartStealer(self string) {
 		Idle:     s.idle,
 		Execute:  s.executeStolen,
 		Gossip:   s.gossip,
-		Client:   &http.Client{Timeout: s.cfg.ShardTimeout},
-		Metrics:  s.schedMetrics,
+		Transport: &scheduler.HTTPTransport{
+			Client: &http.Client{Timeout: s.cfg.ShardTimeout},
+		},
+		// Hint-driven victim ordering: prefer stealing jobs whose trace
+		// artifacts (result or verdict table) are already cached here.
+		HasCached: s.pl.HasDigestCached,
+		Metrics:   s.schedMetrics,
 	}
 	st := s.stealer
 	s.wg.Add(1)
@@ -680,6 +686,7 @@ func (s *Server) routes() []route {
 		{"GET /steal", s.handleSteal},
 		{"POST /jobs/claim", s.handleClaim},
 		{"POST /jobs/{id}/result", s.handleJobResult},
+		{"GET /jobs", s.handleJobList},
 		{"GET /jobs/{id}", s.handleJob},
 		{"GET /jobs/{id}/trace", s.handleJobTrace},
 		{"GET /metrics", s.handleMetrics},
@@ -747,7 +754,7 @@ func (s *Server) reserveInflight(n int64) func() {
 }
 
 func (s *Server) backlogFull(w http.ResponseWriter) {
-	httpError(w, http.StatusServiceUnavailable,
+	httpError(w, http.StatusServiceUnavailable, clusterapi.CodeTraceBacklogFull,
 		"trace backlog full (limit %d bytes)", s.cfg.MaxQueuedTraceBytes)
 }
 
@@ -761,7 +768,7 @@ func (s *Server) backlogFull(w http.ResponseWriter) {
 // once buffered. ok=false means the response has been written.
 func (s *Server) admitUpload(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
 	if r.ContentLength > s.cfg.MaxTraceBytes {
-		httpError(w, http.StatusRequestEntityTooLarge,
+		httpError(w, http.StatusRequestEntityTooLarge, clusterapi.CodeBodyTooLarge,
 			"trace body %d bytes exceeds limit %d", r.ContentLength, s.cfg.MaxTraceBytes)
 		return nil, false
 	}
@@ -777,7 +784,8 @@ func (s *Server) admitUpload(w http.ResponseWriter, r *http.Request) (release fu
 // requireCorpus 503s when the daemon runs without a trace store.
 func (s *Server) requireCorpus(w http.ResponseWriter) bool {
 	if s.corpus == nil {
-		httpError(w, http.StatusServiceUnavailable, "trace corpus disabled (start perfplayd with -corpus)")
+		httpError(w, http.StatusServiceUnavailable, clusterapi.CodeCorpusDisabled,
+			"trace corpus disabled (start perfplayd with -corpus)")
 		return false
 	}
 	return true
@@ -788,13 +796,13 @@ func (s *Server) requireCorpus(w http.ResponseWriter) bool {
 func corpusError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, corpus.ErrNotFound):
-		httpError(w, http.StatusNotFound, "%v", err)
+		httpError(w, http.StatusNotFound, clusterapi.CodeTraceNotFound, "%v", err)
 	case errors.Is(err, corpus.ErrBudget):
-		httpError(w, http.StatusInsufficientStorage, "%v", err)
+		httpError(w, http.StatusInsufficientStorage, clusterapi.CodeCorpusFull, "%v", err)
 	case errors.Is(err, corpus.ErrInvalid):
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, clusterapi.CodeInvalidTrace, "%v", err)
 	default:
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		httpError(w, http.StatusInternalServerError, clusterapi.CodeInternal, "%v", err)
 	}
 }
 
@@ -821,7 +829,7 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxTraceBytes)
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(body); err != nil {
-		httpError(w, http.StatusRequestEntityTooLarge, "request body: %v", err)
+		httpError(w, http.StatusRequestEntityTooLarge, clusterapi.CodeBodyTooLarge, "request body: %v", err)
 		return
 	}
 	if release == nil {
@@ -894,7 +902,7 @@ func (s *Server) handleTracePin(w http.ResponseWriter, r *http.Request) {
 	}
 	pin := r.URL.Query().Get("pin")
 	if pin != "true" && pin != "false" {
-		httpError(w, http.StatusBadRequest, "pin must be ?pin=true or ?pin=false")
+		httpError(w, http.StatusBadRequest, clusterapi.CodeBadRequest, "pin must be ?pin=true or ?pin=false")
 		return
 	}
 	digest := r.PathValue("digest")
@@ -924,7 +932,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	closed := s.closed
 	s.mu.Unlock()
 	if closed {
-		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		httpError(w, http.StatusServiceUnavailable, clusterapi.CodeShuttingDown, "server shutting down")
 		return
 	}
 	if s.queue.Len() >= s.queue.Cap() {
@@ -960,7 +968,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxTraceBytes)
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(body); err != nil {
-		httpError(w, http.StatusRequestEntityTooLarge, "request body: %v", err)
+		httpError(w, http.StatusRequestEntityTooLarge, clusterapi.CodeBodyTooLarge, "request body: %v", err)
 		return
 	}
 
@@ -985,11 +993,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		tr, err := trace.ReadAny(bytes.NewReader(buf.Bytes()))
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
+			httpError(w, http.StatusBadRequest, clusterapi.CodeInvalidTrace, "%v", err)
 			return
 		}
 		if len(tr.Events) == 0 || tr.NumThreads == 0 {
-			httpError(w, http.StatusBadRequest,
+			httpError(w, http.StatusBadRequest, clusterapi.CodeInvalidTrace,
 				"empty trace (%d events, %d threads) — did you mean a JSON workload spec?",
 				len(tr.Events), tr.NumThreads)
 			return
@@ -1012,7 +1020,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	} else {
 		var spec analyzeSpec
 		if err := json.Unmarshal(buf.Bytes(), &spec); err != nil {
-			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+			httpError(w, http.StatusBadRequest, clusterapi.CodeBadRequest, "bad request body: %v", err)
 			return
 		}
 		if spec.Trace != "" {
@@ -1050,12 +1058,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			}
 		} else {
 			if _, ok := workload.Get(spec.App); !ok {
-				httpError(w, http.StatusBadRequest, "unknown workload %q", spec.App)
+				httpError(w, http.StatusBadRequest, clusterapi.CodeUnknownWorkload, "unknown workload %q", spec.App)
 				return
 			}
 			input, err := workload.ParseInputSize(spec.Input)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, "%v", err)
+				httpError(w, http.StatusBadRequest, clusterapi.CodeBadRequest, "%v", err)
 				return
 			}
 			req = pipeline.Request{
@@ -1074,7 +1082,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		httpError(w, http.StatusServiceUnavailable, clusterapi.CodeShuttingDown, "server shutting down")
 		return
 	}
 	// The byte budget was enforced when the upload reserved its
@@ -1123,7 +1131,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	if ws := r.URL.Query().Get("wait"); ws != "" {
 		d, err := time.ParseDuration(ws)
 		if err != nil || d < 0 {
-			httpError(w, http.StatusBadRequest, "bad wait %q: want a duration like 10s", ws)
+			httpError(w, http.StatusBadRequest, clusterapi.CodeBadRequest, "bad wait %q: want a duration like 10s", ws)
 			return
 		}
 		wait = min(d, maxJobWait)
@@ -1140,7 +1148,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such job")
+		httpError(w, http.StatusNotFound, clusterapi.CodeJobNotFound, "no such job")
 		return
 	}
 	// Long-poll: park until the job changes state (queued→running or
@@ -1164,6 +1172,67 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	}
 	writeJSON(w, http.StatusOK, &snapshot)
+}
+
+// jobListDefaultLimit / jobListMaxLimit bound GET /jobs responses: the
+// retained-job map holds up to MaxJobs (1024 by default) records, and
+// an unbounded listing would serialize all of them per poll.
+const (
+	jobListDefaultLimit = 100
+	jobListMaxLimit     = 1000
+)
+
+// handleJobList (GET /jobs?state=&limit=) lists this node's retained
+// jobs newest-first — the operator's "what is this node doing"
+// endpoint, complementing the per-ID lookup. ?state= filters by job
+// state; ?limit= bounds the page (default 100, capped at 1000). The
+// response's total counts every match before the limit was applied, so
+// a truncated page is detectable.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	state := q.Get("state")
+	switch state {
+	case "", statusQueued, statusRunning, statusDone, statusFailed:
+	default:
+		httpError(w, http.StatusBadRequest, clusterapi.CodeBadRequest,
+			"bad state %q: want one of queued, running, done, failed", state)
+		return
+	}
+	limit := jobListDefaultLimit
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, clusterapi.CodeBadRequest,
+				"bad limit %q: want a positive integer", ls)
+			return
+		}
+		limit = min(n, jobListMaxLimit)
+	}
+	s.mu.Lock()
+	list := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if state == "" || j.Status == state {
+			snapshot := *j
+			list = append(list, &snapshot)
+		}
+	}
+	s.mu.Unlock()
+	// Newest submission first: the numeric submit sequence inside the ID
+	// ("job-42"), not the lexical ID ("job-10" sorts before "job-9") and
+	// not Submitted stamps (equal at clock granularity under load).
+	sort.Slice(list, func(i, k int) bool {
+		si, iok := jobSeq(list[i].ID)
+		sk, kok := jobSeq(list[k].ID)
+		if iok && kok && si != sk {
+			return si > sk
+		}
+		return list[i].ID > list[k].ID
+	})
+	total := len(list)
+	if len(list) > limit {
+		list = list[:limit]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": list, "total": total})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -1245,6 +1314,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// httpError writes the documented error envelope:
+//
+//	{"error": {"code": "queue_full", "message": "job queue full (64 pending)"}}
+//
+// Every non-2xx body on the API goes through here, so clients match on
+// the stable machine-readable code while the message stays free to
+// change. The codes are cataloged in internal/clusterapi and
+// docs/API.md.
+func httpError(w http.ResponseWriter, status int, code clusterapi.ErrorCode, format string, args ...any) {
+	writeJSON(w, status, clusterapi.Envelope{Err: *clusterapi.NewError(code, format, args...)})
 }

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"perfplay/internal/clusterapi"
 	"perfplay/internal/corpus"
 	"perfplay/internal/sim"
 	"perfplay/internal/workload"
@@ -51,6 +52,14 @@ func decode[T any](t *testing.T, resp *http.Response) T {
 		t.Fatal(err)
 	}
 	return v
+}
+
+// apiError decodes an error-envelope response body and returns the
+// typed error, so tests assert machine-readable codes instead of
+// grepping message prose.
+func apiError(t *testing.T, resp *http.Response) clusterapi.APIError {
+	t.Helper()
+	return decode[clusterapi.Envelope](t, resp).Err
 }
 
 // waitDone polls GET /jobs/{id} until the job leaves the queue.
@@ -194,8 +203,74 @@ func TestAnalyzeSpecWrongContentType(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400", resp.StatusCode)
 	}
-	if errBody := decode[map[string]string](t, resp); !strings.Contains(errBody["error"], "empty trace") {
-		t.Fatalf("error = %q", errBody["error"])
+	if e := apiError(t, resp); e.Code != clusterapi.CodeInvalidTrace || !strings.Contains(e.Message, "empty trace") {
+		t.Fatalf("error = %+v, want code %q mentioning an empty trace", e, clusterapi.CodeInvalidTrace)
+	}
+}
+
+// TestJobListing: GET /jobs pages retained jobs newest-first, filters
+// by ?state=, bounds pages by ?limit= (with total reporting the
+// pre-truncation match count), and rejects unknown states with a typed
+// bad_request.
+func TestJobListing(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	var ids []string
+	for _, seed := range []string{"1", "2", "3"} {
+		resp := postJSON(t, ts.URL+"/analyze", `{"app":"mysql","scale":0.2,"seed":`+seed+`}`)
+		sub := decode[map[string]string](t, resp)
+		ids = append(ids, sub["id"])
+		waitDone(t, ts.URL, sub["id"])
+	}
+
+	type jobPage struct {
+		Jobs []struct {
+			ID     string `json:"id"`
+			Status string `json:"status"`
+		} `json:"jobs"`
+		Total int `json:"total"`
+	}
+
+	resp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := decode[jobPage](t, resp)
+	if page.Total != 3 || len(page.Jobs) != 3 {
+		t.Fatalf("listing = %+v, want all 3 jobs", page)
+	}
+	for i, j := range page.Jobs { // newest submission first
+		if want := ids[len(ids)-1-i]; j.ID != want {
+			t.Fatalf("jobs[%d] = %s, want %s (newest-first)", i, j.ID, want)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/jobs?state=done&limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page = decode[jobPage](t, resp)
+	if page.Total != 3 || len(page.Jobs) != 2 {
+		t.Fatalf("limited listing: total %d jobs %d, want total 3 over 2 jobs", page.Total, len(page.Jobs))
+	}
+
+	resp, err = http.Get(ts.URL + "/jobs?state=queued")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page = decode[jobPage](t, resp); page.Total != 0 {
+		t.Fatalf("queued listing after completion: %+v", page)
+	}
+
+	resp, err = http.Get(ts.URL + "/jobs?state=exploded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad state: status %d, want 400", resp.StatusCode)
+	}
+	if e := apiError(t, resp); e.Code != clusterapi.CodeBadRequest {
+		t.Fatalf("bad state error = %+v, want code %q", e, clusterapi.CodeBadRequest)
 	}
 }
 
@@ -257,9 +332,8 @@ func TestQueueBounded(t *testing.T) {
 	if second.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("second submit: status %d, want 503", second.StatusCode)
 	}
-	errBody := decode[map[string]string](t, second)
-	if !strings.Contains(errBody["error"], "queue full") {
-		t.Fatalf("error = %q", errBody["error"])
+	if e := apiError(t, second); e.Code != clusterapi.CodeQueueFull {
+		t.Fatalf("error = %+v, want code %q", e, clusterapi.CodeQueueFull)
 	}
 }
 
@@ -297,8 +371,8 @@ func TestQueuedTraceBytesBounded(t *testing.T) {
 	if second.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("second upload: status %d, want 503", second.StatusCode)
 	}
-	if errBody := decode[map[string]string](t, second); !strings.Contains(errBody["error"], "trace backlog full") {
-		t.Fatalf("error = %q", errBody["error"])
+	if e := apiError(t, second); e.Code != clusterapi.CodeTraceBacklogFull {
+		t.Fatalf("error = %+v, want code %q", e, clusterapi.CodeTraceBacklogFull)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"perfplay/internal/clusterapi"
 	"perfplay/internal/corpus"
 	"perfplay/internal/pipeline"
 	"perfplay/internal/scheduler"
@@ -151,6 +152,23 @@ type stealResult struct {
 	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
+// wire converts the daemon-typed result into the transport-level
+// clusterapi.StealResult: the summary and spans travel as raw JSON so
+// internal/scheduler never needs the daemon's report types.
+func (r *stealResult) wire() (clusterapi.StealResult, error) {
+	out := clusterapi.StealResult{Thief: r.Thief, Error: r.Error}
+	var err error
+	if out.Summary, err = json.Marshal(&r.Summary); err != nil {
+		return clusterapi.StealResult{}, err
+	}
+	if len(r.Spans) > 0 {
+		if out.Spans, err = json.Marshal(r.Spans); err != nil {
+			return clusterapi.StealResult{}, err
+		}
+	}
+	return out, nil
+}
+
 // executeStolen is the thief side of one steal: run the job on the
 // local pipeline and report the outcome to the victim. Analysis errors
 // are reported as job failures (they are deterministic — the job would
@@ -213,22 +231,28 @@ func (s *Server) executeStolen(victim string, sj scheduler.StolenJob) error {
 		result.Error = err.Error()
 	}
 
-	body, merr := json.Marshal(&result)
+	// The report rides the same transport the claim came over. A
+	// lease-expired settle (the victim re-owns the job; our result is
+	// stale and discarded) surfaces as an error, which is exactly the
+	// abandon the stealer's failure accounting wants.
+	wire, merr := result.wire()
 	if merr != nil {
 		return merr
 	}
-	resp, perr := s.stealer.Client.Post(victim+"/jobs/"+sj.ID+"/result", "application/json", bytes.NewReader(body))
-	if perr != nil {
-		return fmt.Errorf("report stolen job %s to %s: %w", sj.ID, victim, perr)
+	return s.stealTransport().Settle(victim, sj.ID, wire)
+}
+
+// stealTransport returns the transport the stealer claims over, so
+// settles take the same path; a server whose stealer never started
+// (peer-less tests driving executeStolen directly) falls back to a
+// fresh HTTP transport with the shard timeout.
+func (s *Server) stealTransport() scheduler.Transport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stealer != nil && s.stealer.Transport != nil {
+		return s.stealer.Transport
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		// 409: the lease expired and the victim re-owns the job; our
-		// result is stale and must be discarded, which is exactly what
-		// returning an error does.
-		return corpus.RemoteError("report stolen job "+sj.ID+" to "+victim, resp)
-	}
-	return nil
+	return &scheduler.HTTPTransport{Client: &http.Client{Timeout: s.cfg.ShardTimeout}}
 }
 
 // handleSteal (GET /steal) is the probe half of the steal protocol: a
@@ -241,8 +265,12 @@ func (s *Server) handleSteal(w http.ResponseWriter, r *http.Request) {
 		QueueLen:  s.queue.Len(),
 		QueueCap:  s.queue.Cap(),
 		Stealable: s.queue.Stealable(),
-		CacheKeys: s.pl.RecentResultKeys(cacheHintKeys),
-		Seen:      time.Now(),
+		// The digests of the stealable backlog ride along so a thief
+		// that already holds cached artifacts for one of them can aim
+		// its steal here — that steal settles from cache.
+		StealableDigests: s.queue.StealableDigests(cacheHintKeys),
+		CacheKeys:        s.pl.RecentResultKeys(cacheHintKeys),
+		Seen:             time.Now(),
 	})
 }
 
@@ -256,7 +284,7 @@ func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
 		Thief string `json:"thief"`
 	}
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&body); err != nil {
-		httpError(w, http.StatusBadRequest, "bad claim body: %v", err)
+		httpError(w, http.StatusBadRequest, clusterapi.CodeBadRequest, "bad claim body: %v", err)
 		return
 	}
 	if body.Thief == "" {
@@ -297,12 +325,12 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	var result stealResult
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxTraceBytes)).Decode(&result); err != nil {
-		httpError(w, http.StatusBadRequest, "bad result body: %v", err)
+		httpError(w, http.StatusBadRequest, clusterapi.CodeBadRequest, "bad result body: %v", err)
 		return
 	}
 	qj, ok := s.queue.Complete(id)
 	if !ok {
-		httpError(w, http.StatusConflict, "job %s is not on lease (expired, settled, or never claimed)", id)
+		httpError(w, http.StatusConflict, clusterapi.CodeLeaseExpired, "job %s is not on lease (expired, settled, or never claimed)", id)
 		return
 	}
 	j := qj.Payload.(*job)

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"perfplay/internal/clusterapi"
 	"perfplay/internal/scheduler"
 	"perfplay/internal/telemetry"
 )
@@ -172,11 +173,11 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such job")
+		httpError(w, http.StatusNotFound, clusterapi.CodeJobNotFound, "no such job")
 		return
 	}
 	if traceID == "" {
-		httpError(w, http.StatusNotFound, "job %s predates tracing (no trace ID)", id)
+		httpError(w, http.StatusNotFound, clusterapi.CodeTraceUntracked, "job %s predates tracing (no trace ID)", id)
 		return
 	}
 	spans, dropped, _ := s.traces.Get(traceID)

@@ -1,0 +1,172 @@
+// Package clustersim is the offline policy lab for perfplay's cluster
+// scheduling: a discrete-event simulator that stands up N virtual
+// perfplayd nodes and runs seeded workload scenarios against the REAL
+// policy code — scheduler.Queue admission and leases, scheduler.Stealer
+// probe/claim ordering, scheduler.Gossip views, scheduler.IdlestPeer
+// admission redirects, and pipeline.RangeLedger guided self-scheduling
+// — with only the transport and the clock replaced. The same Stealer
+// loop that steals over HTTP in production steals over an in-memory
+// fabric here, injected through the scheduler.Transport seam; nothing
+// scheduling-relevant is reimplemented, so a policy knob that wins in
+// the simulator is exercising the exact code that ships.
+//
+// Everything random flows from one scenario seed through a
+// subsystem-partitioned RNG (arrival process, job costs, link
+// latencies), all time is simulated milliseconds driven by an event
+// heap with a total order on (timestamp, kind, sequence), and the
+// report renders through integer-only formatting — so the same seed
+// produces byte-identical output, run after run, machine after
+// machine. That determinism is what makes A/B policy comparisons
+// honest: two sweeps differing in one knob see the identical workload.
+package clustersim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Scenario names, selectable by Config.Scenario.
+const (
+	// ScenarioUniform spreads arrivals evenly — the no-stress baseline.
+	ScenarioUniform = "uniform"
+	// ScenarioSkewed aims most arrivals at node 0; the idle nodes must
+	// pull the backlog over via the real steal path.
+	ScenarioSkewed = "skewed"
+	// ScenarioSlowNode spreads arrivals evenly but makes the last node
+	// several times slower, so its backlog must migrate to fast nodes.
+	ScenarioSlowNode = "slownode"
+	// ScenarioCrash is skewed arrival plus one thief node dying
+	// mid-run: its claimed leases must expire on the victims and the
+	// jobs re-run to completion.
+	ScenarioCrash = "crash"
+)
+
+// Scenarios lists every shipped scenario in report order.
+func Scenarios() []string {
+	return []string{ScenarioUniform, ScenarioSkewed, ScenarioSlowNode, ScenarioCrash}
+}
+
+// Config parameterizes one simulated run. The zero value is unusable;
+// start from DefaultConfig.
+type Config struct {
+	Scenario string
+	Seed     int64
+	// Nodes and WorkersPerNode shape the virtual cluster.
+	Nodes          int
+	WorkersPerNode int
+	// QueueDepth is each node's admission bound (scheduler.NewQueue).
+	QueueDepth int
+	// DurationMS bounds the arrival window; the run itself continues
+	// until the admitted backlog drains (or the hard cap trips).
+	DurationMS int64
+	// ArrivalEveryMS is the mean inter-arrival gap across the whole
+	// cluster (exponential).
+	ArrivalEveryMS int64
+	// StealIntervalMS is each node's stealer tick cadence.
+	StealIntervalMS int64
+	// LeaseMS is the steal-lease duration granted by victims.
+	LeaseMS int64
+	// ChunkFactor is the RangeLedger guided self-scheduling factor
+	// (0 = the pipeline's default).
+	ChunkFactor int
+	// HintSteals wires Stealer.HasCached so thieves aim at victims
+	// advertising digests the thief has warm.
+	HintSteals bool
+	// SlowFactor multiplies the slow node's chunk durations
+	// (ScenarioSlowNode).
+	SlowFactor int64
+	// CrashNode / CrashAtMS pick the dying node (ScenarioCrash).
+	// CrashNode < 0 self-targets: the first time on or after CrashAtMS
+	// that any steal lease is outstanding, the thief holding the most
+	// leases dies.
+	CrashNode int
+	CrashAtMS int64
+	// DigestPool is how many distinct trace digests the workload draws
+	// from — small pools make cache hints matter.
+	DigestPool int
+}
+
+// DefaultConfig returns the baseline lab cluster for a scenario: four
+// 2-worker nodes under a minute of moderate load. The crash scenario
+// arrives hotter: the point is to kill a thief mid-steal, which needs
+// the thieves saturated with stolen work when the clock hits CrashAtMS.
+func DefaultConfig(scenario string, seed int64) Config {
+	arrival := int64(100)
+	if scenario == ScenarioCrash {
+		arrival = 60
+	}
+	return Config{
+		Scenario:        scenario,
+		Seed:            seed,
+		Nodes:           4,
+		WorkersPerNode:  2,
+		QueueDepth:      8,
+		DurationMS:      60_000,
+		ArrivalEveryMS:  arrival,
+		StealIntervalMS: 250,
+		LeaseMS:         2_000,
+		ChunkFactor:     0,
+		HintSteals:      true,
+		SlowFactor:      4,
+		CrashNode:       -1,
+		CrashAtMS:       10_000,
+		DigestPool:      32,
+	}
+}
+
+// validate rejects configs the engine cannot run honestly.
+func (cfg Config) validate() error {
+	switch cfg.Scenario {
+	case ScenarioUniform, ScenarioSkewed, ScenarioSlowNode, ScenarioCrash:
+	default:
+		return fmt.Errorf("unknown scenario %q (want one of %v)", cfg.Scenario, Scenarios())
+	}
+	if cfg.Nodes < 2 {
+		return errors.New("need at least 2 nodes: with one node there is nothing to steal from")
+	}
+	if cfg.WorkersPerNode < 1 || cfg.QueueDepth < 1 {
+		return errors.New("workers and queue depth must be positive")
+	}
+	if cfg.DurationMS < 1 || cfg.ArrivalEveryMS < 1 || cfg.StealIntervalMS < 1 || cfg.LeaseMS < 1 {
+		return errors.New("durations must be positive")
+	}
+	if cfg.Scenario == ScenarioCrash && cfg.CrashNode >= cfg.Nodes {
+		return fmt.Errorf("crash node %d out of range [0,%d) (negative = auto-target)", cfg.CrashNode, cfg.Nodes)
+	}
+	return nil
+}
+
+// Run executes one seeded scenario to completion and returns its
+// report. Same config (including seed) → byte-identical report.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := newCluster(cfg)
+	c.generateWorkload()
+	c.scheduleHousekeeping()
+	// Hard cap: a pathological policy (leases never expiring, a crash
+	// stranding the whole backlog) must terminate with an honest
+	// "unfinished" count rather than spin the heap forever.
+	hardCap := cfg.DurationMS*20 + 10*cfg.LeaseMS
+	for c.events.Len() > 0 && !c.drained() {
+		ev := heap.Pop(&c.events).(*event)
+		if ev.at > hardCap {
+			break
+		}
+		c.now = ev.at
+		ev.fn()
+	}
+	return c.report(), nil
+}
+
+// MustRun is Run for callers whose config is known valid (tests, the
+// sweep grid).
+func MustRun(cfg Config) *Report {
+	r, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,69 @@
+package clustersim
+
+import (
+	"hash/fnv"
+	"math/rand/v2"
+	"sort"
+)
+
+// PartitionedRNG hands out one independent deterministic random stream
+// per named subsystem, all derived from a single scenario seed. The
+// partitioning is what keeps scenarios comparable across policy sweeps:
+// the "arrival" stream draws the same workload whether or not the
+// "latency" stream was consulted more often under one knob setting, so
+// two runs that differ only in a policy knob see byte-identical job
+// arrivals and costs. A single shared stream would entangle them — one
+// extra probe would shift every subsequent arrival.
+type PartitionedRNG struct {
+	seed    int64
+	streams map[string]*rand.Rand
+}
+
+// NewPartitionedRNG returns a partitioned source rooted at seed.
+func NewPartitionedRNG(seed int64) *PartitionedRNG {
+	return &PartitionedRNG{seed: seed, streams: make(map[string]*rand.Rand)}
+}
+
+// Stream returns the named stream, creating it on first use. The
+// stream's state is a pure function of (seed, name): the creation
+// *order* of streams does not matter, only the draw order within each.
+func (p *PartitionedRNG) Stream(name string) *rand.Rand {
+	if r, ok := p.streams[name]; ok {
+		return r
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	r := rand.New(rand.NewPCG(uint64(p.seed), h.Sum64()))
+	p.streams[name] = r
+	return r
+}
+
+// expMS draws an exponentially distributed duration with the given
+// mean, floored at 1ms so degenerate draws still advance time.
+func expMS(r *rand.Rand, meanMS int64) int64 {
+	d := int64(r.ExpFloat64() * float64(meanMS))
+	if d < 1 {
+		return 1
+	}
+	return d
+}
+
+// percentile reports the nearest-rank p-th percentile of values,
+// sorting a copy. Zero for an empty slice. Integer in, integer out —
+// the report stays float-free, which makes byte-identical output
+// trivial rather than a property of floating-point formatting.
+func percentile(values []int64, p int) int64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), values...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := (p*len(s) + 99) / 100 // ceil(p/100 * n), nearest-rank
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}

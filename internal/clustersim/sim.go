@@ -1,0 +1,656 @@
+package clustersim
+
+import (
+	"fmt"
+	"time"
+
+	"perfplay/internal/clusterapi"
+	"perfplay/internal/pipeline"
+	"perfplay/internal/scheduler"
+)
+
+// epoch anchors simulated time: node clocks read epoch + now·1ms. Any
+// fixed instant works; Unix zero in UTC keeps timestamps legible in
+// debugging output.
+var epoch = time.Unix(0, 0).UTC()
+
+// warmRunDivisor is how much cheaper a job runs on a node that already
+// holds the job's trace artifacts: the identify pass and replay are
+// served from cache, leaving only merge/report work. The factor is the
+// whole reason hinted steals exist.
+const warmRunDivisor = 4
+
+// traceFetchDivisor sizes the trace download a thief performs before
+// executing a cold stolen job (the daemon's GET /traces/{digest} from
+// the victim): fetch time = job cost / traceFetchDivisor. A warm thief
+// skips the fetch entirely — the other half of the hinted-steal win.
+const traceFetchDivisor = 3
+
+// simJob is one generated workload unit as the simulator tracks it —
+// the scheduler only ever sees its clusterapi.Spec.
+type simJob struct {
+	id      string
+	digest  string
+	arrival int64 // submitted at (sim ms)
+	origin  int   // node it first arrived at
+	groups  []int64
+	total   int64 // summed group cost, ms of cold single-worker work
+	done    bool  // completed (or orphaned) — resolved for accounting
+}
+
+// activeJob is a job currently executing on a node: its ledger frontier
+// and how many chunks are in flight on workers.
+type activeJob struct {
+	job         *simJob
+	ledger      *pipeline.RangeLedger
+	outstanding int
+	warm        bool
+	// victim is the node this job was stolen from (nil for local runs);
+	// completion settles the lease back through the transport.
+	victim *node
+}
+
+// node is one virtual perfplayd: the real queue/gossip/stealer policy
+// objects plus the simulation-only worker and cache model around them.
+type node struct {
+	c   *Cluster
+	idx int
+	url string
+
+	queue   *scheduler.Queue
+	gossip  *scheduler.Gossip
+	stealer *scheduler.Stealer
+	metrics *scheduler.Metrics
+
+	freeWorkers int
+	// pendingStolen reserves workers for claims whose stolen job is
+	// still in flight over the (simulated) link, so the greedy steal
+	// loop cannot over-claim while its earlier claims are airborne.
+	pendingStolen int
+	active        []*activeJob
+	cache         map[string]bool
+	speed         int64 // chunk-duration multiplier (1 = nominal)
+	crashed       bool
+
+	// Simulation-side stats.
+	completedLocal  int
+	completedStolen int
+	warmRuns        int
+	depthSamples    []int64
+}
+
+// idle implements Stealer.Idle: spare capacity not already promised to
+// an in-flight claim.
+func (n *node) idle() bool {
+	return !n.crashed && n.freeWorkers-n.pendingStolen > 0
+}
+
+// Cluster is one simulation in progress.
+type Cluster struct {
+	cfg    Config
+	rng    *PartitionedRNG
+	events eventHeap
+	seq    int64
+	now    int64
+
+	nodes []*node
+	jobs  []*simJob
+	byID  map[string]*simJob
+
+	resolved  int // jobs done, lost, or orphaned — never coming back
+	latencies []int64
+
+	// Cluster-wide counters (per-node ones live on node / its metrics).
+	redirects     int
+	rejected      int
+	duplicates    int
+	orphans       int
+	lostJobs      int
+	lastCompleted int64
+}
+
+func newCluster(cfg Config) *Cluster {
+	c := &Cluster{cfg: cfg, rng: NewPartitionedRNG(cfg.Seed), byID: make(map[string]*simJob)}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &node{
+			c:           c,
+			idx:         i,
+			url:         fmt.Sprintf("sim://node-%d", i),
+			gossip:      scheduler.NewGossip(),
+			metrics:     scheduler.NewMetrics(nil),
+			freeWorkers: cfg.WorkersPerNode,
+			cache:       make(map[string]bool),
+			speed:       1,
+		}
+		n.queue = scheduler.NewQueue(cfg.QueueDepth)
+		n.queue.Metrics = n.metrics
+		n.queue.Now = c.clock
+		n.gossip.Now = c.clock
+		c.nodes = append(c.nodes, n)
+	}
+	if cfg.Scenario == ScenarioSlowNode {
+		c.nodes[cfg.Nodes-1].speed = cfg.SlowFactor
+	}
+	for _, n := range c.nodes {
+		n.stealer = c.newStealer(n)
+	}
+	return c
+}
+
+// clock renders simulated time as the time.Time the real policy code
+// expects — injected into Queue.Now, Gossip.Now and Stealer.Now.
+func (c *Cluster) clock() time.Time {
+	return epoch.Add(time.Duration(c.now) * time.Millisecond)
+}
+
+// peersOf lists every other node's URL, in index order (the stealer
+// probes in this order, so it is part of the deterministic tie-break).
+func (c *Cluster) peersOf(n *node) []string {
+	peers := make([]string, 0, len(c.nodes)-1)
+	for _, p := range c.nodes {
+		if p != n {
+			peers = append(peers, p.url)
+		}
+	}
+	return peers
+}
+
+// byURL resolves a peer URL to its node; nil models an address that
+// never existed.
+func (c *Cluster) byURL(url string) *node {
+	for _, n := range c.nodes {
+		if n.url == url {
+			return n
+		}
+	}
+	return nil
+}
+
+// latencyMS draws one link delay from the latency stream.
+func (c *Cluster) latencyMS() int64 {
+	return 1 + c.rng.Stream("latency").Int64N(4)
+}
+
+func (c *Cluster) newStealer(n *node) *scheduler.Stealer {
+	s := &scheduler.Stealer{
+		Self:      n.url,
+		Peers:     c.peersOf(n),
+		Idle:      n.idle,
+		Gossip:    n.gossip,
+		Metrics:   n.metrics,
+		Now:       c.clock,
+		Transport: &memTransport{c: c},
+		Execute: func(victim string, sj scheduler.StolenJob) error {
+			// The real daemon executes synchronously inside the steal
+			// loop; the simulator cannot block an event, so the claim
+			// reserves a worker immediately and the job lands after one
+			// link delay. Always nil: execution failures surface as
+			// expired leases on the victim, exactly like a thief crash.
+			job := c.byID[sj.ID]
+			v := c.byURL(victim)
+			if job == nil || v == nil {
+				return fmt.Errorf("claimed unknown job %q from %q", sj.ID, victim)
+			}
+			n.pendingStolen++
+			delay := c.latencyMS()
+			if !n.cache[job.digest] {
+				delay += job.total / traceFetchDivisor
+			}
+			c.schedule(c.now+delay, kindStolenStart, func() {
+				n.pendingStolen--
+				if n.crashed {
+					return // the claim dies with the thief; the victim's lease recovers it
+				}
+				c.startJob(n, job, v)
+				c.assign(n)
+			})
+			return nil
+		},
+	}
+	if c.cfg.HintSteals {
+		s.HasCached = func(digest string) bool { return n.cache[digest] }
+	}
+	return s
+}
+
+// memTransport carries the steal protocol between simulated nodes: the
+// scheduler.Transport the daemon implements over HTTP, implemented over
+// direct method calls on the victim's real Queue. A crashed node is a
+// refused connection.
+type memTransport struct {
+	c *Cluster
+}
+
+func (t *memTransport) lookup(peer string) (*node, error) {
+	n := t.c.byURL(peer)
+	if n == nil || n.crashed {
+		return nil, fmt.Errorf("dial %s: connection refused", peer)
+	}
+	return n, nil
+}
+
+func (t *memTransport) Probe(peer string) (scheduler.PeerStatus, error) {
+	v, err := t.lookup(peer)
+	if err != nil {
+		return scheduler.PeerStatus{}, err
+	}
+	return scheduler.PeerStatus{
+		QueueLen:         v.queue.Len(),
+		QueueCap:         v.queue.Cap(),
+		Stealable:        v.queue.Stealable(),
+		StealableDigests: v.queue.StealableDigests(8),
+	}, nil
+}
+
+func (t *memTransport) Claim(peer, thief string) (scheduler.StolenJob, bool, error) {
+	v, err := t.lookup(peer)
+	if err != nil {
+		return scheduler.StolenJob{}, false, err
+	}
+	lease := time.Duration(t.c.cfg.LeaseMS) * time.Millisecond
+	j, _, ok := v.queue.Claim(thief, lease)
+	if !ok {
+		return scheduler.StolenJob{}, false, nil
+	}
+	return scheduler.StolenJob{ID: j.ID, Spec: j.Spec, LeaseMS: t.c.cfg.LeaseMS}, true, nil
+}
+
+func (t *memTransport) Settle(victim, jobID string, res clusterapi.StealResult) error {
+	v, err := t.lookup(victim)
+	if err != nil {
+		return err
+	}
+	if _, ok := v.queue.Complete(jobID); !ok {
+		return fmt.Errorf("settle %s on %s: %w", jobID, victim, scheduler.ErrLeaseExpired)
+	}
+	return nil
+}
+
+// generateWorkload pre-draws every arrival from the partitioned streams
+// and schedules them. Drawing everything up front (rather than lazily
+// inside events) pins the workload to the seed alone: no policy knob
+// can perturb which jobs exist.
+func (c *Cluster) generateWorkload() {
+	arr := c.rng.Stream("arrival")
+	cost := c.rng.Stream("cost")
+	digests := make([]string, c.cfg.DigestPool)
+	for i := range digests {
+		digests[i] = fmt.Sprintf("sha256:sim%04d", i)
+	}
+	var t int64
+	for idx := 0; ; idx++ {
+		t += expMS(arr, c.cfg.ArrivalEveryMS)
+		if t >= c.cfg.DurationMS {
+			break
+		}
+		origin := c.pickOrigin(arr.Float64(), arr.IntN(c.cfg.Nodes))
+		// Mean job ≈ 10.5 groups × ~35ms ≈ 360ms of cold single-worker
+		// work — against the default 100ms mean arrival this oversubscribes
+		// a skewed-at node several workers deep, which is the regime work
+		// stealing exists for.
+		groups := make([]int64, 6+cost.IntN(10))
+		var total int64
+		for i := range groups {
+			groups[i] = 10 + cost.Int64N(50)
+			total += groups[i]
+		}
+		j := &simJob{
+			id:      fmt.Sprintf("job-%05d", idx),
+			digest:  digests[cost.IntN(len(digests))],
+			arrival: t,
+			origin:  origin,
+			groups:  groups,
+			total:   total,
+		}
+		c.jobs = append(c.jobs, j)
+		c.byID[j.id] = j
+		at, node := j.arrival, origin
+		c.schedule(at, kindArrival, func() { c.arrive(j, c.nodes[node], 0) })
+	}
+}
+
+// pickOrigin maps one uniform draw (plus a pre-drawn uniform node) to
+// the scenario's arrival skew. Both values are always drawn so the
+// arrival stream advances identically across scenarios.
+func (c *Cluster) pickOrigin(f float64, uniform int) int {
+	switch c.cfg.Scenario {
+	case ScenarioSkewed:
+		// 80% of submissions hit node 0; the rest spread over the others.
+		if f < 0.8 {
+			return 0
+		}
+		return 1 + uniform%(c.cfg.Nodes-1)
+	case ScenarioCrash:
+		// Near-total skew keeps the thieves saturated with stolen work,
+		// so the crash reliably catches the dying node holding leases —
+		// the recovery path the scenario exists to exercise.
+		if f < 0.95 {
+			return 0
+		}
+		return 1 + uniform%(c.cfg.Nodes-1)
+	default:
+		return uniform
+	}
+}
+
+// scheduleHousekeeping arms the periodic machinery: steal ticks and
+// lease reapers per node, cluster-wide queue-depth sampling, and the
+// scenario's crash.
+func (c *Cluster) scheduleHousekeeping() {
+	for _, n := range c.nodes {
+		n := n
+		// Stagger first ticks by node index so same-millisecond rounds
+		// keep a defined order even across cadence changes.
+		c.schedule(c.cfg.StealIntervalMS+int64(n.idx), kindStealTick, func() { c.stealTick(n) })
+		reap := c.cfg.LeaseMS / 2
+		if reap < 1 {
+			reap = 1
+		}
+		c.schedule(reap+int64(n.idx), kindReaper, func() { c.reap(n) })
+	}
+	c.schedule(sampleEveryMS, kindSample, c.sample)
+	if c.cfg.Scenario == ScenarioCrash {
+		c.schedule(c.cfg.CrashAtMS, kindCrash, c.crash)
+	}
+}
+
+const sampleEveryMS = 100
+
+// drained reports whether every generated job reached a terminal
+// account (completed, lost, or orphaned) — the run's natural end.
+func (c *Cluster) drained() bool { return c.resolved >= len(c.jobs) }
+
+// arrive admits a job at a node, or redirects it through the same
+// steal-aware admission policy the daemon applies: a full queue sends
+// the submitter to scheduler.IdlestPeer's pick from this node's gossip
+// view. hops bounds the redirect chain like the CLI client does.
+func (c *Cluster) arrive(j *simJob, n *node, hops int) {
+	if j.done {
+		return
+	}
+	if !n.crashed {
+		qj := &scheduler.Job{
+			ID:   j.id,
+			Spec: clusterapi.Spec{App: "sim", TraceDigest: j.digest, Seed: c.cfg.Seed},
+		}
+		if n.queue.Push(qj) {
+			c.assign(n)
+			return
+		}
+	}
+	if hops >= 2 {
+		c.reject(j)
+		return
+	}
+	peer, ok := scheduler.IdlestPeer(c.peersOf(n), n.gossip.Snapshot())
+	if !ok {
+		c.reject(j)
+		return
+	}
+	c.redirects++
+	target := c.byURL(peer)
+	c.schedule(c.now+c.latencyMS(), kindArrival, func() { c.arrive(j, target, hops+1) })
+}
+
+func (c *Cluster) reject(j *simJob) {
+	j.done = true
+	c.rejected++
+	c.resolved++
+}
+
+// startJob registers a job as executing on n, building its real
+// RangeLedger sized to the node's worker pool. victim is non-nil for
+// stolen jobs.
+func (c *Cluster) startJob(n *node, j *simJob, victim *node) {
+	aj := &activeJob{
+		job:    j,
+		victim: victim,
+		warm:   n.cache[j.digest],
+		ledger: pipeline.NewRangeLedger(j.groups, c.cfg.WorkersPerNode, c.cfg.ChunkFactor),
+	}
+	if aj.warm {
+		n.warmRuns++
+	}
+	n.active = append(n.active, aj)
+}
+
+// assign puts every free worker to work: first on already-active
+// ledgers (in start order — finish what you started), then by popping
+// the queue. Each pulled chunk schedules its completion after the
+// chunk's cost, scaled by node speed and cache warmth — the guided
+// self-scheduling drain of pipeline.RangeLedger, run for real.
+func (c *Cluster) assign(n *node) {
+	if n.crashed {
+		return
+	}
+	for n.freeWorkers > 0 {
+		var aj *activeJob
+		for _, a := range n.active {
+			if a.ledger.Remaining() > 0 {
+				aj = a
+				break
+			}
+		}
+		if aj == nil {
+			qj, ok := n.queue.TryPop()
+			if !ok {
+				return
+			}
+			j := c.byID[qj.ID]
+			if j == nil || j.done {
+				continue
+			}
+			c.startJob(n, j, nil)
+			continue
+		}
+		rng, ok := aj.ledger.Next()
+		if !ok {
+			continue
+		}
+		var costSum int64
+		for _, g := range aj.job.groups[rng.Start:rng.End] {
+			costSum += g
+		}
+		dur := costSum * n.speed
+		if aj.warm {
+			dur /= warmRunDivisor
+		}
+		if dur < 1 {
+			dur = 1
+		}
+		n.freeWorkers--
+		aj.outstanding++
+		c.schedule(c.now+dur, kindChunkDone, func() { c.chunkDone(n, aj) })
+	}
+}
+
+// chunkDone returns a worker and, when the job's ledger is fully
+// drained with nothing in flight, completes the job.
+func (c *Cluster) chunkDone(n *node, aj *activeJob) {
+	if n.crashed {
+		return // the worker died mid-chunk with the node
+	}
+	n.freeWorkers++
+	aj.outstanding--
+	if aj.outstanding == 0 && aj.ledger.Remaining() == 0 {
+		c.finishJob(n, aj)
+	}
+	c.assign(n)
+}
+
+// finishJob retires an active job: warms the node's digest cache,
+// settles the lease for stolen work, and records the completion.
+func (c *Cluster) finishJob(n *node, aj *activeJob) {
+	for i, a := range n.active {
+		if a == aj {
+			n.active = append(n.active[:i], n.active[i+1:]...)
+			break
+		}
+	}
+	n.cache[aj.job.digest] = true
+	if aj.victim != nil {
+		tr := memTransport{c: c}
+		err := tr.Settle(aj.victim.url, aj.job.id, clusterapi.StealResult{Thief: n.url})
+		switch {
+		case err == nil:
+			n.completedStolen++
+		case aj.victim.crashed:
+			// Work done, owner gone: the result has nowhere to land.
+			n.completedStolen++
+			c.orphans++
+		default:
+			// Lease expired first — the victim re-queued the job and
+			// the re-run's completion is the one that counts.
+			c.duplicates++
+			return
+		}
+	} else {
+		n.completedLocal++
+	}
+	c.complete(aj.job)
+}
+
+func (c *Cluster) complete(j *simJob) {
+	if j.done {
+		return
+	}
+	j.done = true
+	c.resolved++
+	c.latencies = append(c.latencies, c.now-j.arrival)
+	if c.now > c.lastCompleted {
+		c.lastCompleted = c.now
+	}
+}
+
+// stealTick drives one real Stealer round at simulated time, then
+// re-arms while the run is live.
+func (c *Cluster) stealTick(n *node) {
+	if n.crashed {
+		return
+	}
+	n.stealer.Tick(nil)
+	if !c.drained() {
+		c.schedule(c.now+c.cfg.StealIntervalMS, kindStealTick, func() { c.stealTick(n) })
+	}
+}
+
+// reap recovers expired steal leases through the queue's real recovery
+// path, exactly like the daemon's reaper goroutine.
+func (c *Cluster) reap(n *node) {
+	if n.crashed {
+		return
+	}
+	if expired := n.queue.TakeExpired(c.clock()); len(expired) > 0 {
+		n.queue.Requeue(expired)
+		c.assign(n)
+	}
+	if !c.drained() {
+		reap := c.cfg.LeaseMS / 2
+		if reap < 1 {
+			reap = 1
+		}
+		c.schedule(c.now+reap, kindReaper, func() { c.reap(n) })
+	}
+}
+
+// sample records every node's queue depth on a fixed cadence for the
+// report's depth percentiles.
+func (c *Cluster) sample() {
+	for _, n := range c.nodes {
+		if n.crashed {
+			continue
+		}
+		n.depthSamples = append(n.depthSamples, int64(n.queue.Len()))
+	}
+	if !c.drained() {
+		c.schedule(c.now+sampleEveryMS, kindSample, c.sample)
+	}
+}
+
+// crash kills one node at (or shortly after) CrashAtMS. With
+// CrashNode < 0 — the default — the scenario self-targets like a chaos
+// probe aimed at the steal protocol: it kills whichever thief holds
+// the most outstanding leases right now, re-arming in 50ms slices
+// until some lease is outstanding, so the run reliably exercises
+// lease-expiry recovery instead of depending on a lucky timestamp.
+// A non-negative CrashNode kills that node at exactly CrashAtMS,
+// leases or not.
+//
+// The dead node's queued and locally running jobs are lost; jobs it
+// had stolen (claimed elsewhere, unfinished here) are NOT — the
+// victims' leases expire and their reapers re-queue them, which is
+// exactly the recovery path this scenario exists for. Claims the dead
+// node had granted to live thieves also stay outstanding: the thief's
+// settle finds the victim gone and the finished result is accounted
+// an orphan.
+func (c *Cluster) crash() {
+	n := c.crashTarget()
+	if n == nil {
+		if !c.drained() {
+			c.schedule(c.now+50, kindCrash, c.crash)
+		}
+		return
+	}
+	n.crashed = true
+	// Drain the dying queue first: TryPop still serves a closed queue,
+	// so this enumerates the exact queued jobs that die with the node.
+	for {
+		qj, ok := n.queue.TryPop()
+		if !ok {
+			break
+		}
+		c.lose(c.byID[qj.ID])
+	}
+	n.queue.Close()
+	for _, aj := range n.active {
+		if aj.victim == nil {
+			c.lose(aj.job)
+		}
+	}
+	n.active = nil
+}
+
+// crashTarget picks the node to kill: the configured one, or — in
+// auto mode — the live thief holding the most outstanding leases
+// (ties break on the lower node index; generation-order job iteration
+// keeps the count deterministic). Nil means "no lease outstanding,
+// try again shortly".
+func (c *Cluster) crashTarget() *node {
+	if c.cfg.CrashNode >= 0 {
+		return c.nodes[c.cfg.CrashNode]
+	}
+	counts := make([]int, len(c.nodes))
+	for _, j := range c.jobs {
+		if j.done {
+			continue
+		}
+		for _, v := range c.nodes {
+			thief, ok := v.queue.Claimant(j.id)
+			if !ok {
+				continue
+			}
+			if t := c.byURL(thief); t != nil && !t.crashed {
+				counts[t.idx]++
+			}
+		}
+	}
+	best := -1
+	for i, ct := range counts {
+		if ct > 0 && (best < 0 || ct > counts[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return c.nodes[best]
+}
+
+func (c *Cluster) lose(j *simJob) {
+	if j == nil || j.done {
+		return
+	}
+	j.done = true
+	c.resolved++
+	c.lostJobs++
+}

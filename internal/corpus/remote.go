@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strings"
 
+	"perfplay/internal/clusterapi"
 	"perfplay/internal/telemetry"
 )
 
@@ -60,19 +61,19 @@ func (r *Remote) do(method, url, contentType string, body io.Reader) (*http.Resp
 	return r.client().Do(req)
 }
 
-// RemoteError decodes a perfplayd-style {"error": "..."} body into an
+// RemoteError decodes a perfplayd error body — the documented
+// {"error": {"code", "message"}} envelope, or the legacy
+// {"error": "..."} string a pre-envelope node still sends — into an
 // error tagged with the local sentinel matching the remote status, so
 // callers can errors.Is a peer's ErrNotFound exactly like a local
 // store's. It is exported because every client of the daemon's JSON
 // surface (not just this package) wants the same mapping — notably the
 // cluster shard protocol, whose 404 means "push the blob and retry".
 func RemoteError(op string, resp *http.Response) error {
-	var body struct {
-		Error string `json:"error"`
-	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	msg := resp.Status
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body); err == nil && body.Error != "" {
-		msg = body.Error
+	if apiErr := clusterapi.DecodeError(raw); apiErr != nil {
+		msg = apiErr.Error()
 	}
 	switch resp.StatusCode {
 	case http.StatusNotFound:

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 
 	"perfplay/internal/ulcp"
@@ -143,6 +144,24 @@ func (c *lruCache[V]) keys(n int) []string {
 		out = append(out, el.Value.(*lruEntry[V]).key)
 	}
 	return out
+}
+
+// hasKeyPrefix reports whether any cached key starts with prefix,
+// without touching recency — a presence probe over the whole key set
+// (both pipeline caches key by leading content digest, so "does any
+// artifact derive from this trace" is a prefix question).
+func (c *lruCache[V]) hasKeyPrefix(prefix string) bool {
+	if c == nil || prefix == "" {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key := range c.items {
+		if strings.HasPrefix(key, prefix) {
+			return true
+		}
+	}
+	return false
 }
 
 // tableCache memoizes verdict tables across jobs, keyed by (trace

@@ -186,3 +186,17 @@ func (p *Pipeline) HasTable(key string) bool { return p.tables.peek(key) }
 // RecentResultKeys lists up to n result-cache keys, most recent first —
 // the cache-population hints gossiped to peers.
 func (p *Pipeline) RecentResultKeys(n int) []string { return p.cache.keys(n) }
+
+// HasDigestCached reports whether any cached artifact — a finished
+// result or a verdict table — derives from the given trace digest.
+// Both caches key by leading content digest, so this is a prefix probe
+// over the key sets; recency is untouched. The stealer uses it for
+// hint-driven victim ordering: stealing a job whose digest is cached
+// here settles from cache instead of re-running the pipeline.
+func (p *Pipeline) HasDigestCached(digest string) bool {
+	if digest == "" {
+		return false
+	}
+	prefix := digest + "|"
+	return p.cache.hasKeyPrefix(prefix) || p.tables.hasKeyPrefix(prefix)
+}

@@ -12,10 +12,11 @@ import "perfplay/internal/telemetry"
 // keeps Stats() readable even on nodes that never export /metrics.
 type Metrics struct {
 	// Thief side.
-	StealProbes   *telemetry.Counter // GET /steal rounds issued
-	StealClaims   *telemetry.Counter // successful POST /jobs/claim
-	StealExecuted *telemetry.Counter // stolen jobs whose executor returned
-	StealFailures *telemetry.Counter // executor returns that errored
+	StealProbes       *telemetry.Counter // probe rounds issued
+	StealClaims       *telemetry.Counter // successful claims
+	StealExecuted     *telemetry.Counter // stolen jobs whose executor returned
+	StealFailures     *telemetry.Counter // executor returns that errored
+	StealHintedClaims *telemetry.Counter // claims aimed by cache-hint matches
 
 	// Victim side (lease lifecycle on the queue).
 	LeasesGranted *telemetry.Counter // Claim handed a job to a thief
@@ -41,6 +42,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Stolen jobs executed to completion (success or failure)."),
 		StealFailures: reg.NewCounter("perfplay_scheduler_steal_failures_total",
 			"Stolen-job executions that returned an error."),
+		StealHintedClaims: reg.NewCounter("perfplay_scheduler_steal_hinted_claims_total",
+			"Claims aimed at a victim by a cache-hint match on a stealable digest."),
 		LeasesGranted: reg.NewCounter("perfplay_scheduler_leases_granted_total",
 			"Steal leases handed out by this node's queue."),
 		LeasesSettled: reg.NewCounter("perfplay_scheduler_leases_settled_total",

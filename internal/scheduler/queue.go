@@ -122,6 +122,22 @@ func (q *Queue) Pop() (*Job, bool) {
 	return j, true
 }
 
+// TryPop is Pop without the blocking: it takes the oldest queued job if
+// one is present right now, else reports ok=false immediately. Drivers
+// that own the clock — the cluster simulator's single-threaded event
+// loop — use it instead of parking a goroutine on the condition
+// variable.
+func (q *Queue) TryPop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.jobs) == 0 {
+		return nil, false
+	}
+	j := q.jobs[0]
+	q.jobs = q.jobs[1:]
+	return j, true
+}
+
 // Claim removes the newest stealable job for a thief and leases it to
 // them until now+lease. ok=false means nothing is stealable. The thief
 // string is recorded for diagnostics and surfaced by Claimant.
@@ -197,7 +213,17 @@ func (q *Queue) TakeExpired(now time.Time) []*Job {
 			delete(q.claims, id)
 		}
 	}
-	sort.Slice(expired, func(i, j int) bool { return expired[i].deadline.Before(expired[j].deadline) })
+	// Oldest deadline first; ties (claims granted at the same clock
+	// reading, routine under an injected coarse clock) break on job ID
+	// so recovery order is deterministic — the simulator pins replay
+	// output byte-identical across runs, and map iteration above must
+	// not leak into it.
+	sort.Slice(expired, func(i, j int) bool {
+		if !expired[i].deadline.Equal(expired[j].deadline) {
+			return expired[i].deadline.Before(expired[j].deadline)
+		}
+		return expired[i].job.ID < expired[j].job.ID
+	})
 	jobs := make([]*Job, len(expired))
 	for i, c := range expired {
 		jobs[i] = c.job
@@ -258,6 +284,27 @@ func (q *Queue) Stealable() int {
 		}
 	}
 	return n
+}
+
+// StealableDigests lists the trace digests of queued stealable jobs,
+// newest first (the order Claim would take them), bounded to max
+// entries (0 = unbounded). Gossiped in PeerStatus so thieves holding
+// cached artifacts for a digest can aim their steal at this node.
+func (q *Queue) StealableDigests(max int) []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []string
+	for i := len(q.jobs) - 1; i >= 0; i-- {
+		j := q.jobs[i]
+		if j.Spec.TraceDigest == "" || !j.Spec.Stealable() {
+			continue
+		}
+		out = append(out, j.Spec.TraceDigest)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
 }
 
 // ClaimedCount counts outstanding leases.

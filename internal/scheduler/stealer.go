@@ -1,10 +1,6 @@
 package scheduler
 
 import (
-	"bytes"
-	"encoding/json"
-	"fmt"
-	"io"
 	"net/http"
 	"sort"
 	"sync"
@@ -72,9 +68,9 @@ func (g *Gossip) Snapshot() map[string]PeerStatus {
 
 // StealerStats counts the thief side's lifetime activity.
 type StealerStats struct {
-	// Probes counts GET /steal rounds (one per peer per idle tick).
+	// Probes counts probe rounds (one per peer per idle tick).
 	Probes int `json:"probes"`
-	// Claims counts successful POST /jobs/claim responses.
+	// Claims counts successful claims.
 	Claims int `json:"claims"`
 	// Executed counts stolen jobs whose executor callback returned,
 	// success or not.
@@ -83,6 +79,10 @@ type StealerStats struct {
 	// typically a result report that could not reach the victim (a
 	// victim crash mid-steal); the victim's lease recovers the job.
 	Failures int `json:"failures"`
+	// HintedClaims counts claims aimed by cache-hint matching: the
+	// victim advertised a stealable digest this node holds cached
+	// artifacts for, promising a cheap (possibly zero-replay) steal.
+	HintedClaims int `json:"hinted_claims,omitempty"`
 }
 
 // Stealer is the thief-side loop: while its node is idle it probes
@@ -90,16 +90,19 @@ type StealerStats struct {
 // backlog, and executes it through the Execute callback. One job is
 // stolen and executed at a time — a stealer exists to soak up idle
 // capacity, not to re-create the victim's backlog locally.
+//
+// All communication goes through Transport, so the same loop runs over
+// HTTP in the daemon and over an in-memory fabric in the simulator.
 type Stealer struct {
 	// Self is this node's advertised base URL, sent with each claim so
 	// victims can attribute leases in their diagnostics.
 	Self string
 	// Peers are victim base URLs ("http://host:8080").
 	Peers []string
-	// Interval is the idle poll cadence (0 = 1s).
+	// Interval is the idle poll cadence for Run (0 = 1s).
 	Interval time.Duration
 	// Idle reports whether this node currently has spare capacity; the
-	// loop only probes when it does.
+	// loop only claims work when it does.
 	Idle func() bool
 	// Execute runs one stolen job end to end — analyze and report the
 	// result back to the victim. An error counts as a failure; the
@@ -107,8 +110,18 @@ type Stealer struct {
 	Execute func(victim string, job StolenJob) error
 	// Gossip, when set, receives every probe observation.
 	Gossip *Gossip
-	// Client overrides http.DefaultClient for probes and claims.
+	// Transport carries probes and claims. Nil falls back to
+	// HTTPTransport over Client.
+	Transport Transport
+	// Client overrides http.DefaultClient for the fallback HTTP
+	// transport (ignored when Transport is set).
 	Client *http.Client
+	// HasCached, when set, reports whether this node holds cached
+	// artifacts for a trace digest. Victims advertise the digests of
+	// their stealable jobs; a victim advertising a digest this node has
+	// cached is preferred over a merely deeper one — that steal settles
+	// from cache instead of re-running the pipeline.
+	HasCached func(digest string) bool
 	// Metrics, when set before Run, hosts the thief-side counters on a
 	// shared registry; otherwise a private registry is created lazily,
 	// so Stats always has series to read.
@@ -143,21 +156,25 @@ func (s *Stealer) metrics() *Metrics {
 func (s *Stealer) Stats() StealerStats {
 	m := s.metrics()
 	return StealerStats{
-		Probes:   int(m.StealProbes.Int()),
-		Claims:   int(m.StealClaims.Int()),
-		Executed: int(m.StealExecuted.Int()),
-		Failures: int(m.StealFailures.Int()),
+		Probes:       int(m.StealProbes.Int()),
+		Claims:       int(m.StealClaims.Int()),
+		Executed:     int(m.StealExecuted.Int()),
+		Failures:     int(m.StealFailures.Int()),
+		HintedClaims: int(m.StealHintedClaims.Int()),
 	}
 }
 
-func (s *Stealer) client() *http.Client {
-	if s.Client != nil {
-		return s.Client
+// transport returns the injected Transport, or the HTTP default.
+func (s *Stealer) transport() Transport {
+	if s.Transport != nil {
+		return s.Transport
 	}
-	return http.DefaultClient
+	return &HTTPTransport{Client: s.Client}
 }
 
-// Run loops until stop closes. Call it on its own goroutine.
+// Run loops until stop closes, calling Tick once per interval. Call it
+// on its own goroutine. Deterministic drivers (the cluster simulator)
+// skip Run and call Tick directly at simulated time.
 func (s *Stealer) Run(stop <-chan struct{}) {
 	interval := s.Interval
 	if interval <= 0 {
@@ -171,20 +188,24 @@ func (s *Stealer) Run(stop <-chan struct{}) {
 			return
 		case <-ticker.C:
 		}
-		if s.Idle != nil && !s.Idle() {
-			// A busy node still probes once per tick purely to refresh
-			// its gossip: steal-aware admission consults this view to
-			// pick the Retry-Peer redirect target, and a node is most in
-			// need of a fresh view exactly when it is too busy to steal.
-			s.probeAll(stop)
-			continue
-		}
-		// Steal greedily while idle work keeps succeeding, so a long
-		// victim backlog drains at execution speed, not poll cadence.
-		for s.Idle != nil && s.Idle() {
-			if !s.stealOnce(stop) {
-				break
-			}
+		s.Tick(stop)
+	}
+}
+
+// Tick runs one scheduling round: a busy node probes once purely to
+// refresh its gossip (steal-aware admission consults this view to pick
+// the Retry-Peer redirect target, and a node is most in need of a
+// fresh view exactly when it is too busy to steal); an idle node
+// steals greedily while idle work keeps succeeding, so a long victim
+// backlog drains at execution speed, not poll cadence.
+func (s *Stealer) Tick(stop <-chan struct{}) {
+	if s.Idle != nil && !s.Idle() {
+		s.probeAll(stop)
+		return
+	}
+	for s.Idle != nil && s.Idle() {
+		if !s.stealOnce(stop) {
+			break
 		}
 	}
 }
@@ -193,6 +214,9 @@ func (s *Stealer) Run(stop <-chan struct{}) {
 type peerDepth struct {
 	peer      string
 	stealable int
+	// hinted marks a victim advertising a stealable digest this node
+	// has cached artifacts for.
+	hinted bool
 }
 
 // probeAll probes every peer once, recording each observation (or
@@ -202,6 +226,7 @@ type peerDepth struct {
 // finish.
 func (s *Stealer) probeAll(stop <-chan struct{}) []peerDepth {
 	m := s.metrics()
+	tr := s.transport()
 	var depths []peerDepth
 	for _, peer := range s.Peers {
 		select {
@@ -209,7 +234,7 @@ func (s *Stealer) probeAll(stop <-chan struct{}) []peerDepth {
 			return nil
 		default:
 		}
-		st, err := Probe(s.client(), peer)
+		st, err := tr.Probe(peer)
 		m.StealProbes.Inc()
 		if err != nil {
 			m.GossipUpdates.With("err").Inc()
@@ -224,26 +249,46 @@ func (s *Stealer) probeAll(stop <-chan struct{}) []peerDepth {
 			s.Gossip.Record(peer, st)
 		}
 		if st.Stealable > 0 {
-			depths = append(depths, peerDepth{peer: peer, stealable: st.Stealable})
+			d := peerDepth{peer: peer, stealable: st.Stealable}
+			if s.HasCached != nil {
+				for _, digest := range st.StealableDigests {
+					if s.HasCached(digest) {
+						d.hinted = true
+						break
+					}
+				}
+			}
+			depths = append(depths, d)
 		}
 	}
 	return depths
 }
 
-// stealOnce probes every peer, claims from the deepest stealable
-// backlog, and executes the claim. It reports whether a job was
-// actually stolen (the caller's cue to immediately try again).
+// stealOnce probes every peer, claims from the best victim, and
+// executes the claim. Victims advertising a cache-hinted digest rank
+// first (that steal is cheap — the artifacts are already here), then
+// the deepest stealable backlog; remaining ties break on peer order
+// for determinism. It reports whether a job was actually stolen (the
+// caller's cue to immediately try again).
 func (s *Stealer) stealOnce(stop <-chan struct{}) bool {
 	depths := s.probeAll(stop)
-	// Deepest backlog first; ties break on peer order for determinism.
-	sort.SliceStable(depths, func(i, j int) bool { return depths[i].stealable > depths[j].stealable })
+	sort.SliceStable(depths, func(i, j int) bool {
+		if depths[i].hinted != depths[j].hinted {
+			return depths[i].hinted
+		}
+		return depths[i].stealable > depths[j].stealable
+	})
 	m := s.metrics()
+	tr := s.transport()
 	for _, d := range depths {
-		job, ok, err := s.claim(d.peer)
+		job, ok, err := tr.Claim(d.peer, s.Self)
 		if err != nil || !ok {
 			continue // someone beat us to it, or the peer went away
 		}
 		m.StealClaims.Inc()
+		if d.hinted {
+			m.StealHintedClaims.Inc()
+		}
 		err = s.Execute(d.peer, job)
 		m.StealExecuted.Inc()
 		if err != nil {
@@ -252,59 +297,4 @@ func (s *Stealer) stealOnce(stop <-chan struct{}) bool {
 		return true
 	}
 	return false
-}
-
-// Probe asks one peer for its queue and cache status (GET /steal).
-// Exported because the stealer loop is not the only consumer: steal-
-// aware admission probes on demand when its gossip view is empty (a
-// node without a running stealer still wants a Retry-Peer target).
-func Probe(client *http.Client, peer string) (PeerStatus, error) {
-	if client == nil {
-		client = http.DefaultClient
-	}
-	resp, err := client.Get(peer + "/steal")
-	if err != nil {
-		return PeerStatus{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return PeerStatus{}, fmt.Errorf("probe %s: status %d", peer, resp.StatusCode)
-	}
-	var st PeerStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return PeerStatus{}, fmt.Errorf("probe %s: %w", peer, err)
-	}
-	// The victim stamps Seen with its own clock; observation time is
-	// the observer's business (and victim clock skew would poison
-	// staleness checks), so clear it for Gossip.Record to re-stamp.
-	st.Seen = time.Time{}
-	return st, nil
-}
-
-// claim attempts to take one whole job from a peer (POST /jobs/claim).
-// ok=false with a nil error means the peer had nothing stealable left.
-func (s *Stealer) claim(peer string) (StolenJob, bool, error) {
-	body, _ := json.Marshal(map[string]string{"thief": s.Self})
-	resp, err := s.client().Post(peer+"/jobs/claim", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return StolenJob{}, false, err
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-	case http.StatusNoContent:
-		return StolenJob{}, false, nil
-	default:
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return StolenJob{}, false, fmt.Errorf("claim from %s: status %d", peer, resp.StatusCode)
-	}
-	var job StolenJob
-	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
-		return StolenJob{}, false, fmt.Errorf("claim from %s: %w", peer, err)
-	}
-	if job.ID == "" || !job.Spec.Stealable() {
-		return StolenJob{}, false, fmt.Errorf("claim from %s: unusable job %+v", peer, job)
-	}
-	return job, true, nil
 }
