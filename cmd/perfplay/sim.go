@@ -24,9 +24,9 @@ func runSim(argv []string) int {
 		fs.PrintDefaults()
 	}
 	var (
-		scenario = fs.String("scenario", "skewed", `scenario: uniform, skewed, slownode, crash, or "all"`)
+		scenario = fs.String("scenario", "skewed", `scenario: uniform, skewed, slownode, crash, cachewarm, partition, admission, or "all"`)
 		seed     = fs.Int64("seed", 42, "simulation seed (all randomness derives from it)")
-		sweep    = fs.Bool("sweep", false, "grid the policy knobs over the scenario and rank the results")
+		sweep    = fs.Bool("sweep", false, "grid the policy knobs over the scenario and rank the results (cache scenarios grid the cache knobs)")
 
 		nodes    = fs.Int("nodes", 0, "cluster size (0 = scenario default)")
 		workers  = fs.Int("workers", 0, "workers per node (0 = scenario default)")
@@ -40,6 +40,12 @@ func runSim(argv []string) int {
 		slow     = fs.Int64("slow-factor", 0, "slow-node cost multiplier for slownode (0 = default)")
 		crashN   = fs.Int("crash-node", -1, "crash scenario: node to kill (-1 = busiest thief)")
 		crashAt  = fs.Int64("crash-at", 0, "crash scenario: kill time, ms (0 = default)")
+
+		probeFanout  = fs.Int("probe-fanout", -1, "cache scenarios: peers probed per cache-missed job (0 disables probing; -1 = scenario default)")
+		probeTimeout = fs.Int64("probe-timeout", 0, "cache scenarios: per-peer probe timeout, ms (0 = scenario default)")
+		hintBreadth  = fs.Int("hint-breadth", -1, "cache scenarios: recent result keys gossiped as hints (-1 = scenario default)")
+		maxHops      = fs.Int("max-hops", -1, "cache scenarios: Retry-Peer admission hop bound (-1 = scenario default)")
+		warmNodes    = fs.Int("warm-nodes", -1, "cache scenarios: nodes pre-warmed with the corpus (-1 = scenario default)")
 	)
 	fs.Parse(argv)
 	if fs.NArg() > 0 {
@@ -85,11 +91,39 @@ func runSim(argv []string) int {
 		if *crashAt > 0 {
 			cfg.CrashAtMS = *crashAt
 		}
+		if cfg.CacheLayer {
+			if *probeFanout >= 0 {
+				cfg.ProbeFanout = *probeFanout
+			}
+			if *probeTimeout > 0 {
+				cfg.ProbeTimeoutMS = *probeTimeout
+			}
+			if *hintBreadth >= 0 {
+				cfg.HintBreadth = *hintBreadth
+			}
+			if *maxHops >= 0 {
+				cfg.MaxHops = *maxHops
+			}
+			if *warmNodes >= 0 {
+				cfg.WarmNodes = *warmNodes
+			}
+		}
 
 		if i > 0 {
 			fmt.Println()
 		}
 		if *sweep {
+			// Cache scenarios sweep the cache knobs; legacy scenarios
+			// sweep the steal knobs, exactly as before.
+			if cfg.CacheLayer {
+				results, err := clustersim.CacheSweep(cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "perfplay sim:", err)
+					return 1
+				}
+				fmt.Print(clustersim.RenderCacheSweep(sc, *seed, results))
+				continue
+			}
 			results, err := clustersim.Sweep(cfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "perfplay sim:", err)

@@ -6,10 +6,10 @@ import (
 	"io"
 	"net/http"
 	"net/url"
-	"sort"
 	"strconv"
 	"time"
 
+	"perfplay/internal/cachepolicy"
 	"perfplay/internal/clusterapi"
 	"perfplay/internal/pipeline"
 	"perfplay/internal/scheduler"
@@ -32,10 +32,13 @@ import (
 // (byte-identical reports regardless of where work lands) is what makes
 // serving a peer's bytes indistinguishable from running locally. Every
 // failure on this path degrades to local execution, never to an error.
-
-// cacheHintKeys bounds the recent result-cache keys gossiped in each
-// GET /steal response (the cache-population hints).
-const cacheHintKeys = 32
+//
+// The decisions themselves — who to probe, in what order, how many,
+// when to give up — live in internal/cachepolicy; this file is the HTTP
+// adapter behind its Transport seam (fetch, decode, validate) plus the
+// daemon-side accounting. internal/clustersim drives the same policy
+// code over a virtual-clock transport, which is what lets the policy
+// lab's sweep results (docs/POLICIES.md) speak for this daemon.
 
 // cacheStats counts this node's cluster-cache and admission traffic.
 // The counters live in the daemon's metrics registry — /healthz's
@@ -130,37 +133,52 @@ func probeOutcome(ok bool) string {
 	return "miss"
 }
 
-// cacheProbeOrder ranks peers for one cache probe: peers whose
-// gossiped hints satisfy the matcher first, then known-healthy peers
-// by queue depth (idlest first — most likely to answer fast), then
-// peers the gossip has never seen or whose last probe failed, in
-// config order; bounded to CacheProbeFanout entries. Failed-probe
-// peers rank with the unseen, not the healthy — their counts are
-// stale, and a dead peer sorted ahead of a live cache holder would
-// burn a probe timeout on the job-execution hot path (or squeeze the
-// holder out of the fan-out altogether).
+// cacheProbeOrder ranks this node's peers for one cache probe via the
+// shared cachepolicy.ProbeOrder policy (hinted first, then idlest,
+// failed-probe peers last), fed from the gossip view and bounded to
+// CacheProbeFanout entries.
 func (s *Server) cacheProbeOrder(hinted func(scheduler.PeerStatus) bool) []string {
-	snap := s.gossip.Snapshot()
-	peers := append([]string(nil), s.cfg.Peers...)
-	sort.SliceStable(peers, func(i, j int) bool {
-		si, iok := snap[peers[i]]
-		sj, jok := snap[peers[j]]
-		hi := iok && si.Err == "" && hinted(si)
-		hj := jok && sj.Err == "" && hinted(sj)
-		if hi != hj {
-			return hi
-		}
-		ki := iok && si.Err == ""
-		kj := jok && sj.Err == ""
-		if ki != kj {
-			return ki
-		}
-		return ki && si.QueueLen < sj.QueueLen
-	})
-	if n := s.cfg.CacheProbeFanout; n > 0 && len(peers) > n {
-		peers = peers[:n]
+	return cachepolicy.ProbeOrder(s.cfg.Peers, s.gossip.Snapshot(), hinted, s.cfg.CacheProbeFanout)
+}
+
+// prober builds the shared degrade-to-local probe policy over this
+// node's HTTP transport, with the daemon's counters and spans attached
+// as the observation hook — one cache_probe/table_probe span and one
+// kind-labelled counter increment per attempt, exactly what the inline
+// loops recorded before the policy was extracted.
+func (s *Server) prober(tc spanCtx) *cachepolicy.Prober[*pipeline.WireResult, *pipeline.WireTable] {
+	return &cachepolicy.Prober[*pipeline.WireResult, *pipeline.WireTable]{
+		Transport: &httpCacheTransport{s: s, tc: tc},
+		Fanout:    s.cfg.CacheProbeFanout,
+		Observe: func(peer, kind string, hit bool, start, end time.Time) {
+			name := "cache_probe"
+			if kind == "table" {
+				name = "table_probe"
+				s.cacheStats.tableProbes.Inc()
+			} else {
+				s.cacheStats.probes.Inc()
+			}
+			s.span(tc, name, start, end,
+				map[string]string{"peer": peer, "kind": kind, "outcome": probeOutcome(hit)})
+		},
 	}
-	return peers
+}
+
+// httpCacheTransport is the daemon's side of the cachepolicy.Transport
+// seam: fetch, decode and validate peer cache artifacts over HTTP, with
+// the job's trace context riding as headers. Artifacts it returns are
+// already verified; the policy layer never opens them.
+type httpCacheTransport struct {
+	s  *Server
+	tc spanCtx
+}
+
+func (t *httpCacheTransport) FetchResult(peer, key string, topK int) (*pipeline.WireResult, error) {
+	return t.s.fetchWireResult(peer, key, topK, t.tc)
+}
+
+func (t *httpCacheTransport) FetchTable(peer, key string) (*pipeline.WireTable, error) {
+	return t.s.fetchWireTable(peer, key, t.tc)
 }
 
 // probePeerCaches asks peers for a finished result matching the
@@ -176,19 +194,12 @@ func (s *Server) probePeerCaches(req pipeline.Request, tc spanCtx) (*pipeline.Wi
 	if !ok || s.pl.HasResult(key) {
 		return nil, "", false
 	}
-	for _, peer := range s.cacheProbeOrder(func(st scheduler.PeerStatus) bool { return st.HintsKey(key) }) {
-		s.cacheStats.probes.Inc()
-		start := time.Now()
-		wr, err := s.fetchWireResult(peer, key, req.TopK, tc)
-		s.span(tc, "cache_probe", start, time.Now(),
-			map[string]string{"peer": peer, "kind": "result", "outcome": probeOutcome(err == nil)})
-		if err != nil {
-			continue // miss, dead peer, or garbage: the local run is always correct
-		}
-		s.cacheStats.remoteHits.Inc()
-		return wr, peer, true
+	wr, peer, ok := s.prober(tc).ProbeResult(s.cfg.Peers, s.gossip.Snapshot(), key, req.TopK)
+	if !ok {
+		return nil, "", false
 	}
-	return nil, "", false
+	s.cacheStats.remoteHits.Inc()
+	return wr, peer, true
 }
 
 // probeGet issues one cluster-cache probe with the job's trace context
@@ -243,38 +254,35 @@ func (s *Server) probePeerTables(req pipeline.Request, tc spanCtx) {
 	if !ok || s.pl.HasTable(key) {
 		return
 	}
-	digest := req.TraceDigest
-	for _, peer := range s.cacheProbeOrder(func(st scheduler.PeerStatus) bool { return st.HintsDigest(digest) }) {
-		s.cacheStats.tableProbes.Inc()
-		start := time.Now()
-		imported := s.fetchTable(peer, key, tc)
-		s.span(tc, "table_probe", start, time.Now(),
-			map[string]string{"peer": peer, "kind": "table", "outcome": probeOutcome(imported)})
-		if imported {
-			return
-		}
-	}
+	s.prober(tc).ProbeTable(s.cfg.Peers, s.gossip.Snapshot(), req.TraceDigest, key,
+		func(wt *pipeline.WireTable) bool {
+			if wt.Validate(key) != nil || !s.pl.ImportTable(key, wt.Table) {
+				return false
+			}
+			s.cacheStats.tableImports.Inc()
+			return true
+		})
 }
 
-func (s *Server) fetchTable(peer, key string, tc spanCtx) bool {
+// fetchWireTable fetches and decodes one peer's cached verdict table.
+// Key validation happens in the accept hook: it needs the table key the
+// prober matched by digest, and adoption (ImportTable) is the real
+// acceptance test.
+func (s *Server) fetchWireTable(peer, key string, tc spanCtx) (*pipeline.WireTable, error) {
 	resp, err := s.probeGet(peer+"/cache/tables/"+url.PathEscape(key), tc)
 	if err != nil {
-		return false
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return false
+		return nil, fmt.Errorf("table probe %s: status %d", peer, resp.StatusCode)
 	}
 	var wt pipeline.WireTable
 	if err := json.NewDecoder(io.LimitReader(resp.Body, s.cfg.MaxTraceBytes)).Decode(&wt); err != nil {
-		return false
+		return nil, fmt.Errorf("table probe %s: %w", peer, err)
 	}
-	if wt.Validate(key) != nil || !s.pl.ImportTable(key, wt.Table) {
-		return false
-	}
-	s.cacheStats.tableImports.Inc()
-	return true
+	return &wt, nil
 }
 
 // summaryFromWire settles a job from a peer's cached result: the same

@@ -35,9 +35,9 @@
 //	          [-role standalone|worker|coordinator]
 //	          [-peers http://h1:8080,http://h2:8080] [-shard-timeout 120s]
 //	          [-advertise http://me:8080] [-steal-interval 1s]
-//	          [-steal-lease 2m] [-cache-probe-timeout 2s]
-//	          [-cache-probe-fanout 3] [-node name] [-pprof]
-//	          [-print-routes]
+//	          [-steal-lease 2m] [-cache-probe-timeout 250ms]
+//	          [-cache-probe-fanout 2] [-cache-hint-keys 32]
+//	          [-node name] [-pprof] [-print-routes]
 //
 // Observability: GET /metrics serves every counter, gauge and histogram
 // in the Prometheus text format; GET /jobs/{id}/trace serves a job's
@@ -90,7 +90,15 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"perfplay/internal/cachepolicy"
 )
+
+// cacheKnobs seeds the cache-layer flag defaults from the shared
+// cachepolicy.Defaults() struct — the same values Config.withDefaults
+// applies and the clustersim policy lab sweeps — so `-help` prints the
+// true, sweep-backed defaults instead of a "0 means N" convention.
+var cacheKnobs = cachepolicy.Defaults()
 
 func main() {
 	var (
@@ -109,8 +117,9 @@ func main() {
 		advertise     = flag.String("advertise", "", "base URL peers should see this node as (default http://<addr>)")
 		stealInterval = flag.Duration("steal-interval", 0, "idle poll cadence of the whole-job stealer (0 = 1s; negative disables stealing)")
 		stealLease    = flag.Duration("steal-lease", 0, "how long a thief may hold a claimed job before it re-queues locally (0 = 2m)")
-		probeTimeout  = flag.Duration("cache-probe-timeout", 0, "per-peer cluster-cache probe timeout (0 = 2s)")
-		probeFanout   = flag.Int("cache-probe-fanout", 0, "max peers probed per cache-missed job (0 = 3)")
+		probeTimeout  = flag.Duration("cache-probe-timeout", cacheKnobs.ProbeTimeout, "per-peer cluster-cache probe timeout")
+		probeFanout   = flag.Int("cache-probe-fanout", cacheKnobs.ProbeFanout, "max peers probed per cache-missed job (sweep-derived; see docs/POLICIES.md)")
+		hintKeys      = flag.Int("cache-hint-keys", cacheKnobs.HintKeys, "recent result-cache keys gossiped per GET /steal (cache-population hints)")
 		nodeName      = flag.String("node", "", "node name on spans and log lines (default: hostname)")
 		enablePprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 		printRoutes   = flag.Bool("print-routes", false, "print the registered HTTP routes, one per line, and exit")
@@ -173,6 +182,7 @@ func main() {
 		StealLease:        *stealLease,
 		CacheProbeTimeout: *probeTimeout,
 		CacheProbeFanout:  *probeFanout,
+		CacheHintKeys:     *hintKeys,
 		NodeName:          *nodeName,
 		Logger:            logger,
 		EnablePprof:       *enablePprof,

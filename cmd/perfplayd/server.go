@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"perfplay/internal/cachepolicy"
 	"perfplay/internal/clusterapi"
 	"perfplay/internal/corpus"
 	"perfplay/internal/journal"
@@ -97,12 +98,17 @@ type Config struct {
 	// /cache/results/{key}, GET /cache/tables/{key}) and each
 	// on-demand admission probe. Short by design: a probe saves a
 	// whole replay pipeline when it hits, but must cost almost nothing
-	// when the peer is dead (0 = 2s).
+	// when the peer is dead (0 = cachepolicy.Defaults().ProbeTimeout).
 	CacheProbeTimeout time.Duration
 	// CacheProbeFanout bounds how many peers one cache-missed job
-	// probes before running locally (0 = 3; it also caps the
-	// admission path's on-demand probe round).
+	// probes before running locally (0 =
+	// cachepolicy.Defaults().ProbeFanout; it also caps the admission
+	// path's on-demand probe round).
 	CacheProbeFanout int
+	// CacheHintKeys bounds the recent result-cache keys gossiped in
+	// each GET /steal response — the cache-population hints peers use
+	// to aim their probes (0 = cachepolicy.Defaults().HintKeys).
+	CacheHintKeys int
 	// NodeName labels this node's spans and structured log lines, so a
 	// cross-node trace reads as a story of named machines (0 = the
 	// hostname).
@@ -154,11 +160,18 @@ func (c Config) withDefaults() Config {
 	if c.StealInterval == 0 {
 		c.StealInterval = time.Second
 	}
+	// The cache-layer knobs share cachepolicy.Defaults() with the
+	// perfplayd flag declarations and the clustersim policy lab, so the
+	// sweep-backed values cannot drift between surfaces.
+	d := cachepolicy.Defaults()
 	if c.CacheProbeTimeout == 0 {
-		c.CacheProbeTimeout = 2 * time.Second
+		c.CacheProbeTimeout = d.ProbeTimeout
 	}
 	if c.CacheProbeFanout == 0 {
-		c.CacheProbeFanout = 3
+		c.CacheProbeFanout = d.ProbeFanout
+	}
+	if c.CacheHintKeys == 0 {
+		c.CacheHintKeys = d.HintKeys
 	}
 	if c.Role == "" {
 		c.Role = roleStandalone

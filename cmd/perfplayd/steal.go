@@ -268,8 +268,8 @@ func (s *Server) handleSteal(w http.ResponseWriter, r *http.Request) {
 		// The digests of the stealable backlog ride along so a thief
 		// that already holds cached artifacts for one of them can aim
 		// its steal here — that steal settles from cache.
-		StealableDigests: s.queue.StealableDigests(cacheHintKeys),
-		CacheKeys:        s.pl.RecentResultKeys(cacheHintKeys),
+		StealableDigests: s.queue.StealableDigests(s.cfg.CacheHintKeys),
+		CacheKeys:        s.pl.RecentResultKeys(s.cfg.CacheHintKeys),
 		Seen:             time.Now(),
 	})
 }

@@ -3,12 +3,18 @@
 // perfplayd nodes and runs seeded workload scenarios against the REAL
 // policy code — scheduler.Queue admission and leases, scheduler.Stealer
 // probe/claim ordering, scheduler.Gossip views, scheduler.IdlestPeer
-// admission redirects, and pipeline.RangeLedger guided self-scheduling
-// — with only the transport and the clock replaced. The same Stealer
-// loop that steals over HTTP in production steals over an in-memory
-// fabric here, injected through the scheduler.Transport seam; nothing
-// scheduling-relevant is reimplemented, so a policy knob that wins in
-// the simulator is exercising the exact code that ships.
+// admission redirects, pipeline.RangeLedger guided self-scheduling,
+// and (in the cache scenarios) the cluster cache layer —
+// cachepolicy.Prober probe ordering/fan-out and the
+// cachepolicy.FollowRedirects multi-hop admission chain — with only
+// the transport and the clock replaced. The same Stealer loop that
+// steals over HTTP in production steals over an in-memory fabric here,
+// injected through the scheduler.Transport seam, and the same Prober
+// that probes peer caches over HTTP probes them over the virtual-clock
+// cache transport; nothing scheduling-relevant is reimplemented, so a
+// policy knob that wins in the simulator is exercising the exact code
+// that ships. Every scenario additionally runs under an invariant
+// checker (invariants.go) whose violations land on the report.
 //
 // Everything random flows from one scenario seed through a
 // subsystem-partitioned RNG (arrival process, job costs, link
@@ -24,6 +30,8 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+
+	"perfplay/internal/cachepolicy"
 )
 
 // Scenario names, selectable by Config.Scenario.
@@ -40,11 +48,41 @@ const (
 	// mid-run: its claimed leases must expire on the victims and the
 	// jobs re-run to completion.
 	ScenarioCrash = "crash"
+	// ScenarioCacheWarm enables the cluster cache layer with a warm
+	// island: the first WarmNodes nodes hold every digest's result
+	// pre-computed, arrivals aim at the cold nodes, and the cold nodes
+	// must find the warm results through hint-gossiped cache probes
+	// (the real cachepolicy.Prober over a virtual-clock transport).
+	ScenarioCacheWarm = "cachewarm"
+	// ScenarioPartition is cachewarm plus a partial network partition:
+	// for a window mid-run the warm island and the cold nodes cannot
+	// reach each other directly, while the last node bridges both sides
+	// — A sees B, B cannot see C. Probes across a severed link burn
+	// their full timeout, so the probe-timeout knob earns its keep here.
+	ScenarioPartition = "partition"
+	// ScenarioAdmission aims nearly all arrivals at node 0 with a
+	// shallow queue, so admission overflows and submits walk multi-hop
+	// Retry-Peer chains — the real cachepolicy.FollowRedirects, hop
+	// bound and visited set included.
+	ScenarioAdmission = "admission"
 )
 
 // Scenarios lists every shipped scenario in report order.
 func Scenarios() []string {
-	return []string{ScenarioUniform, ScenarioSkewed, ScenarioSlowNode, ScenarioCrash}
+	return []string{
+		ScenarioUniform, ScenarioSkewed, ScenarioSlowNode, ScenarioCrash,
+		ScenarioCacheWarm, ScenarioPartition, ScenarioAdmission,
+	}
+}
+
+// cacheScenario reports whether a scenario turns the cache layer on by
+// default.
+func cacheScenario(scenario string) bool {
+	switch scenario {
+	case ScenarioCacheWarm, ScenarioPartition, ScenarioAdmission:
+		return true
+	}
+	return false
 }
 
 // Config parameterizes one simulated run. The zero value is unusable;
@@ -85,6 +123,34 @@ type Config struct {
 	// DigestPool is how many distinct trace digests the workload draws
 	// from — small pools make cache hints matter.
 	DigestPool int
+
+	// CacheLayer enables the cluster cache layer: result/table cache
+	// probing before cold runs (cachepolicy.Prober) and multi-hop
+	// Retry-Peer admission (cachepolicy.FollowRedirects), both running
+	// the real policy code over the in-memory transport. Legacy
+	// scenarios leave it off and are bit-for-bit unaffected.
+	CacheLayer bool
+	// ProbeFanout bounds peers probed per cache-missed job. Unlike the
+	// daemon (where 0 means "apply the default"), 0 here disables
+	// probing entirely — the sweep's no-probe baseline.
+	ProbeFanout int
+	// ProbeTimeoutMS bounds each individual peer probe; a probe across
+	// a partitioned (blackholed) link burns the full timeout.
+	ProbeTimeoutMS int64
+	// HintBreadth is how many recent result-cache keys each node
+	// gossips in its probe responses (0 = no cache hints).
+	HintBreadth int
+	// MaxHops bounds the Retry-Peer admission chain.
+	MaxHops int
+	// WarmNodes pre-warms nodes [0, WarmNodes) with every pool digest's
+	// result at t=0 (the warm island).
+	WarmNodes int
+	// PartitionAtMS / HealAtMS bound the partial-partition window
+	// (ScenarioPartition): from PartitionAtMS until HealAtMS the warm
+	// island and the cold nodes cannot reach each other except through
+	// the bridge (the last node).
+	PartitionAtMS int64
+	HealAtMS      int64
 }
 
 // DefaultConfig returns the baseline lab cluster for a scenario: four
@@ -96,7 +162,7 @@ func DefaultConfig(scenario string, seed int64) Config {
 	if scenario == ScenarioCrash {
 		arrival = 60
 	}
-	return Config{
+	cfg := Config{
 		Scenario:        scenario,
 		Seed:            seed,
 		Nodes:           4,
@@ -113,12 +179,43 @@ func DefaultConfig(scenario string, seed int64) Config {
 		CrashAtMS:       10_000,
 		DigestPool:      32,
 	}
+	if cacheScenario(scenario) {
+		// Cache scenarios start from the shared cachepolicy defaults —
+		// the same values the daemon's flags print. The digest pool is
+		// sized to the run (~600 arrivals over 64 digests): repeats are
+		// common enough for caching to matter, but a cold node keeps
+		// discovering new digests for most of the run — coupon-collector
+		// pacing — so probe traffic stays alive through the partition
+		// window instead of converging in the first few seconds.
+		d := cachepolicy.Defaults()
+		cfg.CacheLayer = true
+		cfg.ProbeFanout = d.ProbeFanout
+		cfg.ProbeTimeoutMS = d.ProbeTimeout.Milliseconds()
+		cfg.HintBreadth = d.HintKeys
+		cfg.MaxHops = d.SubmitHops
+		cfg.DigestPool = 64
+		cfg.WarmNodes = 2
+		switch scenario {
+		case ScenarioPartition:
+			cfg.PartitionAtMS = 10_000
+			cfg.HealAtMS = 40_000
+		case ScenarioAdmission:
+			// No warm island: the point is organic cache build-up under
+			// admission pressure, with shallow queues forcing multi-hop
+			// Retry-Peer chains.
+			cfg.WarmNodes = 0
+			cfg.QueueDepth = 4
+			cfg.ArrivalEveryMS = 60
+		}
+	}
+	return cfg
 }
 
 // validate rejects configs the engine cannot run honestly.
 func (cfg Config) validate() error {
 	switch cfg.Scenario {
-	case ScenarioUniform, ScenarioSkewed, ScenarioSlowNode, ScenarioCrash:
+	case ScenarioUniform, ScenarioSkewed, ScenarioSlowNode, ScenarioCrash,
+		ScenarioCacheWarm, ScenarioPartition, ScenarioAdmission:
 	default:
 		return fmt.Errorf("unknown scenario %q (want one of %v)", cfg.Scenario, Scenarios())
 	}
@@ -133,6 +230,20 @@ func (cfg Config) validate() error {
 	}
 	if cfg.Scenario == ScenarioCrash && cfg.CrashNode >= cfg.Nodes {
 		return fmt.Errorf("crash node %d out of range [0,%d) (negative = auto-target)", cfg.CrashNode, cfg.Nodes)
+	}
+	if cfg.CacheLayer {
+		if cfg.ProbeFanout < 0 || cfg.HintBreadth < 0 || cfg.MaxHops < 0 {
+			return errors.New("cache knobs must be non-negative")
+		}
+		if cfg.ProbeFanout > 0 && cfg.ProbeTimeoutMS < 1 {
+			return errors.New("probe timeout must be positive when probing is on")
+		}
+		if cfg.WarmNodes < 0 || cfg.WarmNodes > cfg.Nodes {
+			return fmt.Errorf("warm nodes %d out of range [0,%d]", cfg.WarmNodes, cfg.Nodes)
+		}
+	}
+	if cfg.Scenario == ScenarioPartition && cfg.PartitionAtMS >= cfg.HealAtMS {
+		return errors.New("partition window must open before it heals")
 	}
 	return nil
 }

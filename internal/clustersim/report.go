@@ -55,7 +55,25 @@ type Report struct {
 	// MakespanMS is when the last completion landed.
 	MakespanMS int64 `json:"makespan_ms"`
 
+	// Cache is the cache-layer activity; nil (and unrendered) for
+	// legacy scenarios, keeping their reports byte-stable.
+	Cache *CacheReport `json:"cache,omitempty"`
+	// Violations are the invariant checker's findings. Always rendered
+	// when non-empty — a shipped scenario producing any is a bug.
+	Violations []string `json:"violations,omitempty"`
+
 	Nodes []NodeReport `json:"nodes"`
+}
+
+// CacheReport totals the cluster cache layer's activity for one run.
+type CacheReport struct {
+	Probes        int `json:"probes"`
+	RemoteHits    int `json:"remote_hits"`
+	LocalHits     int `json:"local_hits"`
+	TableImports  int `json:"table_imports"`
+	ProbeTimeouts int `json:"probe_timeouts"`
+	Degraded      int `json:"degraded_local"`
+	AdmissionHops int `json:"admission_hops"`
 }
 
 // report assembles the Report once the event loop stops.
@@ -76,6 +94,17 @@ func (c *Cluster) report() *Report {
 		LatencyP99: percentile(c.latencies, 99),
 		LatencyMax: percentile(c.latencies, 100),
 		MakespanMS: c.lastCompleted,
+	}
+	if c.cfg.CacheLayer {
+		r.Cache = &CacheReport{
+			Probes:        c.cache.probes,
+			RemoteHits:    c.cache.remoteHits,
+			LocalHits:     c.cache.localHits,
+			TableImports:  c.cache.tableImports,
+			ProbeTimeouts: c.cache.probeTimeouts,
+			Degraded:      c.cache.degraded,
+			AdmissionHops: c.cache.admissionHops,
+		}
 	}
 	for _, n := range c.nodes {
 		st := n.stealer.Stats()
@@ -100,6 +129,7 @@ func (c *Cluster) report() *Report {
 		r.WarmRuns += nr.WarmRuns
 		r.Nodes = append(r.Nodes, nr)
 	}
+	c.inv.finish(r)
 	return r
 }
 
@@ -115,6 +145,14 @@ func (r *Report) String() string {
 		r.LatencyP50, r.LatencyP90, r.LatencyP99, r.LatencyMax, r.MakespanMS)
 	fmt.Fprintf(&b, "  steals: claims=%d hinted=%d lease-expired=%d redirects=%d warm-runs=%d\n",
 		r.Claims, r.HintedClaims, r.LeasesExpired, r.Redirects, r.WarmRuns)
+	if r.Cache != nil {
+		fmt.Fprintf(&b, "  cache: probes=%d remote-hits=%d local-hits=%d table-imports=%d timeouts=%d degraded=%d admission-hops=%d\n",
+			r.Cache.Probes, r.Cache.RemoteHits, r.Cache.LocalHits, r.Cache.TableImports,
+			r.Cache.ProbeTimeouts, r.Cache.Degraded, r.Cache.AdmissionHops)
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  INVARIANT VIOLATION: %s\n", v)
+	}
 	for _, n := range r.Nodes {
 		crashed := ""
 		if n.Crashed {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"perfplay/internal/cachepolicy"
 	"perfplay/internal/clusterapi"
 	"perfplay/internal/pipeline"
 	"perfplay/internal/scheduler"
@@ -36,6 +37,10 @@ type simJob struct {
 	groups  []int64
 	total   int64 // summed group cost, ms of cold single-worker work
 	done    bool  // completed (or orphaned) — resolved for accounting
+	// penalty is latency charged outside the event clock: the link time
+	// a multi-hop admission chain spent before the job landed anywhere.
+	// Always 0 on the legacy (non-cache-layer) path.
+	penalty int64
 }
 
 // activeJob is a job currently executing on a node: its ledger frontier
@@ -45,6 +50,12 @@ type activeJob struct {
 	ledger      *pipeline.RangeLedger
 	outstanding int
 	warm        bool
+	// cached marks a job settled straight from a result cache (local or
+	// probed off a peer): no ledger, no worker — just a settle event.
+	cached bool
+	// pre is virtual time already spent before the first chunk can run
+	// (the cache-probe round that missed); charged to the first chunk.
+	pre int64
 	// victim is the node this job was stolen from (nil for local runs);
 	// completion settles the lease back through the transport.
 	victim *node
@@ -69,8 +80,13 @@ type node struct {
 	pendingStolen int
 	active        []*activeJob
 	cache         map[string]bool
-	speed         int64 // chunk-duration multiplier (1 = nominal)
-	crashed       bool
+	// results is the node's result cache (cache-layer scenarios only):
+	// result keys it computed or imported, servable to probing peers.
+	// recent is the MRU tail of those keys, gossiped as cache hints.
+	results map[string]bool
+	recent  []string
+	speed   int64 // chunk-duration multiplier (1 = nominal)
+	crashed bool
 
 	// Simulation-side stats.
 	completedLocal  int
@@ -84,6 +100,35 @@ type node struct {
 func (n *node) idle() bool {
 	return !n.crashed && n.freeWorkers-n.pendingStolen > 0
 }
+
+// addResult records a result key in the node's cache and its MRU hint
+// tail. Cache-layer scenarios only.
+func (n *node) addResult(key string) {
+	if n.results[key] {
+		return
+	}
+	n.results[key] = true
+	n.recent = append(n.recent, key)
+}
+
+// recentKeys returns the newest k result keys — the cache-population
+// hints this node gossips in probe responses.
+func (n *node) recentKeys(k int) []string {
+	if k <= 0 || len(n.recent) == 0 {
+		return nil
+	}
+	if len(n.recent) > k {
+		return n.recent[len(n.recent)-k:]
+	}
+	return n.recent
+}
+
+// resultKey and tableKey name the cached artifacts for a trace digest,
+// shaped like the daemon's cache keys: the result key has the digest as
+// its first "|"-separated segment, so clusterapi.PeerStatus.HintsKey
+// matches it exactly and HintsDigest matches it by digest prefix.
+func resultKey(digest string) string { return digest + "|sim" }
+func tableKey(digest string) string  { return digest + "|table" }
 
 // Cluster is one simulation in progress.
 type Cluster struct {
@@ -107,10 +152,28 @@ type Cluster struct {
 	orphans       int
 	lostJobs      int
 	lastCompleted int64
+
+	// inv is the always-on invariant checker; its violations land on
+	// the report (and must be empty for every shipped scenario).
+	inv *invariants
+	// cache totals the cache-layer activity (CacheLayer configs only).
+	cache cacheCounters
+}
+
+// cacheCounters are the cluster-wide cache-layer totals.
+type cacheCounters struct {
+	probes        int // individual peer fetch attempts (result + table)
+	remoteHits    int // jobs settled from a peer's result cache
+	localHits     int // jobs settled from the local result cache
+	tableImports  int // verdict tables adopted from a peer
+	probeTimeouts int // probes that burned their timeout (partition/slow)
+	degraded      int // probed jobs that missed everywhere and ran locally
+	admissionHops int // extra Retry-Peer hops walked by admission chains
 }
 
 func newCluster(cfg Config) *Cluster {
 	c := &Cluster{cfg: cfg, rng: NewPartitionedRNG(cfg.Seed), byID: make(map[string]*simJob)}
+	c.inv = newInvariants(c)
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &node{
 			c:           c,
@@ -120,6 +183,7 @@ func newCluster(cfg Config) *Cluster {
 			metrics:     scheduler.NewMetrics(nil),
 			freeWorkers: cfg.WorkersPerNode,
 			cache:       make(map[string]bool),
+			results:     make(map[string]bool),
 			speed:       1,
 		}
 		n.queue = scheduler.NewQueue(cfg.QueueDepth)
@@ -131,10 +195,52 @@ func newCluster(cfg Config) *Cluster {
 	if cfg.Scenario == ScenarioSlowNode {
 		c.nodes[cfg.Nodes-1].speed = cfg.SlowFactor
 	}
+	if cfg.CacheLayer {
+		// Pre-warm the warm island: nodes [0, WarmNodes) ran the whole
+		// corpus yesterday. Like the daemon's two-tier cache, the tiers
+		// age differently: the verdict tables and trace artifacts are
+		// still on disk for every digest, but the LRU result cache has
+		// since evicted half the pool — so probes for evicted digests
+		// miss on results, fall through to the table probe, and the cold
+		// node runs warm instead of settling for free.
+		for di, digest := range digestPool(cfg.DigestPool) {
+			for i := 0; i < cfg.WarmNodes; i++ {
+				n := c.nodes[i]
+				n.cache[digest] = true
+				if di%2 == 0 {
+					n.addResult(resultKey(digest))
+					c.inv.computedResult(n, resultKey(digest), digest)
+				} else {
+					c.inv.importedTable(n, digest)
+				}
+			}
+		}
+	}
 	for _, n := range c.nodes {
 		n.stealer = c.newStealer(n)
 	}
 	return c
+}
+
+// linkUp reports whether a and b can currently reach each other. Links
+// are symmetric; the only way one goes down is the partition scenario's
+// window, during which the warm island [0, WarmNodes) and the cold
+// nodes are mutually unreachable — except via the last node, the
+// bridge, which both sides still see. That asymmetry of knowledge (the
+// bridge sees a peer its neighbors cannot) is what makes gossiped hints
+// dangerous: a cold node hears about a warm cache it cannot reach.
+func (c *Cluster) linkUp(a, b *node) bool {
+	if a == nil || b == nil || a == b {
+		return true
+	}
+	if c.cfg.Scenario != ScenarioPartition || c.now < c.cfg.PartitionAtMS || c.now >= c.cfg.HealAtMS {
+		return true
+	}
+	bridge := c.cfg.Nodes - 1
+	if a.idx == bridge || b.idx == bridge {
+		return true
+	}
+	return (a.idx < c.cfg.WarmNodes) == (b.idx < c.cfg.WarmNodes)
 }
 
 // clock renders simulated time as the time.Time the real policy code
@@ -179,7 +285,7 @@ func (c *Cluster) newStealer(n *node) *scheduler.Stealer {
 		Gossip:    n.gossip,
 		Metrics:   n.metrics,
 		Now:       c.clock,
-		Transport: &memTransport{c: c},
+		Transport: &memTransport{c: c, from: n},
 		Execute: func(victim string, sj scheduler.StolenJob) error {
 			// The real daemon executes synchronously inside the steal
 			// loop; the simulator cannot block an event, so the claim
@@ -216,15 +322,22 @@ func (c *Cluster) newStealer(n *node) *scheduler.Stealer {
 // memTransport carries the steal protocol between simulated nodes: the
 // scheduler.Transport the daemon implements over HTTP, implemented over
 // direct method calls on the victim's real Queue. A crashed node is a
-// refused connection.
+// refused connection; a partitioned link is one too (from's side of the
+// fabric cannot reach the peer at all).
 type memTransport struct {
 	c *Cluster
+	// from is the node issuing the calls — the partition model needs to
+	// know both ends of the link.
+	from *node
 }
 
 func (t *memTransport) lookup(peer string) (*node, error) {
 	n := t.c.byURL(peer)
 	if n == nil || n.crashed {
 		return nil, fmt.Errorf("dial %s: connection refused", peer)
+	}
+	if !t.c.linkUp(t.from, n) {
+		return nil, fmt.Errorf("dial %s: network unreachable (partitioned)", peer)
 	}
 	return n, nil
 }
@@ -234,12 +347,16 @@ func (t *memTransport) Probe(peer string) (scheduler.PeerStatus, error) {
 	if err != nil {
 		return scheduler.PeerStatus{}, err
 	}
-	return scheduler.PeerStatus{
+	st := scheduler.PeerStatus{
 		QueueLen:         v.queue.Len(),
 		QueueCap:         v.queue.Cap(),
 		Stealable:        v.queue.Stealable(),
 		StealableDigests: v.queue.StealableDigests(8),
-	}, nil
+	}
+	if t.c.cfg.CacheLayer {
+		st.CacheKeys = v.recentKeys(t.c.cfg.HintBreadth)
+	}
+	return st, nil
 }
 
 func (t *memTransport) Claim(peer, thief string) (scheduler.StolenJob, bool, error) {
@@ -266,6 +383,146 @@ func (t *memTransport) Settle(victim, jobID string, res clusterapi.StealResult) 
 	return nil
 }
 
+// cacheLatencyMS draws one cache-probe round trip. Its own stream, so
+// cache scenarios do not perturb the steal path's latency draws.
+func (c *Cluster) cacheLatencyMS() int64 {
+	return 1 + c.rng.Stream("cachelat").Int64N(4)
+}
+
+// simCacheTransport is the cachepolicy.Fetcher the simulator injects
+// into the real Prober — the virtual-clock counterpart of the daemon's
+// httpCacheTransport. One instance serves one job's probe session and
+// accumulates the session's virtual cost in elapsed: a healthy peer
+// answers in one latency draw, a crashed peer refuses fast, and a
+// partitioned link is a blackhole that burns the full probe timeout —
+// which is precisely why the timeout knob exists.
+//
+// The artifact types are the cache keys themselves: the sim has no
+// bytes to decode, and the policy code never opens artifacts anyway.
+type simCacheTransport struct {
+	c       *Cluster
+	from    *node
+	elapsed int64
+	// resultCalls / tableCalls count the session's fetches per round,
+	// for the fan-out invariant.
+	resultCalls int
+	tableCalls  int
+}
+
+var _ cachepolicy.Fetcher[string, string] = (*simCacheTransport)(nil)
+
+// fetch resolves one probe's target and charges its virtual cost.
+func (t *simCacheTransport) fetch(peer string) (*node, error) {
+	t.c.cache.probes++
+	target := t.c.byURL(peer)
+	if target == nil || target.crashed {
+		t.elapsed++ // refused connections fail fast
+		return nil, fmt.Errorf("dial %s: connection refused", peer)
+	}
+	if !t.c.linkUp(t.from, target) {
+		t.elapsed += t.c.cfg.ProbeTimeoutMS
+		t.c.cache.probeTimeouts++
+		return nil, fmt.Errorf("probe %s: timeout (blackholed)", peer)
+	}
+	rtt := t.c.cacheLatencyMS()
+	if rtt > t.c.cfg.ProbeTimeoutMS {
+		t.elapsed += t.c.cfg.ProbeTimeoutMS
+		t.c.cache.probeTimeouts++
+		return nil, fmt.Errorf("probe %s: timeout", peer)
+	}
+	t.elapsed += rtt
+	return target, nil
+}
+
+func (t *simCacheTransport) FetchResult(peer, key string, topK int) (string, error) {
+	t.resultCalls++
+	target, err := t.fetch(peer)
+	if err != nil {
+		return "", err
+	}
+	if !target.results[key] {
+		return "", fmt.Errorf("result %s: miss on %s", key, peer)
+	}
+	t.c.inv.served("result", target, t.from, key)
+	return key, nil
+}
+
+func (t *simCacheTransport) FetchTable(peer, key string) (string, error) {
+	t.tableCalls++
+	target, err := t.fetch(peer)
+	if err != nil {
+		return "", err
+	}
+	// A node can serve the verdict table for every digest it holds warm
+	// artifacts for: computing a result builds the table, and importing
+	// a table adopts it.
+	digest := tableDigest(key)
+	if !target.cache[digest] {
+		return "", fmt.Errorf("table %s: miss on %s", key, peer)
+	}
+	t.c.inv.served("table", target, t.from, digest)
+	return key, nil
+}
+
+// tableDigest recovers the trace digest from a table key.
+func tableDigest(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '|' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+// probeCaches runs one cache-missed job's real probe policy —
+// cachepolicy.Prober over the sim transport, against the node's live
+// gossip view — and applies what it finds: a remote result hit settles
+// the job (the caller's cue), a table hit warms the node for a cheaper
+// cold run. The returned elapsed is the session's virtual cost, charged
+// ahead of whatever the job does next; hit or miss, probing never fails
+// the job.
+func (c *Cluster) probeCaches(n *node, j *simJob) (hit bool, elapsed int64) {
+	tr := &simCacheTransport{c: c, from: n}
+	pr := &cachepolicy.Prober[string, string]{Transport: tr, Fanout: c.cfg.ProbeFanout}
+	peers := c.peersOf(n)
+	view := n.gossip.Snapshot()
+	key := resultKey(j.digest)
+	if _, _, ok := pr.ProbeResult(peers, view, key, 0); ok {
+		c.cache.remoteHits++
+		n.addResult(key)
+		c.inv.importedResult(n, key)
+		hit = true
+	} else if !n.cache[j.digest] {
+		// No finished result anywhere reachable — try to at least adopt
+		// the verdict table so the local run goes warm. accept is
+		// unconditional: the sim's artifacts cannot be corrupt.
+		if _, ok := pr.ProbeTable(peers, view, j.digest, tableKey(j.digest), func(string) bool { return true }); ok {
+			c.cache.tableImports++
+			n.cache[j.digest] = true
+			c.inv.importedTable(n, j.digest)
+		}
+	}
+	c.inv.probeBound(tr.resultCalls, tr.tableCalls, c.cfg.ProbeFanout)
+	if !hit {
+		c.cache.degraded++
+	}
+	return hit, tr.elapsed
+}
+
+// settleCached completes a job from a result cache after delay: no
+// ledger, no worker — the activeJob exists only so a crash between now
+// and the settle drops it like any other in-flight work.
+func (c *Cluster) settleCached(n *node, j *simJob, victim *node, delay int64) {
+	aj := &activeJob{job: j, victim: victim, cached: true}
+	n.active = append(n.active, aj)
+	c.schedule(c.now+delay, kindChunkDone, func() {
+		if n.crashed {
+			return
+		}
+		c.finishJob(n, aj)
+	})
+}
+
 // generateWorkload pre-draws every arrival from the partitioned streams
 // and schedules them. Drawing everything up front (rather than lazily
 // inside events) pins the workload to the seed alone: no policy knob
@@ -273,10 +530,7 @@ func (t *memTransport) Settle(victim, jobID string, res clusterapi.StealResult) 
 func (c *Cluster) generateWorkload() {
 	arr := c.rng.Stream("arrival")
 	cost := c.rng.Stream("cost")
-	digests := make([]string, c.cfg.DigestPool)
-	for i := range digests {
-		digests[i] = fmt.Sprintf("sha256:sim%04d", i)
-	}
+	digests := digestPool(c.cfg.DigestPool)
 	var t int64
 	for idx := 0; ; idx++ {
 		t += expMS(arr, c.cfg.ArrivalEveryMS)
@@ -305,8 +559,21 @@ func (c *Cluster) generateWorkload() {
 		c.jobs = append(c.jobs, j)
 		c.byID[j.id] = j
 		at, node := j.arrival, origin
-		c.schedule(at, kindArrival, func() { c.arrive(j, c.nodes[node], 0) })
+		if c.cfg.CacheLayer {
+			c.schedule(at, kindArrival, func() { c.admit(j, c.nodes[node]) })
+		} else {
+			c.schedule(at, kindArrival, func() { c.arrive(j, c.nodes[node], 0) })
+		}
 	}
+}
+
+// digestPool names the workload's distinct trace digests.
+func digestPool(n int) []string {
+	digests := make([]string, n)
+	for i := range digests {
+		digests[i] = fmt.Sprintf("sha256:sim%04d", i)
+	}
+	return digests
 }
 
 // pickOrigin maps one uniform draw (plus a pre-drawn uniform node) to
@@ -325,6 +592,20 @@ func (c *Cluster) pickOrigin(f float64, uniform int) int {
 		// so the crash reliably catches the dying node holding leases —
 		// the recovery path the scenario exists to exercise.
 		if f < 0.95 {
+			return 0
+		}
+		return 1 + uniform%(c.cfg.Nodes-1)
+	case ScenarioCacheWarm, ScenarioPartition:
+		// Everything lands on the cold side: the warm island's results
+		// are only reachable through the cache-probe path under test.
+		if c.cfg.WarmNodes < c.cfg.Nodes {
+			return c.cfg.WarmNodes + uniform%(c.cfg.Nodes-c.cfg.WarmNodes)
+		}
+		return uniform
+	case ScenarioAdmission:
+		// Heavy skew over a shallow queue: node 0 overflows constantly,
+		// so admission walks multi-hop Retry-Peer chains.
+		if f < 0.9 {
 			return 0
 		}
 		return 1 + uniform%(c.cfg.Nodes-1)
@@ -396,16 +677,91 @@ func (c *Cluster) reject(j *simJob) {
 	j.done = true
 	c.rejected++
 	c.resolved++
+	c.inv.terminalOnce(j.id, "rejected")
+}
+
+// admit is the cache-layer admission path: the real multi-hop chain,
+// cachepolicy.FollowRedirects — hop bound, visited set, the exact code
+// corpus.Remote submits through — over an in-memory submit adapter. A
+// full node's rejection names its gossip-picked idlest peer as the
+// Retry-Peer, and the chain walks on. The walk is synchronous at the
+// arrival instant (the queues cannot shift mid-chain, unlike the
+// event-spaced legacy path); its link time is charged to the job as a
+// latency penalty instead.
+func (c *Cluster) admit(j *simJob, origin *node) {
+	if j.done {
+		return
+	}
+	var (
+		elapsed  int64
+		accepted *node
+		hops     = -1 // first submit is hop 0
+		chain    = c.inv.chain(j.id)
+	)
+	submit := func(base string) (cachepolicy.SubmitReply, error) {
+		hops++
+		if hops > 0 {
+			elapsed += c.latencyMS()
+		}
+		chain.visit(base, c.cfg.MaxHops)
+		n := c.byURL(base)
+		if n == nil || n.crashed {
+			return cachepolicy.SubmitReply{}, fmt.Errorf("dial %s: connection refused", base)
+		}
+		qj := &scheduler.Job{
+			ID:   j.id,
+			Spec: clusterapi.Spec{App: "sim", TraceDigest: j.digest, Seed: c.cfg.Seed},
+		}
+		if n.queue.Push(qj) {
+			accepted = n
+			return cachepolicy.SubmitReply{ID: j.id}, nil
+		}
+		reply := cachepolicy.SubmitReply{Reject: fmt.Errorf("queue full at %s", base)}
+		if peer, ok := scheduler.IdlestPeer(c.peersOf(n), n.gossip.Snapshot()); ok {
+			reply.RetryPeer = peer
+		}
+		return reply, nil
+	}
+	_, _, err := cachepolicy.FollowRedirects(submit, origin.url, c.cfg.MaxHops)
+	c.redirects += hops
+	c.cache.admissionHops += hops
+	if err != nil || accepted == nil {
+		c.reject(j)
+		return
+	}
+	j.penalty = elapsed
+	c.assign(accepted)
 }
 
 // startJob registers a job as executing on n, building its real
 // RangeLedger sized to the node's worker pool. victim is non-nil for
-// stolen jobs.
+// stolen jobs. With the cache layer on, the job first consults the
+// result caches exactly like the daemon's executeJob: local result hit
+// settles instantly, a probed remote hit settles after the probe round
+// trip, a table hit warms the run, and a miss everywhere degrades to
+// the cold run with the probe time charged up front.
 func (c *Cluster) startJob(n *node, j *simJob, victim *node) {
+	var pre int64
+	if c.cfg.CacheLayer {
+		if n.results[resultKey(j.digest)] {
+			c.cache.localHits++
+			c.settleCached(n, j, victim, 1)
+			return
+		}
+		if c.cfg.ProbeFanout > 0 {
+			hit, elapsed := c.probeCaches(n, j)
+			if hit {
+				c.settleCached(n, j, victim, elapsed+1)
+				return
+			}
+			pre = elapsed
+		}
+	}
 	aj := &activeJob{
 		job:    j,
 		victim: victim,
 		warm:   n.cache[j.digest],
+		pre:    pre,
 		ledger: pipeline.NewRangeLedger(j.groups, c.cfg.WorkersPerNode, c.cfg.ChunkFactor),
 	}
 	if aj.warm {
@@ -426,7 +782,7 @@ func (c *Cluster) assign(n *node) {
 	for n.freeWorkers > 0 {
 		var aj *activeJob
 		for _, a := range n.active {
-			if a.ledger.Remaining() > 0 {
+			if !a.cached && a.ledger.Remaining() > 0 {
 				aj = a
 				break
 			}
@@ -458,6 +814,12 @@ func (c *Cluster) assign(n *node) {
 		if dur < 1 {
 			dur = 1
 		}
+		if aj.pre > 0 {
+			// The probe round that missed delayed the start; charge it to
+			// the job's first chunk.
+			dur += aj.pre
+			aj.pre = 0
+		}
 		n.freeWorkers--
 		aj.outstanding++
 		c.schedule(c.now+dur, kindChunkDone, func() { c.chunkDone(n, aj) })
@@ -487,9 +849,17 @@ func (c *Cluster) finishJob(n *node, aj *activeJob) {
 			break
 		}
 	}
-	n.cache[aj.job.digest] = true
+	if !aj.cached {
+		// A real run warms the node; a cache-settled job built nothing
+		// locally beyond the result it already imported.
+		n.cache[aj.job.digest] = true
+		if c.cfg.CacheLayer {
+			n.addResult(resultKey(aj.job.digest))
+			c.inv.computedResult(n, resultKey(aj.job.digest), aj.job.digest)
+		}
+	}
 	if aj.victim != nil {
-		tr := memTransport{c: c}
+		tr := memTransport{c: c, from: n}
 		err := tr.Settle(aj.victim.url, aj.job.id, clusterapi.StealResult{Thief: n.url})
 		switch {
 		case err == nil:
@@ -516,10 +886,11 @@ func (c *Cluster) complete(j *simJob) {
 	}
 	j.done = true
 	c.resolved++
-	c.latencies = append(c.latencies, c.now-j.arrival)
+	c.latencies = append(c.latencies, c.now-j.arrival+j.penalty)
 	if c.now > c.lastCompleted {
 		c.lastCompleted = c.now
 	}
+	c.inv.terminalOnce(j.id, "completed")
 }
 
 // stealTick drives one real Stealer round at simulated time, then
@@ -653,4 +1024,5 @@ func (c *Cluster) lose(j *simJob) {
 	j.done = true
 	c.resolved++
 	c.lostJobs++
+	c.inv.terminalOnce(j.id, "lost")
 }

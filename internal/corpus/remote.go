@@ -6,8 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strings"
 
+	"perfplay/internal/cachepolicy"
 	"perfplay/internal/clusterapi"
 	"perfplay/internal/telemetry"
 )
@@ -87,53 +87,47 @@ func RemoteError(op string, resp *http.Response) error {
 	}
 }
 
-// maxSubmitRedirects bounds how many steal-aware admission redirects
-// one SubmitAnalyze will follow. Combined with the visited set it makes
-// a cluster of mutually-full nodes answer a bounded chain of 503s
-// instead of bouncing the client forever.
-const maxSubmitRedirects = 3
-
 // SubmitAnalyze submits one analysis job — a perfplayd JSON spec: a
 // workload description or a {"trace": "sha256:..."} stored-trace
 // reference — to the peer's POST /analyze, following steal-aware
 // admission redirects: a node whose queue is full answers 503 with a
 // Retry-Peer header naming its idlest peer, and the submit retries
-// there. Hops are bounded and each base is visited at most once. It
+// there. The chain policy (hop bound, visited set, slash-normalized
+// base comparison) is cachepolicy.FollowRedirects — the same code the
+// simulator sweeps — with this method as its HTTP submit adapter. It
 // returns the job id and the base URL that accepted it — the node to
 // poll for the result, which under redirection is not necessarily the
 // one submitted to.
 func (r *Remote) SubmitAnalyze(spec []byte) (id, base string, err error) {
-	base = strings.TrimRight(r.Base, "/")
-	visited := make(map[string]bool, maxSubmitRedirects+1)
-	for hop := 0; ; hop++ {
-		visited[base] = true
+	return cachepolicy.FollowRedirects(r.submitOnce(spec), r.Base, cachepolicy.Defaults().SubmitHops)
+}
+
+// submitOnce adapts one POST /analyze into the admission chain's
+// vocabulary: transport failures (unreachable peer, un-decodable
+// accept) on the error return, rejections — with the Retry-Peer header
+// attached only when the 503 makes it meaningful — in the reply.
+func (r *Remote) submitOnce(spec []byte) cachepolicy.SubmitFunc {
+	return func(base string) (cachepolicy.SubmitReply, error) {
 		resp, err := r.do(http.MethodPost, base+"/analyze", "application/json", bytes.NewReader(spec))
 		if err != nil {
-			return "", "", fmt.Errorf("corpus: submit to %s: %w", base, err)
+			return cachepolicy.SubmitReply{}, fmt.Errorf("corpus: submit to %s: %w", base, err)
 		}
+		defer resp.Body.Close()
 		if resp.StatusCode == http.StatusAccepted {
 			var body struct {
 				ID string `json:"id"`
 			}
 			derr := json.NewDecoder(resp.Body).Decode(&body)
-			resp.Body.Close()
 			if derr != nil || body.ID == "" {
-				return "", "", fmt.Errorf("corpus: submit to %s: bad accept response (%v)", base, derr)
+				return cachepolicy.SubmitReply{}, fmt.Errorf("corpus: submit to %s: bad accept response (%v)", base, derr)
 			}
-			return body.ID, base, nil
+			return cachepolicy.SubmitReply{ID: body.ID}, nil
 		}
-		retry := strings.TrimRight(resp.Header.Get("Retry-Peer"), "/")
-		rerr := RemoteError("submit to "+base, resp)
-		resp.Body.Close()
-		switch {
-		case resp.StatusCode != http.StatusServiceUnavailable || retry == "":
-			return "", "", rerr
-		case visited[retry]:
-			return "", "", fmt.Errorf("%w (Retry-Peer loop back to %s)", rerr, retry)
-		case hop >= maxSubmitRedirects:
-			return "", "", fmt.Errorf("%w (gave up after %d Retry-Peer hops)", rerr, hop)
+		reply := cachepolicy.SubmitReply{Reject: RemoteError("submit to "+base, resp)}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			reply.RetryPeer = resp.Header.Get("Retry-Peer")
 		}
-		base = retry
+		return reply, nil
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"perfplay/internal/cachepolicy"
 	"perfplay/internal/sim"
 	"perfplay/internal/workload"
 )
@@ -200,10 +201,11 @@ func TestSubmitAnalyzeNoRedirect(t *testing.T) {
 // bound ends in an error naming the bound — never an unbounded crawl.
 func TestSubmitAnalyzeHopBound(t *testing.T) {
 	// Build a chain: each full node redirects to the next.
+	maxHops := cachepolicy.Defaults().SubmitHops
 	next := ""
 	var chain []*httptest.Server
 	var counts []*int
-	for i := 0; i < maxSubmitRedirects+2; i++ {
+	for i := 0; i < maxHops+2; i++ {
 		target := next
 		ts, calls := analyzeStub(t, false, func() string { return target })
 		chain = append(chain, ts)
@@ -220,8 +222,8 @@ func TestSubmitAnalyzeHopBound(t *testing.T) {
 	for _, c := range counts {
 		visited += *c
 	}
-	if visited != maxSubmitRedirects+1 {
+	if visited != maxHops+1 {
 		t.Fatalf("visited %d nodes, want %d (origin + %d hops)",
-			visited, maxSubmitRedirects+1, maxSubmitRedirects)
+			visited, maxHops+1, maxHops)
 	}
 }
