@@ -7,14 +7,16 @@
 // Usage:
 //
 //	perfplay -app mysql -threads 2 [-scale 0.5] [-top 5] [-workers 8]
-//	         [-trace out.trace] [-json] [-races] [-schemes] [-save-trace]
+//	         [-trace out.trace] [-trace-format columnar] [-races] [-schemes]
 //	perfplay -trace-digest sha256:... [-corpus dir]
 //	perfplay -daemon http://host:8080 -app mysql | -trace-digest sha256:...
 //	perfplay -list
 //
-// With -trace the recorded execution is also written to disk in the
-// binary (or, with -json, JSON) trace format, replayable later via
-// -replay. With -save-trace it is stored in the local content-addressed
+// With -trace the recorded execution is also written to disk, replayable
+// later via -replay; -trace-format selects the encoding (binary, json,
+// or the mmap-friendly columnar layout — -json remains as shorthand for
+// -trace-format json). All readers sniff the format, so any encoding
+// works with -replay, -diff, and the corpus. With -save-trace it is stored in the local content-addressed
 // corpus (-corpus, the same on-disk layout perfplayd serves), and
 // -trace-digest re-analyzes a stored trace by its sha256 digest without
 // re-recording. With -daemon the job is submitted to a perfplayd node
@@ -61,7 +63,8 @@ func main() {
 		workers   = flag.Int("workers", 1, "pipeline worker-pool width (1 = serial)")
 		schemes   = flag.Bool("schemes", false, "also replay the recording under all four schedulers")
 		traceOut  = flag.String("trace", "", "write the recorded trace to this file")
-		jsonOut   = flag.Bool("json", false, "write the trace as JSON instead of binary")
+		jsonOut   = flag.Bool("json", false, "write the trace as JSON instead of binary (shorthand for -trace-format json)")
+		traceFmt  = flag.String("trace-format", "", "on-disk encoding for -trace: binary, json, or columnar (default binary)")
 		replayIn  = flag.String("replay", "", "replay an existing trace file instead of recording")
 		races     = flag.Bool("races", false, "run the happens-before detector on the transformed trace")
 		list      = flag.Bool("list", false, "list available workloads")
@@ -106,8 +109,8 @@ func main() {
 		switch {
 		case *le, *verifyT1, *timeline:
 			fatal(fmt.Errorf("-le, -verify and -timeline run local-only analyses; drop them or drop -daemon"))
-		case *traceOut != "", *jsonOut, *saveTrace:
-			fatal(fmt.Errorf("-trace/-json/-save-trace write local recordings; the daemon records remotely"))
+		case *traceOut != "", *jsonOut, *traceFmt != "", *saveTrace:
+			fatal(fmt.Errorf("-trace/-json/-trace-format/-save-trace write local recordings; the daemon records remotely"))
 		case *runs > 1, *caseNum != 0:
 			fatal(fmt.Errorf("-runs and -case are not supported with -daemon"))
 		}
@@ -240,20 +243,33 @@ func main() {
 	}
 
 	if *traceOut != "" {
+		format := *traceFmt
+		if format == "" {
+			if *jsonOut {
+				format = trace.FormatJSON
+			} else {
+				format = trace.FormatBinary
+			}
+		}
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
-		if *jsonOut {
-			err = analysis.Recorded.Trace.WriteJSON(f)
-		} else {
+		switch format {
+		case trace.FormatBinary:
 			err = analysis.Recorded.Trace.WriteBinary(f)
+		case trace.FormatColumnar:
+			err = analysis.Recorded.Trace.WriteColumnar(f)
+		case trace.FormatJSON:
+			err = analysis.Recorded.Trace.WriteJSON(f)
+		default:
+			err = fmt.Errorf("unknown -trace-format %q (want binary, json, or columnar)", format)
 		}
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("trace written to %s (%d events)\n", *traceOut, len(analysis.Recorded.Trace.Events))
+		fmt.Printf("trace written to %s (%s, %d events)\n", *traceOut, format, len(analysis.Recorded.Trace.Events))
 	}
 
 	if *saveTrace {

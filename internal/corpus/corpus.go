@@ -74,7 +74,7 @@ func parseDigest(d string) (string, error) {
 type Meta struct {
 	Digest   string    `json:"digest"`
 	Size     int64     `json:"size"`
-	Format   string    `json:"format"` // trace.FormatBinary or trace.FormatJSON
+	Format   string    `json:"format"` // trace.FormatBinary, trace.FormatColumnar or trace.FormatJSON
 	App      string    `json:"app,omitempty"`
 	Events   int       `json:"events"`
 	Threads  int       `json:"threads"`

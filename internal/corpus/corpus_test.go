@@ -359,3 +359,41 @@ func TestListOrder(t *testing.T) {
 		t.Fatalf("list not newest-first: %s, %s", list[0].Digest, list[1].Digest)
 	}
 }
+
+// TestPutColumnarTrace pins format metadata for the columnar encoding:
+// the store must record FormatColumnar for "PCOL" blobs and load them
+// through the shared sniffing reader like any other format.
+func TestPutColumnarTrace(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := workload.MustGet("pbzip2")
+	rec := sim.Run(app.Build(workload.Config{Threads: 2, Scale: 0.1, Seed: 9}), sim.Config{Seed: 9})
+	var buf bytes.Buffer
+	if err := rec.Trace.WriteColumnar(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	m, created, err := s.Put(buf.Bytes(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("fresh columnar blob reported as duplicate")
+	}
+	if m.Format != trace.FormatColumnar {
+		t.Fatalf("Meta.Format = %q, want %q", m.Format, trace.FormatColumnar)
+	}
+
+	tr, meta, err := s.Load(m.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Format != trace.FormatColumnar {
+		t.Fatalf("loaded Meta.Format = %q", meta.Format)
+	}
+	if tr.App != rec.Trace.App || len(tr.Events) != len(rec.Trace.Events) {
+		t.Fatalf("loaded %s/%d events, want %s/%d", tr.App, len(tr.Events), rec.Trace.App, len(rec.Trace.Events))
+	}
+}

@@ -39,6 +39,16 @@ func New() *Memory {
 	}
 }
 
+// Reset returns the address space to its freshly-constructed state,
+// keeping the maps' capacity. Replay engines recycled through a pool
+// use it instead of allocating a new Memory per run.
+func (m *Memory) Reset() {
+	clear(m.cells)
+	clear(m.names)
+	clear(m.byNam)
+	m.next = 1
+}
+
 // Alloc reserves a fresh cell with the given debug name and initial value.
 // Allocating the same name twice returns the existing cell (workload
 // builders use this to share variables between thread bodies).

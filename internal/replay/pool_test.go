@@ -1,0 +1,133 @@
+package replay
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"perfplay/internal/sim"
+	"perfplay/internal/trace"
+)
+
+// TestPooledEngineMatchesFresh interleaves replays of different traces,
+// schemes, and options so recycled engines keep crossing shape
+// boundaries (different event counts, thread counts, schedulers,
+// constraints); every result must equal a first-run result computed
+// before any recycling could kick in.
+func TestPooledEngineMatchesFresh(t *testing.T) {
+	recA := buildContended(4, 8)
+	recB := buildContended(2, 3)
+
+	type run struct {
+		name string
+		rec  *sim.Result
+		opts Options
+	}
+	runs := []run{
+		{"elsc-big", recA, Options{Sched: ELSCS}},
+		{"orig-small", recB, Options{Sched: OrigS, Seed: 5}},
+		{"mems-big", recA, Options{Sched: MemS}},
+		{"sync-small", recB, Options{Sched: SyncS}},
+		{"elsc-small", recB, Options{Sched: ELSCS, LocksetCost: 3}},
+	}
+
+	want := make([]*Result, len(runs))
+	for i, r := range runs {
+		res, err := Run(r.rec.Trace, r.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		want[i] = res
+	}
+	// Several more rounds: by now every run executes on a recycled
+	// engine, usually one last used with a different trace shape.
+	for round := 0; round < 4; round++ {
+		for i, r := range runs {
+			res, err := Run(r.rec.Trace, r.opts)
+			if err != nil {
+				t.Fatalf("round %d %s: %v", round, r.name, err)
+			}
+			if !reflect.DeepEqual(res, want[i]) {
+				t.Fatalf("round %d %s: pooled result diverged from fresh run", round, r.name)
+			}
+		}
+	}
+}
+
+// TestPooledEngineConcurrent hammers Run from many goroutines over
+// shared traces; with -race this pins that pooled engines never share
+// state across concurrent replays and results stay deterministic.
+func TestPooledEngineConcurrent(t *testing.T) {
+	rec := buildContended(4, 6)
+	base, err := Run(rec.Trace, Options{Sched: ELSCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				res, err := Run(rec.Trace, Options{Sched: ELSCS})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Total != base.Total || !res.FinalMem.Equal(base.FinalMem) || res.ReadHash != base.ReadHash {
+					errs <- errMismatch
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "concurrent pooled replay diverged" }
+
+// TestPooledEngineAfterError: a failed replay (stuck schedule) must
+// still recycle cleanly and not poison the next run.
+func TestPooledEngineAfterError(t *testing.T) {
+	rec := buildContended(2, 2)
+	good, err := Run(rec.Trace, Options{Sched: ELSCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An impossible extra constraint (event waits on itself) wedges the
+	// replay immediately.
+	bad := Options{Sched: ELSCS, ExtraConstraints: []trace.Constraint{{After: 3, Before: 3}}}
+	if _, err := Run(rec.Trace, bad); err == nil {
+		t.Fatal("self-dependent constraint replayed successfully")
+	}
+	again, err := Run(rec.Trace, Options{Sched: ELSCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Total != good.Total || again.ReadHash != good.ReadHash {
+		t.Fatal("run after a failed replay diverged")
+	}
+}
+
+// BenchmarkPooledReplay measures the steady-state cost of a full ELSC
+// replay with engine recycling (the pipeline's per-scheme replay path).
+func BenchmarkPooledReplay(b *testing.B) {
+	rec := buildContended(4, 16)
+	rec.Trace.Warm()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(rec.Trace, Options{Sched: ELSCS}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -24,6 +24,7 @@ package replay
 
 import (
 	"fmt"
+	"sync"
 
 	"perfplay/internal/memmodel"
 	"perfplay/internal/trace"
@@ -191,12 +192,111 @@ type engine struct {
 	newArrival bool
 
 	res *Result
+
+	// threadBuf backs the threads pointer slice so recycled engines
+	// reuse the threadState allocations.
+	threadBuf []threadState
 }
 
 // barKey identifies one barrier episode.
 type barKey struct {
 	bar trace.LockID
 	gen int64
+}
+
+// enginePool recycles engine scratch state across replays. The ULCP
+// pipeline replays the same trace hundreds of times (per scheme, per
+// transformed variant, per quantification sample); everything the
+// engine allocates except the escaping Result is reusable.
+var enginePool = sync.Pool{New: func() any { return new(engine) }}
+
+// reset prepares a (possibly recycled) engine for one run. Every field
+// is either rebuilt from (tr, opts) or cleared in place, keeping map
+// and slice capacity from previous runs.
+func (e *engine) reset(tr *trace.Trace, opts Options) {
+	e.tr, e.opts = tr, opts
+	if e.mem == nil {
+		e.mem = memmodel.New()
+	} else {
+		e.mem.Reset()
+	}
+	if e.locks == nil {
+		e.locks = make(map[trace.LockID]*lockState)
+	} else {
+		// Keep the entries: lock IDs recur across replays of one trace,
+		// and lock() lazily revives whatever the next trace needs.
+		for _, ls := range e.locks {
+			ls.held = false
+			ls.freeAt = 0
+		}
+	}
+
+	nev, nt := len(tr.Events), tr.NumThreads
+	e.res = &Result{
+		EventEnd:     make([]vtime.Time, nev),
+		EventStart:   make([]vtime.Time, nev),
+		PerThreadCPU: make([]vtime.Duration, nt),
+		readHashes:   make([]uint64, nt),
+	}
+	if cap(e.done) >= nev {
+		e.done = e.done[:nev]
+		clear(e.done)
+	} else {
+		e.done = make([]bool, nev)
+	}
+	if e.heldSets == nil {
+		e.heldSets = make(map[int32][]trace.LockID)
+	} else {
+		clear(e.heldSets)
+	}
+	if cap(e.openSets) >= nt {
+		e.openSets = e.openSets[:nt]
+		for i := range e.openSets {
+			e.openSets[i] = e.openSets[i][:0]
+		}
+	} else {
+		e.openSets = make([][]int32, nt)
+	}
+	if e.barGroups != nil {
+		clear(e.barGroups)
+		clear(e.barArrived)
+	}
+
+	if cap(e.threadBuf) >= nt {
+		e.threadBuf = e.threadBuf[:nt]
+	} else {
+		e.threadBuf = make([]threadState, nt)
+	}
+	e.threads = e.threads[:0]
+	for t, evs := range tr.PerThread() {
+		e.threadBuf[t] = threadState{id: int32(t), evs: evs}
+		e.threads = append(e.threads, &e.threadBuf[t])
+	}
+
+	e.elscOrder = nil
+	if e.elscPos != nil {
+		clear(e.elscPos)
+	}
+	e.memOrder, e.memPos, e.memLastEnd = e.memOrder[:0], 0, 0
+	e.newArrival = false
+	if e.prereqs != nil {
+		clear(e.prereqs)
+	}
+}
+
+// release returns the engine to the pool, dropping every reference that
+// would otherwise keep the trace, the caller's options, or the escaping
+// Result alive while the engine idles in the pool.
+func (e *engine) release() {
+	e.tr = nil
+	e.opts = Options{}
+	e.res = nil
+	e.elscOrder = nil
+	e.threads = e.threads[:0]
+	for i := range e.threadBuf {
+		e.threadBuf[i].evs = nil
+	}
+	enginePool.Put(e)
 }
 
 // takeHeldSet pops the thread's innermost open lockset acquisition and
@@ -224,21 +324,9 @@ func Run(tr *trace.Trace, opts Options) (*Result, error) {
 			opts.DLSCheckCost = 1
 		}
 	}
-	e := &engine{
-		tr:    tr,
-		opts:  opts,
-		mem:   memmodel.New(),
-		locks: make(map[trace.LockID]*lockState),
-		res: &Result{
-			EventEnd:     make([]vtime.Time, len(tr.Events)),
-			EventStart:   make([]vtime.Time, len(tr.Events)),
-			PerThreadCPU: make([]vtime.Duration, tr.NumThreads),
-		},
-		done:     make([]bool, len(tr.Events)),
-		heldSets: make(map[int32][]trace.LockID),
-		openSets: make([][]int32, tr.NumThreads),
-	}
-	e.res.readHashes = make([]uint64, tr.NumThreads)
+	e := enginePool.Get().(*engine)
+	defer e.release()
+	e.reset(tr, opts)
 	for i := range tr.Events {
 		if tr.Events[i].Kind == trace.KBarrier {
 			if e.barGroups == nil {
@@ -252,9 +340,6 @@ func Run(tr *trace.Trace, opts Options) (*Result, error) {
 	for a, v := range tr.InitMem {
 		e.mem.Store(a, v)
 	}
-	for t, evs := range tr.PerThread() {
-		e.threads = append(e.threads, &threadState{id: int32(t), evs: evs})
-	}
 
 	switch opts.Sched {
 	case ELSCS:
@@ -262,17 +347,25 @@ func Run(tr *trace.Trace, opts Options) (*Result, error) {
 		if e.elscOrder == nil {
 			e.elscOrder = tr.LockOrder()
 		}
-		e.elscPos = make(map[trace.LockID]int, len(e.elscOrder))
+		if e.elscPos == nil {
+			e.elscPos = make(map[trace.LockID]int, len(e.elscOrder))
+		}
 	case MemS:
 		// Deterministic-everything: the recorded order of every event.
-		e.memOrder = make([]int32, len(tr.Events))
+		if cap(e.memOrder) < len(tr.Events) {
+			e.memOrder = make([]int32, len(tr.Events))
+		} else {
+			e.memOrder = e.memOrder[:len(tr.Events)]
+		}
 		for i := range e.memOrder {
 			e.memOrder[i] = int32(i)
 		}
 	}
 
 	if len(tr.Constraints)+len(opts.ExtraConstraints) > 0 {
-		e.prereqs = make(map[int32][]int32, len(tr.Constraints)+len(opts.ExtraConstraints))
+		if e.prereqs == nil {
+			e.prereqs = make(map[int32][]int32, len(tr.Constraints)+len(opts.ExtraConstraints))
+		}
 		for _, c := range tr.Constraints {
 			e.prereqs[c.Before] = append(e.prereqs[c.Before], c.After)
 		}
@@ -284,23 +377,24 @@ func Run(tr *trace.Trace, opts Options) (*Result, error) {
 	if err := e.loop(); err != nil {
 		return nil, err
 	}
+	res := e.res
 	var total vtime.Time
 	for i, ts := range e.threads {
 		if ts.clock > total {
 			total = ts.clock
 		}
-		e.res.PerThreadCPU[i] = ts.cpu
+		res.PerThreadCPU[i] = ts.cpu
 	}
-	e.res.Total = vtime.Duration(total)
-	e.res.FinalMem = e.mem.Snapshot()
-	for t, h := range e.res.readHashes {
+	res.Total = vtime.Duration(total)
+	res.FinalMem = e.mem.Snapshot()
+	for t, h := range res.readHashes {
 		// Mix per-thread digests order-independently across threads.
 		x := h + uint64(t)*0x9e3779b97f4a7c15
 		x ^= x >> 33
 		x *= 0xff51afd7ed558ccd
-		e.res.ReadHash ^= x
+		res.ReadHash ^= x
 	}
-	return e.res, nil
+	return res, nil
 }
 
 // next returns the thread's next pending event index, or -1.

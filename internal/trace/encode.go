@@ -26,6 +26,19 @@ const (
 	binVersion = 3
 )
 
+// MaxEvents is the largest event count any trace may carry. Event
+// indexes are int32 throughout the analysis (CritSec.AcqEv, prefix
+// walks, side indexes); a longer trace would silently truncate those
+// indexes, so every decoder rejects it up front instead.
+const MaxEvents = 1<<31 - 1
+
+func checkEventCount(n uint64) error {
+	if n > MaxEvents {
+		return fmt.Errorf("trace: %d events exceed the int32 index range (max %d)", n, MaxEvents)
+	}
+	return nil
+}
+
 type jsonTrace struct {
 	Trace
 	JSONSites []Site `json:"sites"`
@@ -49,6 +62,9 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: decode json: %w", err)
 	}
 	tr := jt.Trace
+	if err := checkEventCount(uint64(len(tr.Events))); err != nil {
+		return nil, err
+	}
 	tr.Sites = NewSiteTable()
 	if len(jt.JSONSites) > 0 {
 		tr.Sites.sites = jt.JSONSites
@@ -170,6 +186,9 @@ func readSnapshot(b *binReader) memmodel.Snapshot {
 
 // WriteBinary writes the trace in the compact binary format.
 func (tr *Trace) WriteBinary(w io.Writer) error {
+	if err := checkEventCount(uint64(len(tr.Events))); err != nil {
+		return err
+	}
 	b := &binWriter{w: bufio.NewWriter(w)}
 	b.u32(binMagic)
 	b.u32(binVersion)
@@ -311,6 +330,9 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 
 	nev := b.u32()
 	if b.err == nil {
+		if err := checkEventCount(uint64(nev)); err != nil {
+			return nil, err
+		}
 		// Cap the preallocation: the count is untrusted input, and a
 		// hostile prefix must not force a huge allocation before the
 		// truncated payload is noticed.

@@ -1,0 +1,60 @@
+package trace_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"perfplay/internal/sim"
+	"perfplay/internal/trace"
+	"perfplay/internal/workload"
+)
+
+// TestFormatsAgreeOnWorkloads records every example workload and checks
+// that the three on-disk encodings are interchangeable: a trace written
+// columnar, row-binary, or JSON must read back field-identical (using
+// the row-binary encoding of the loaded trace as the canonical form),
+// and DetectFormat must name each encoding correctly.
+func TestFormatsAgreeOnWorkloads(t *testing.T) {
+	for _, app := range workload.All() {
+		t.Run(app.Name, func(t *testing.T) {
+			p := app.Build(workload.Config{Threads: 2, Scale: 0.1, Seed: 1})
+			rec := sim.Run(p, sim.Config{Seed: 1})
+			tr := rec.Trace
+
+			var want bytes.Buffer
+			if err := tr.WriteBinary(&want); err != nil {
+				t.Fatal(err)
+			}
+
+			encoders := map[string]struct {
+				write  func(*trace.Trace, io.Writer) error
+				format string
+			}{
+				"binary":   {(*trace.Trace).WriteBinary, trace.FormatBinary},
+				"columnar": {(*trace.Trace).WriteColumnar, trace.FormatColumnar},
+				"json":     {(*trace.Trace).WriteJSON, trace.FormatJSON},
+			}
+			for name, enc := range encoders {
+				var buf bytes.Buffer
+				if err := enc.write(tr, &buf); err != nil {
+					t.Fatalf("%s: write: %v", name, err)
+				}
+				if got := trace.DetectFormat(buf.Bytes()); got != enc.format {
+					t.Fatalf("%s: DetectFormat = %q, want %q", name, got, enc.format)
+				}
+				loaded, err := trace.ReadAny(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("%s: ReadAny: %v", name, err)
+				}
+				var got bytes.Buffer
+				if err := loaded.WriteBinary(&got); err != nil {
+					t.Fatalf("%s: canonicalize: %v", name, err)
+				}
+				if !bytes.Equal(got.Bytes(), want.Bytes()) {
+					t.Fatalf("%s: loaded trace differs from the recorded one", name)
+				}
+			}
+		})
+	}
+}

@@ -18,9 +18,15 @@ func FuzzReadAny(f *testing.F) {
 	if err := tr.WriteJSON(&js); err != nil {
 		f.Fatal(err)
 	}
+	var col bytes.Buffer
+	if err := tr.WriteColumnar(&col); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(bin.Bytes())
+	f.Add(col.Bytes())
 	f.Add(js.Bytes())
 	f.Add(bin.Bytes()[:len(bin.Bytes())/2]) // truncated binary
+	f.Add(col.Bytes()[:len(col.Bytes())/2]) // truncated columnar
 	f.Add([]byte{})
 	f.Add([]byte(`{"events": []}`))
 	f.Add([]byte(`{"app": "x", "threads": -1, "events": [{}]}`))
@@ -43,33 +49,44 @@ func FuzzReadAny(f *testing.F) {
 }
 
 // FuzzDetectFormat: the format sniffer must be total and deterministic,
-// and must agree with the binary decoder about the magic number —
-// anything it calls JSON has to be refused by ReadBinary, or the two
-// would disagree about how to parse the same corpus blob.
+// and must agree with the magic-guarded decoders — anything it calls
+// JSON has to be refused by both ReadBinary and ParseColumnar, and
+// anything it calls columnar refused by ReadBinary (and vice versa), or
+// the sniffer and the loaders would disagree about how to parse the
+// same corpus blob.
 func FuzzDetectFormat(f *testing.F) {
 	tr := buildSample()
-	var bin, js bytes.Buffer
+	var bin, col, js bytes.Buffer
 	if err := tr.WriteBinary(&bin); err != nil {
+		f.Fatal(err)
+	}
+	if err := tr.WriteColumnar(&col); err != nil {
 		f.Fatal(err)
 	}
 	if err := tr.WriteJSON(&js); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(bin.Bytes())
+	f.Add(col.Bytes())
 	f.Add(js.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0x46, 0x52, 0x45})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got := DetectFormat(data)
-		if got != FormatBinary && got != FormatJSON {
+		if got != FormatBinary && got != FormatJSON && got != FormatColumnar {
 			t.Fatalf("unknown format %q", got)
 		}
 		if again := DetectFormat(data); again != got {
 			t.Fatalf("non-deterministic: %q then %q", got, again)
 		}
-		if got == FormatJSON {
+		if got != FormatBinary {
 			if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
-				t.Fatal("binary decoder accepted bytes DetectFormat called JSON")
+				t.Fatalf("binary decoder accepted bytes DetectFormat called %s", got)
+			}
+		}
+		if got != FormatColumnar {
+			if _, err := ParseColumnar(data); err == nil {
+				t.Fatalf("columnar parser accepted bytes DetectFormat called %s", got)
 			}
 		}
 	})

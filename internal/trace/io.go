@@ -7,26 +7,32 @@ import (
 	"os"
 )
 
-// Encoding names for the two on-disk trace formats, as reported by
+// Encoding names for the on-disk trace formats, as reported by
 // DetectFormat and recorded in corpus metadata.
 const (
-	FormatBinary = "binary"
-	FormatJSON   = "json"
+	FormatBinary   = "binary"
+	FormatJSON     = "json"
+	FormatColumnar = "columnar"
 )
 
 // DetectFormat reports which encoding raw trace bytes carry, by the
-// binary format's magic number. Anything without the magic is assumed
-// JSON; whether it actually parses is ReadAny's job.
+// magic numbers of the two binary formats. Anything without a magic is
+// assumed JSON; whether it actually parses is ReadAny's job.
 func DetectFormat(data []byte) string {
-	if len(data) >= 4 && binary.LittleEndian.Uint32(data) == binMagic {
-		return FormatBinary
+	if len(data) >= 4 {
+		switch binary.LittleEndian.Uint32(data) {
+		case binMagic:
+			return FormatBinary
+		case colMagic:
+			return FormatColumnar
+		}
 	}
 	return FormatJSON
 }
 
-// ReadAny decodes a trace in either the binary or the JSON encoding,
-// sniffing the format by attempting binary first (it is guarded by a
-// magic number) and falling back to JSON. This is the loader every
+// ReadAny decodes a trace in the row-binary, columnar, or JSON
+// encoding, sniffing the format by attempting the magic-guarded binary
+// formats first and falling back to JSON. This is the loader every
 // consumer of on-disk or uploaded traces shares — the CLI's -replay and
 // -diff paths and the analysis daemon's trace upload endpoint.
 func ReadAny(r io.ReadSeeker) (*Trace, error) {
@@ -37,9 +43,16 @@ func ReadAny(r io.ReadSeeker) (*Trace, error) {
 	if _, err := r.Seek(0, io.SeekStart); err != nil {
 		return nil, berr
 	}
+	tr, cerr := ReadColumnar(r)
+	if cerr == nil {
+		return tr, nil
+	}
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, cerr
+	}
 	tr, jerr := ReadJSON(r)
 	if jerr != nil {
-		return nil, fmt.Errorf("trace: neither binary (%v) nor JSON (%v)", berr, jerr)
+		return nil, fmt.Errorf("trace: neither binary (%v), columnar (%v), nor JSON (%v)", berr, cerr, jerr)
 	}
 	return tr, nil
 }

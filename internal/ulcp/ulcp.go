@@ -150,6 +150,10 @@ type identifier struct {
 	// table, when set, is a precomputed cross-shard verdict table
 	// consulted before benignMemo; hits cost no replay.
 	table *VerdictTable
+	// sweep and scratch are the run's reusable replay state (see
+	// sweep.go), created on the first conflicting pair.
+	sweep   *prefixSweeper
+	scratch *pairScratch
 }
 
 // Identify runs the full identification pass over a recorded trace.
@@ -339,7 +343,7 @@ func (id *identifier) scan(cur *trace.CritSec, peer []*trace.CritSec) {
 // code-region pair; once the replay budget is exhausted, unseen region
 // pairs conservatively classify as true contention.
 func (id *identifier) benign(c1, c2 *trace.CritSec) bool {
-	key := regionPairKey(c1, c2)
+	key := id.pairKey(c1, c2)
 	if id.table != nil {
 		if v, ok := id.table.Verdicts[key]; ok {
 			return v
@@ -357,7 +361,7 @@ func (id *identifier) benign(c1, c2 *trace.CritSec) bool {
 		return false
 	}
 	id.rep.ReversedReplays++
-	v := reversedReplayEqual(id.tr, c1, c2)
+	v := id.reversedReplayEqual(c1, c2)
 	id.benignMemo[key] = v
 	return v
 }
@@ -424,102 +428,19 @@ func conflictSig(c1, c2 *trace.CritSec) string {
 // and identical values observed by every read. Localizing the reversal
 // keeps the check deterministic: a whole-trace reversal would perturb
 // unrelated lock races and misattribute their differences to the pair.
+// This standalone form builds fresh sweep state per call; Identify's
+// inner loop uses the identifier method, which batches the prefix walk
+// across a lock group's pairs (sweep.go).
 func reversedReplayEqual(tr *trace.Trace, c1, c2 *trace.CritSec) bool {
-	pre := prefixState(tr, c1.AcqEv)
-	fwd := execPairLocal(tr, pre, c1, c2)
-	rev := execPairLocal(tr, pre, c2, c1)
-	if len(fwd.reads) != len(rev.reads) {
-		return false
-	}
-	for i := range fwd.reads {
-		if fwd.reads[i] != rev.reads[i] {
-			return false
-		}
-	}
-	if len(fwd.writes) != len(rev.writes) {
-		return false
-	}
-	for a, v := range fwd.writes {
-		if rev.writes[a] != v {
-			return false
-		}
-	}
-	return true
-}
-
-// prefixState applies every recorded write before the given event index to
-// the initial memory image, yielding the state the pair executed against.
-func prefixState(tr *trace.Trace, before int32) map[memmodel.Addr]int64 {
-	mem := make(map[memmodel.Addr]int64, len(tr.InitMem)+16)
-	for a, v := range tr.InitMem {
-		mem[a] = v
-	}
-	for i := int32(0); i < before; i++ {
-		e := &tr.Events[i]
-		switch e.Kind {
-		case trace.KWrite:
-			mem[e.Addr] = e.Op.Apply(mem[e.Addr], e.Value)
-		case trace.KSkip:
-			for a, v := range e.Delta {
-				mem[a] = v
-			}
-		}
-	}
-	return mem
+	id := &identifier{tr: tr}
+	return id.reversedReplayEqual(c1, c2)
 }
 
 // pairOutcome is the observable result of executing the two critical
 // sections in one order: the values every read observed (c1's reads then
 // c2's reads when called as (c1,c2)) and the final values of all touched
-// cells.
+// cells (including cells restored by skip deltas inside the sections).
 type pairOutcome struct {
 	reads  []int64
 	writes map[memmodel.Addr]int64
-}
-
-// execPairLocal re-executes first's then second's shared accesses against
-// a copy of pre. The reads slice is keyed by critical section identity
-// (first's reads, then second's), so comparing (c1,c2) against (c2,c1)
-// lines up each section's own observations.
-func execPairLocal(tr *trace.Trace, pre map[memmodel.Addr]int64, first, second *trace.CritSec) pairOutcome {
-	mem := make(map[memmodel.Addr]int64, len(pre))
-	for a, v := range pre {
-		mem[a] = v
-	}
-	out := pairOutcome{writes: make(map[memmodel.Addr]int64)}
-	// Record reads per section in a stable order: c1's block then c2's,
-	// regardless of execution order, so forward and reversed outcomes
-	// compare section-by-section.
-	var r1, r2 []int64
-	exec := func(cs *trace.CritSec, reads *[]int64) {
-		for i := cs.AcqEv; i <= cs.RelEv; i++ {
-			e := &tr.Events[i]
-			if e.Thread != cs.Thread {
-				continue
-			}
-			switch e.Kind {
-			case trace.KRead:
-				*reads = append(*reads, mem[e.Addr])
-			case trace.KWrite:
-				mem[e.Addr] = e.Op.Apply(mem[e.Addr], e.Value)
-				out.writes[e.Addr] = mem[e.Addr]
-			}
-		}
-	}
-	if first.AcqEv <= second.AcqEv {
-		// first==c1: execute first, then second, logging into (r1, r2).
-		exec(first, &r1)
-		exec(second, &r2)
-	} else {
-		// Reversed call order (c2,c1): execute c2 first but log its reads
-		// into the second slot so slots always mean (c1, c2).
-		exec(first, &r2)
-		exec(second, &r1)
-	}
-	// Final values of touched cells.
-	for a := range out.writes {
-		out.writes[a] = mem[a]
-	}
-	out.reads = append(r1, r2...)
-	return out
 }
